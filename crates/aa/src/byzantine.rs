@@ -1,0 +1,163 @@
+//! Standalone synchronous Byzantine approximate agreement (DLPSW).
+//!
+//! One value per process, one reduction per round. This is the primitive the
+//! paper's voting phase runs per-id; having it standalone lets the test
+//! suite and experiment F1 validate the `σ_t` contraction rate in isolation
+//! from the renaming machinery.
+
+use crate::multiset::OrderedMultiset;
+use crate::select::reduce;
+use opr_sim::{Actor, Inbox, Outbox, WireSize, RANK_BITS, TAG_BITS};
+use opr_types::{Rank, Round};
+
+/// Message carrying one AA value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AaMsg(pub Rank);
+
+impl WireSize for AaMsg {
+    fn wire_bits(&self) -> u64 {
+        TAG_BITS + RANK_BITS
+    }
+}
+
+/// A correct DLPSW approximate-agreement process.
+///
+/// Each round it broadcasts its value, collects the votes that arrived,
+/// pads them to `N` with its own value, trims `t` extremes per side, selects
+/// and averages. After `rounds` rounds it outputs its value.
+///
+/// # Example
+///
+/// See the crate-level docs of [`crate`] and the integration tests; the
+/// protocol guarantees the outputs of correct processes lie within the range
+/// of correct inputs and shrink by `σ_t` per round.
+#[derive(Clone, Debug)]
+pub struct ByzantineAa {
+    n: usize,
+    t: usize,
+    rounds: u32,
+    value: Rank,
+    done: bool,
+}
+
+impl ByzantineAa {
+    /// Creates a process with initial `value` that will run `rounds`
+    /// reduction rounds in a system of `n` processes tolerating `t` faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n > 3t` (DLPSW's resilience requirement).
+    pub fn new(n: usize, t: usize, rounds: u32, value: Rank) -> Self {
+        assert!(n > 3 * t, "Byzantine AA requires N > 3t");
+        ByzantineAa {
+            n,
+            t,
+            rounds,
+            value,
+            done: rounds == 0,
+        }
+    }
+
+    /// The current value (the output once done).
+    pub fn value(&self) -> Rank {
+        self.value
+    }
+}
+
+impl Actor for ByzantineAa {
+    type Msg = AaMsg;
+    type Output = Rank;
+
+    fn send(&mut self, _round: Round) -> Outbox<AaMsg> {
+        if self.done {
+            Outbox::Silent
+        } else {
+            Outbox::Broadcast(AaMsg(self.value))
+        }
+    }
+
+    fn deliver(&mut self, round: Round, inbox: Inbox<AaMsg>) {
+        if self.done {
+            return;
+        }
+        let mut votes: OrderedMultiset<Rank> = inbox.messages().map(|(_, m)| m.0).collect();
+        // Fill missing votes with our own value ("local values are always
+        // valid"); guarantees exactly N votes before trimming.
+        votes.fill_to(self.n, self.value);
+        self.value = reduce(&votes, self.t);
+        if round.number() >= self.rounds {
+            self.done = true;
+        }
+    }
+
+    fn output(&self) -> Option<Rank> {
+        self.done.then_some(self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convergence::spread;
+    use opr_sim::{Network, Topology};
+
+    fn run_correct_only(n: usize, t: usize, rounds: u32, inputs: &[f64]) -> Vec<Rank> {
+        let actors: Vec<Box<dyn Actor<Msg = AaMsg, Output = Rank>>> = inputs
+            .iter()
+            .map(|&v| {
+                Box::new(ByzantineAa::new(n, t, rounds, Rank::new(v)))
+                    as Box<dyn Actor<Msg = AaMsg, Output = Rank>>
+            })
+            .collect();
+        let mut net = Network::new(actors, Topology::seeded(n, 1));
+        let report = net.run(rounds + 1);
+        assert!(report.completed);
+        (0..n).map(|i| net.output_of(i).unwrap()).collect()
+    }
+
+    #[test]
+    fn all_correct_converges_to_common_range() {
+        let inputs = [1.0, 5.0, 9.0, 2.0];
+        let outputs = run_correct_only(4, 1, 6, &inputs);
+        assert!(spread(&outputs) < 1e-3, "spread {}", spread(&outputs));
+        for out in outputs {
+            assert!(out.value() >= 1.0 && out.value() <= 9.0);
+        }
+    }
+
+    #[test]
+    fn zero_rounds_outputs_input() {
+        let outputs = run_correct_only(4, 1, 0, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(
+            outputs,
+            vec![
+                Rank::new(1.0),
+                Rank::new(2.0),
+                Rank::new(3.0),
+                Rank::new(4.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn contraction_is_at_least_sigma_per_round() {
+        // With no Byzantine interference the spread shrinks at least by
+        // σ_t each round.
+        let n = 7;
+        let t = 2;
+        let inputs = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let one = run_correct_only(n, t, 1, &inputs);
+        let sigma = crate::select::sigma(n, t) as f64;
+        assert!(
+            spread(&one) <= 6.0 / sigma + 1e-9,
+            "spread after one round: {}",
+            spread(&one)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "N > 3t")]
+    fn rejects_insufficient_resilience() {
+        let _ = ByzantineAa::new(3, 1, 1, Rank::new(0.0));
+    }
+}

@@ -1,0 +1,145 @@
+//! Crash-tolerant approximate agreement.
+//!
+//! The crash-fault analogue the related work builds on (\[14\] in the paper):
+//! processes broadcast their values and move to the midpoint of the received
+//! range each round. With only crash faults, values never leave the convex
+//! hull of the inputs and the range halves per round once crashed processes
+//! have stopped interfering (at most `t` rounds can be "spoiled", one per
+//! crash). Used by baseline B1.
+
+use crate::byzantine::AaMsg;
+use opr_sim::{Actor, Inbox, Outbox};
+use opr_types::{Rank, Round};
+
+/// A correct crash-model AA process: midpoint-of-range iteration.
+#[derive(Clone, Debug)]
+pub struct CrashAa {
+    rounds: u32,
+    value: Rank,
+    done: bool,
+}
+
+impl CrashAa {
+    /// Creates a process with initial `value` running `rounds` rounds.
+    pub fn new(rounds: u32, value: Rank) -> Self {
+        CrashAa {
+            rounds,
+            value,
+            done: rounds == 0,
+        }
+    }
+
+    /// The current value.
+    pub fn value(&self) -> Rank {
+        self.value
+    }
+}
+
+impl Actor for CrashAa {
+    type Msg = AaMsg;
+    type Output = Rank;
+
+    fn send(&mut self, _round: Round) -> Outbox<AaMsg> {
+        if self.done {
+            Outbox::Silent
+        } else {
+            Outbox::Broadcast(AaMsg(self.value))
+        }
+    }
+
+    fn deliver(&mut self, round: Round, inbox: Inbox<AaMsg>) {
+        if self.done {
+            return;
+        }
+        let mut lo = self.value;
+        let mut hi = self.value;
+        for (_, AaMsg(v)) in inbox.messages() {
+            lo = lo.min(*v);
+            hi = hi.max(*v);
+        }
+        self.value = lo.midpoint(hi);
+        if round.number() >= self.rounds {
+            self.done = true;
+        }
+    }
+
+    fn output(&self) -> Option<Rank> {
+        self.done.then_some(self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convergence::spread;
+    use opr_sim::{Network, Topology};
+
+    /// A process that crashes permanently after `alive_rounds` sends.
+    struct Crasher {
+        inner: CrashAa,
+        alive_rounds: u32,
+    }
+    impl Actor for Crasher {
+        type Msg = AaMsg;
+        type Output = Rank;
+        fn send(&mut self, round: Round) -> Outbox<AaMsg> {
+            if round.number() > self.alive_rounds {
+                Outbox::Silent
+            } else {
+                self.inner.send(round)
+            }
+        }
+        fn deliver(&mut self, round: Round, inbox: Inbox<AaMsg>) {
+            self.inner.deliver(round, inbox);
+        }
+        fn output(&self) -> Option<Rank> {
+            self.inner.output()
+        }
+    }
+
+    #[test]
+    fn converges_without_faults() {
+        let inputs = [0.0, 10.0, 4.0];
+        let actors: Vec<Box<dyn Actor<Msg = AaMsg, Output = Rank>>> = inputs
+            .iter()
+            .map(|&v| {
+                Box::new(CrashAa::new(8, Rank::new(v)))
+                    as Box<dyn Actor<Msg = AaMsg, Output = Rank>>
+            })
+            .collect();
+        let mut net = Network::new(actors, Topology::canonical(3));
+        assert!(net.run(9).completed);
+        let outs: Vec<Rank> = (0..3).map(|i| net.output_of(i).unwrap()).collect();
+        assert!(spread(&outs) < 0.1, "spread {}", spread(&outs));
+        for o in outs {
+            assert!(o.value() >= 0.0 && o.value() <= 10.0, "hull violated: {o}");
+        }
+    }
+
+    #[test]
+    fn survives_a_mid_run_crash() {
+        let inputs = [0.0, 10.0, 4.0, 6.0];
+        let mut actors: Vec<Box<dyn Actor<Msg = AaMsg, Output = Rank>>> = Vec::new();
+        actors.push(Box::new(Crasher {
+            inner: CrashAa::new(10, Rank::new(inputs[0])),
+            alive_rounds: 2,
+        }));
+        for &v in &inputs[1..] {
+            actors.push(Box::new(CrashAa::new(10, Rank::new(v))));
+        }
+        let correct = vec![false, true, true, true];
+        let mut net = Network::with_faults(actors, correct, Topology::canonical(4));
+        assert!(net.run(11).completed);
+        let outs: Vec<Rank> = (1..4).map(|i| net.output_of(i).unwrap()).collect();
+        assert!(spread(&outs) < 0.2, "spread {}", spread(&outs));
+        for o in outs {
+            assert!(o.value() >= 0.0 && o.value() <= 10.0);
+        }
+    }
+
+    #[test]
+    fn zero_rounds_is_identity() {
+        let aa = CrashAa::new(0, Rank::new(3.5));
+        assert_eq!(aa.output(), Some(Rank::new(3.5)));
+    }
+}

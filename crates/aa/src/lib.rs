@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+//! Approximate-agreement building blocks and standalone protocols.
+//!
+//! In *approximate agreement* (AA) processes start with arbitrary real
+//! values and must output values within a bounded distance of each other,
+//! inside the range of the correct inputs. The paper's voting phase
+//! (Algorithm 3) is a per-id parallel composition of the synchronous
+//! Byzantine AA of Dolev, Lynch, Pinter, Stark & Weihl (JACM 1986), referred
+//! to as DLPSW throughout this workspace.
+//!
+//! This crate provides:
+//!
+//! * [`OrderedMultiset`] — the sorted multiset with the `trim`/`select`
+//!   operations all AA variants reduce votes with ([`multiset`]).
+//! * [`reduce`] — the full DLPSW reduction `avg(select_t(trim_t(votes)))`
+//!   plus its guaranteed contraction rate `σ_t` ([`select`]).
+//! * [`ByzantineAa`] — standalone synchronous Byzantine AA on a single value
+//!   ([`byzantine`]); used both as a reference implementation (its
+//!   convergence is checked against `σ_t` in tests and experiment F1) and by
+//!   the crash baseline.
+//! * [`CrashAa`] — crash-tolerant averaging AA ([`crash`]), the primitive
+//!   behind the Okun-style baseline B1.
+//! * [`spread`] and convergence prediction helpers ([`convergence`]).
+//!
+//! # Example: one DLPSW reduction step
+//!
+//! ```
+//! use opr_aa::{OrderedMultiset, reduce};
+//!
+//! // N = 7, t = 1: seven votes, one of which (99.0) is Byzantine garbage.
+//! let votes = OrderedMultiset::from_iter([3.0f64, 3.1, 3.2, 2.9, 3.0, 3.1, 99.0]
+//!     .map(ordered_float));
+//! let new_value = reduce(&votes, 1);
+//! assert!(new_value >= ordered_float(2.9) && new_value <= ordered_float(3.2));
+//! # use opr_types::Rank;
+//! # fn ordered_float(x: f64) -> Rank { Rank::new(x) }
+//! ```
+
+pub mod byzantine;
+pub mod convergence;
+pub mod crash;
+pub mod multiset;
+pub mod select;
+
+pub use byzantine::ByzantineAa;
+pub use convergence::{predicted_rounds, spread};
+pub use crash::CrashAa;
+pub use multiset::OrderedMultiset;
+pub use select::{reduce, select_indices, sigma};

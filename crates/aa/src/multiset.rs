@@ -1,0 +1,211 @@
+//! A sorted multiset with the trim/fill operations used by every AA variant.
+
+use std::fmt::Debug;
+
+/// An always-sorted multiset (duplicates allowed).
+///
+/// Backed by a sorted `Vec`, which is optimal at the sizes AA works with
+/// (`|votes| ≤ N`).
+///
+/// # Example
+///
+/// ```
+/// use opr_aa::OrderedMultiset;
+/// let mut ms: OrderedMultiset<i32> = [5, 1, 5, 3].into_iter().collect();
+/// assert_eq!(ms.as_slice(), &[1, 3, 5, 5]);
+/// ms.trim(1); // drop 1 smallest and 1 largest
+/// assert_eq!(ms.as_slice(), &[3, 5]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct OrderedMultiset<T> {
+    items: Vec<T>,
+}
+
+impl<T: Ord + Copy> OrderedMultiset<T> {
+    /// An empty multiset.
+    pub fn new() -> Self {
+        OrderedMultiset { items: Vec::new() }
+    }
+
+    /// Inserts a value, keeping the multiset sorted.
+    pub fn insert(&mut self, value: T) {
+        let pos = self.items.partition_point(|x| *x <= value);
+        self.items.insert(pos, value);
+    }
+
+    /// Number of elements (with multiplicity).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the multiset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The sorted contents.
+    pub fn as_slice(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Smallest element, if any.
+    pub fn min(&self) -> Option<T> {
+        self.items.first().copied()
+    }
+
+    /// Largest element, if any.
+    pub fn max(&self) -> Option<T> {
+        self.items.last().copied()
+    }
+
+    /// Removes the `t` smallest and `t` largest elements (Algorithm 3,
+    /// lines 12–14). Clears the multiset if it has `≤ 2t` elements.
+    pub fn trim(&mut self, t: usize) {
+        if self.items.len() <= 2 * t {
+            self.items.clear();
+        } else {
+            self.items.truncate(self.items.len() - t);
+            self.items.drain(..t);
+        }
+    }
+
+    /// Appends copies of `value` until the multiset has `n` elements
+    /// (Algorithm 3, lines 10–11: fill missing votes with one's own vote).
+    /// Does nothing if the multiset already has `≥ n` elements.
+    pub fn fill_to(&mut self, n: usize, value: T) {
+        while self.items.len() < n {
+            self.insert(value);
+        }
+    }
+
+    /// How many elements of `self` are *not* in `other`, counting
+    /// multiplicity — the multiset difference size `|self − other|` used in
+    /// the proof of Lemma IV.8.
+    pub fn difference_size(&self, other: &OrderedMultiset<T>) -> usize {
+        let mut count = 0usize;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.items.len() {
+            if j >= other.items.len() || self.items[i] < other.items[j] {
+                count += 1;
+                i += 1;
+            } else if self.items[i] == other.items[j] {
+                i += 1;
+                j += 1;
+            } else {
+                j += 1;
+            }
+        }
+        count
+    }
+}
+
+impl<T: Ord + Copy> FromIterator<T> for OrderedMultiset<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut items: Vec<T> = iter.into_iter().collect();
+        items.sort_unstable();
+        OrderedMultiset { items }
+    }
+}
+
+impl<T: Ord + Copy> Extend<T> for OrderedMultiset<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        self.items.extend(iter);
+        self.items.sort_unstable();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_keeps_sorted_with_duplicates() {
+        let mut ms = OrderedMultiset::new();
+        for v in [4, 2, 4, 1, 3, 4] {
+            ms.insert(v);
+        }
+        assert_eq!(ms.as_slice(), &[1, 2, 3, 4, 4, 4]);
+        assert_eq!(ms.len(), 6);
+        assert_eq!(ms.min(), Some(1));
+        assert_eq!(ms.max(), Some(4));
+    }
+
+    #[test]
+    fn trim_removes_extremes() {
+        let mut ms: OrderedMultiset<i32> = (1..=10).collect();
+        ms.trim(3);
+        assert_eq!(ms.as_slice(), &[4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn trim_zero_is_identity() {
+        let mut ms: OrderedMultiset<i32> = (1..=5).collect();
+        ms.trim(0);
+        assert_eq!(ms.len(), 5);
+    }
+
+    #[test]
+    fn trim_clears_small_multisets() {
+        let mut ms: OrderedMultiset<i32> = (1..=4).collect();
+        ms.trim(2);
+        assert!(ms.is_empty());
+    }
+
+    #[test]
+    fn fill_to_pads_with_value() {
+        let mut ms: OrderedMultiset<i32> = [5, 1].into_iter().collect();
+        ms.fill_to(5, 3);
+        assert_eq!(ms.as_slice(), &[1, 3, 3, 3, 5]);
+        // Already long enough: no-op.
+        ms.fill_to(2, 9);
+        assert_eq!(ms.len(), 5);
+    }
+
+    #[test]
+    fn difference_size_counts_multiplicity() {
+        let a: OrderedMultiset<i32> = [1, 2, 2, 3].into_iter().collect();
+        let b: OrderedMultiset<i32> = [2, 3, 4].into_iter().collect();
+        // a − b = {1, 2}.
+        assert_eq!(a.difference_size(&b), 2);
+        // b − a = {4}.
+        assert_eq!(b.difference_size(&a), 1);
+        assert_eq!(a.difference_size(&a), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn from_iterator_is_sorted(values in proptest::collection::vec(-1000i32..1000, 0..100)) {
+            let ms: OrderedMultiset<i32> = values.iter().copied().collect();
+            prop_assert!(ms.as_slice().windows(2).all(|w| w[0] <= w[1]));
+            prop_assert_eq!(ms.len(), values.len());
+        }
+
+        #[test]
+        fn trim_is_within_original_bounds(
+            values in proptest::collection::vec(-1000i32..1000, 1..60),
+            t in 0usize..10,
+        ) {
+            let mut ms: OrderedMultiset<i32> = values.iter().copied().collect();
+            let (lo, hi) = (ms.min().unwrap(), ms.max().unwrap());
+            ms.trim(t);
+            for &v in ms.as_slice() {
+                prop_assert!(v >= lo && v <= hi);
+            }
+            prop_assert_eq!(ms.len(), values.len().saturating_sub(2 * t));
+        }
+
+        #[test]
+        fn difference_size_triangle(
+            a in proptest::collection::vec(0i32..20, 0..30),
+            b in proptest::collection::vec(0i32..20, 0..30),
+        ) {
+            let ma: OrderedMultiset<i32> = a.iter().copied().collect();
+            let mb: OrderedMultiset<i32> = b.iter().copied().collect();
+            // |A| = |A∩B| + |A−B| ⇒ |A−B| ≥ |A| − |B|.
+            let d = ma.difference_size(&mb);
+            prop_assert!(d >= ma.len().saturating_sub(mb.len()));
+            prop_assert!(d <= ma.len());
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! The DLPSW reduction: `avg(select_t(trim_t(votes)))`.
+
+use crate::multiset::OrderedMultiset;
+use opr_types::Rank;
+
+/// Indices chosen by `select_t` on an ordered multiset of `len` elements:
+/// the smallest element and every `t`-th element after it — `0, t, 2t, …`
+/// (Section IV-B). With `t = 0` there is nothing to defend against and every
+/// index is selected.
+pub fn select_indices(len: usize, t: usize) -> Vec<usize> {
+    if t == 0 {
+        return (0..len).collect();
+    }
+    (0..len).step_by(t).collect()
+}
+
+/// The guaranteed contraction rate of one reduction step:
+/// `σ_t = ⌊(N − 2t)/t⌋ + 1` (Lemma IV.8). Returns `usize::MAX` for `t = 0`
+/// ("infinite" contraction: with no faults all correct multisets agree after
+/// one exchange).
+pub fn sigma(n: usize, t: usize) -> usize {
+    match n.saturating_sub(2 * t).checked_div(t) {
+        Some(q) => q + 1,
+        None => usize::MAX,
+    }
+}
+
+/// Applies the full reduction to a vote multiset: discard the `t` smallest
+/// and `t` largest, select the smallest remaining value and every `t`-th
+/// after it, and average the selection (Algorithm 3, lines 12–16).
+///
+/// # Panics
+///
+/// Panics if fewer than `2t + 1` votes are supplied — the protocol
+/// guarantees `≥ N − t ≥ 2t + 1` votes for any id it reduces, so fewer
+/// indicates a harness bug.
+pub fn reduce(votes: &OrderedMultiset<Rank>, t: usize) -> Rank {
+    assert!(
+        votes.len() > 2 * t,
+        "reduce needs more than 2t votes (got {} with t={t})",
+        votes.len()
+    );
+    let mut trimmed = votes.clone();
+    trimmed.trim(t);
+    let slice = trimmed.as_slice();
+    let selected: Vec<Rank> = select_indices(slice.len(), t)
+        .into_iter()
+        .map(|i| slice[i])
+        .collect();
+    Rank::mean(&selected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn select_indices_pattern() {
+        assert_eq!(select_indices(7, 2), vec![0, 2, 4, 6]);
+        assert_eq!(select_indices(8, 3), vec![0, 3, 6]);
+        assert_eq!(select_indices(1, 5), vec![0]);
+        assert_eq!(select_indices(0, 2), Vec::<usize>::new());
+        assert_eq!(select_indices(4, 0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn select_count_matches_sigma_on_trimmed_multiset() {
+        // After trimming, |set| = N − 2t; the number selected is
+        // ⌊(N−2t−1)/t⌋ + 1, which equals σ_t = ⌊(N−2t)/t⌋ + 1 except when t
+        // divides N−2t exactly (then it is σ_t − 1 — the convergence proof
+        // holds for either, and we follow the select definition).
+        for (n, t) in [(4usize, 1usize), (7, 2), (10, 3), (13, 4), (16, 3)] {
+            let count = select_indices(n - 2 * t, t).len();
+            let sig = sigma(n, t);
+            assert!(
+                count == sig || count + 1 == sig,
+                "N={n} t={t}: {count} vs σ={sig}"
+            );
+        }
+    }
+
+    #[test]
+    fn sigma_examples() {
+        assert_eq!(sigma(4, 1), 3); // ⌊2/1⌋+1
+        assert_eq!(sigma(10, 3), 2); // ⌊4/3⌋+1
+        assert_eq!(sigma(16, 3), 4); // ⌊10/3⌋+1
+        assert_eq!(sigma(5, 0), usize::MAX);
+    }
+
+    #[test]
+    fn reduce_ignores_t_outliers_per_side() {
+        // N=7, t=1: one arbitrarily-low and the average must stay within
+        // the correct values' range.
+        let votes: OrderedMultiset<Rank> = [-1e9, 10.0, 10.5, 11.0, 11.5, 12.0, 12.5]
+            .map(Rank::new)
+            .into_iter()
+            .collect();
+        let out = reduce(&votes, 1);
+        assert!(out >= Rank::new(10.0) && out <= Rank::new(12.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "more than 2t")]
+    fn reduce_rejects_too_few_votes() {
+        let votes: OrderedMultiset<Rank> = [1.0, 2.0].map(Rank::new).into_iter().collect();
+        let _ = reduce(&votes, 1);
+    }
+
+    #[test]
+    fn reduce_with_t_zero_is_plain_mean() {
+        let votes: OrderedMultiset<Rank> = [1.0, 2.0, 3.0].map(Rank::new).into_iter().collect();
+        assert_eq!(reduce(&votes, 0), Rank::new(2.0));
+    }
+
+    proptest! {
+        /// The reduction must always land inside the range of the values
+        /// that survive trimming — hence inside the correct values' range
+        /// whenever at most t votes per side are faulty.
+        #[test]
+        fn reduce_stays_in_trimmed_range(
+            values in proptest::collection::vec(-1e6f64..1e6, 4..40),
+            t in 0usize..5,
+        ) {
+            prop_assume!(values.len() > 2 * t);
+            let votes: OrderedMultiset<Rank> = values.iter().map(|&v| Rank::new(v)).collect();
+            let mut trimmed = votes.clone();
+            trimmed.trim(t);
+            let out = reduce(&votes, t);
+            prop_assert!(out >= trimmed.min().unwrap());
+            prop_assert!(out <= trimmed.max().unwrap());
+        }
+
+        /// Pairwise contraction (the heart of Lemma IV.8): two vote
+        /// multisets that share all but t elements reduce to values within
+        /// spread/σ of each other.
+        #[test]
+        fn reduce_contracts_pairwise(
+            common in proptest::collection::vec(-1e3f64..1e3, 5..30),
+            byz_a in -1e6f64..1e6,
+            byz_b in -1e6f64..1e6,
+        ) {
+            let t = 1usize;
+            let n = common.len() + t;
+            prop_assume!(n > 3 * t);
+            let mut a: OrderedMultiset<Rank> = common.iter().map(|&v| Rank::new(v)).collect();
+            let mut b = a.clone();
+            a.insert(Rank::new(byz_a));
+            b.insert(Rank::new(byz_b));
+            let (ra, rb) = (reduce(&a, t), reduce(&b, t));
+            let correct_spread = {
+                let ms: OrderedMultiset<Rank> = common.iter().map(|&v| Rank::new(v)).collect();
+                ms.max().unwrap().value() - ms.min().unwrap().value()
+            };
+            // The divisor in the proof of Lemma IV.8 is the number of
+            // selected elements c = |select_t(trimmed)|.
+            let c = select_indices(n - 2 * t, t).len() as f64;
+            prop_assert!(
+                ra.distance(rb) <= correct_spread / c + 1e-9,
+                "|{} - {}| > {}/{}", ra, rb, correct_spread, c
+            );
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! B3: bit-by-bit (interval-splitting) strong renaming for crash faults,
+//! after Chaudhuri–Herlihy–Tuttle.
+
+use opr_sim::{Actor, Inbox, Outbox, WireSize, ID_BITS, TAG_BITS};
+use opr_types::math::ceil_log2;
+use opr_types::{NewName, OriginalId, Round};
+
+/// Bits to encode an interval bound.
+const BOUND_BITS: u64 = 32;
+
+/// Messages of the CHT baseline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChtMsg {
+    /// Round 1: announce own id.
+    Id(OriginalId),
+    /// Rounds 2..: claim an interval of the target namespace.
+    Claim(OriginalId, i64, i64),
+}
+
+impl WireSize for ChtMsg {
+    fn wire_bits(&self) -> u64 {
+        match self {
+            ChtMsg::Id(_) => TAG_BITS + ID_BITS,
+            ChtMsg::Claim(..) => TAG_BITS + ID_BITS + 2 * BOUND_BITS,
+        }
+    }
+}
+
+/// A correct process of the CHT baseline.
+///
+/// Processes repeatedly announce `(id, interval)`; processes sharing an
+/// interval sort themselves by id and split the interval in half (the
+/// high-order-bit-first name construction of CHT), converging to singleton
+/// intervals in `⌈log₂ N⌉` splitting rounds. The final name is the interval's
+/// lower bound.
+///
+/// Fidelity: wait-free CHT tolerates crashes at any point; this simplified
+/// version is exercised under round-atomic crashes (a process is silent from
+/// some round onward), where views of each group stay consistent. It exists
+/// to reproduce the `O(log N)` round / strong-namespace *shape* the paper
+/// cites as \[6\].
+#[derive(Clone, Debug)]
+pub struct ChtRenaming {
+    my_id: OriginalId,
+    lo: i64,
+    hi: i64,
+    total_rounds: u32,
+    decided: Option<NewName>,
+}
+
+impl ChtRenaming {
+    /// Creates a correct process for a system of `n` processes.
+    pub fn new(n: usize, my_id: OriginalId) -> Self {
+        ChtRenaming {
+            my_id,
+            lo: 1,
+            hi: n as i64,
+            total_rounds: Self::total_rounds(n),
+            decided: None,
+        }
+    }
+
+    /// Total rounds: one id exchange plus `max(1, ⌈log₂ N⌉)` splits.
+    pub fn total_rounds(n: usize) -> u32 {
+        1 + ceil_log2(n).max(1)
+    }
+}
+
+impl Actor for ChtRenaming {
+    type Msg = ChtMsg;
+    type Output = NewName;
+
+    fn send(&mut self, round: Round) -> Outbox<ChtMsg> {
+        if round.number() == 1 {
+            Outbox::Broadcast(ChtMsg::Id(self.my_id))
+        } else if round.number() <= self.total_rounds {
+            Outbox::Broadcast(ChtMsg::Claim(self.my_id, self.lo, self.hi))
+        } else {
+            Outbox::Silent
+        }
+    }
+
+    fn deliver(&mut self, round: Round, inbox: Inbox<ChtMsg>) {
+        let r = round.number();
+        if r == 1 || r > self.total_rounds {
+            return; // round 1 only seeds the claim rounds; nothing to store
+        }
+        // Group: ids claiming exactly my interval (self included via the
+        // self-loop).
+        let mut group: Vec<OriginalId> = inbox
+            .messages()
+            .filter_map(|(_, m)| match m {
+                ChtMsg::Claim(id, lo, hi) if *lo == self.lo && *hi == self.hi => Some(*id),
+                _ => None,
+            })
+            .collect();
+        group.sort_unstable();
+        group.dedup();
+        if group.len() > 1 && self.lo < self.hi {
+            let g = group.len() as i64;
+            let left_size = (g + 1) / 2; // ⌈g/2⌉
+            let my_pos = group
+                .iter()
+                .position(|&id| id == self.my_id)
+                .expect("own claim is delivered on the self-loop") as i64;
+            if my_pos < left_size {
+                self.hi = self.lo + left_size - 1;
+            } else {
+                self.lo += left_size;
+            }
+            // Keep the interval well-formed even in degenerate groups.
+            self.hi = self.hi.max(self.lo);
+        }
+        if r == self.total_rounds {
+            self.decided = Some(NewName::new(self.lo));
+        }
+    }
+
+    fn output(&self) -> Option<NewName> {
+        self.decided
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opr_sim::{Network, Topology};
+    use opr_types::RenamingOutcome;
+
+    fn run_crash_free(n: usize, raw_ids: &[u64], seed: u64) -> RenamingOutcome {
+        let actors: Vec<Box<dyn Actor<Msg = ChtMsg, Output = NewName>>> = raw_ids
+            .iter()
+            .map(|&x| {
+                Box::new(ChtRenaming::new(n, OriginalId::new(x)))
+                    as Box<dyn Actor<Msg = ChtMsg, Output = NewName>>
+            })
+            .collect();
+        let mut net = Network::new(actors, Topology::seeded(n, seed));
+        let report = net.run(ChtRenaming::total_rounds(n));
+        assert!(report.completed);
+        RenamingOutcome::new(
+            raw_ids
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| (OriginalId::new(x), net.output_of(i))),
+        )
+    }
+
+    #[test]
+    fn crash_free_achieves_strong_namespace() {
+        for n in [2usize, 3, 4, 7, 8, 16] {
+            let ids: Vec<u64> = (0..n as u64).map(|i| 1000 - i * 17).collect();
+            let outcome = run_crash_free(n, &ids, n as u64);
+            let violations = outcome.verify(n as u64);
+            assert!(violations.is_empty(), "n={n}: {violations:?}");
+        }
+    }
+
+    #[test]
+    fn names_are_order_preserving_in_crash_free_runs() {
+        // CHT as implemented splits by id rank within each group, which in
+        // crash-free runs yields exactly the rank of the id — incidentally
+        // order-preserving. (Under crashes CHT loses order preservation,
+        // which is why the paper needs the AA machinery.)
+        let outcome = run_crash_free(5, &[50, 10, 40, 20, 30], 3);
+        assert_eq!(outcome.name_of(OriginalId::new(10)), Some(NewName::new(1)));
+        assert_eq!(outcome.name_of(OriginalId::new(50)), Some(NewName::new(5)));
+    }
+
+    #[test]
+    fn tolerates_processes_silent_from_the_start() {
+        // 2 of 7 processes crashed before the run: the 5 live ones must
+        // still get unique names within [1..7].
+        struct Dead;
+        impl Actor for Dead {
+            type Msg = ChtMsg;
+            type Output = NewName;
+            fn send(&mut self, _r: Round) -> Outbox<ChtMsg> {
+                Outbox::Silent
+            }
+            fn deliver(&mut self, _r: Round, _i: Inbox<ChtMsg>) {}
+            fn output(&self) -> Option<NewName> {
+                None
+            }
+        }
+        let n = 7;
+        let raw = [5u64, 10, 15, 20, 25];
+        let mut actors: Vec<Box<dyn Actor<Msg = ChtMsg, Output = NewName>>> =
+            vec![Box::new(Dead), Box::new(Dead)];
+        for &x in &raw {
+            actors.push(Box::new(ChtRenaming::new(n, OriginalId::new(x))));
+        }
+        let mut correct = vec![false, false];
+        correct.extend([true; 5]);
+        let mut net = Network::with_faults(actors, correct, Topology::seeded(n, 9));
+        assert!(net.run(ChtRenaming::total_rounds(n)).completed);
+        let outcome = RenamingOutcome::new(
+            raw.iter()
+                .enumerate()
+                .map(|(i, &x)| (OriginalId::new(x), net.output_of(i + 2))),
+        );
+        assert!(outcome.verify(n as u64).is_empty());
+    }
+
+    #[test]
+    fn round_budget_is_logarithmic_in_n() {
+        assert_eq!(ChtRenaming::total_rounds(2), 2);
+        assert_eq!(ChtRenaming::total_rounds(8), 4);
+        assert_eq!(ChtRenaming::total_rounds(9), 5);
+        assert_eq!(ChtRenaming::total_rounds(64), 7);
+    }
+}

@@ -1,0 +1,305 @@
+//! B1: crash-tolerant order-preserving renaming (Okun-style, simplified).
+
+use opr_sim::{Actor, Inbox, Outbox, WireSize, COUNT_BITS, ID_BITS, RANK_BITS, TAG_BITS};
+use opr_types::math::ceil_log2;
+use opr_types::{NewName, OriginalId, Rank, Round, SystemConfig};
+use std::collections::BTreeMap;
+
+/// Messages of the crash baseline.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CrashMsg {
+    /// Round 1: announce own id.
+    Id(OriginalId),
+    /// Rounds 2..: current rank array.
+    Ranks(Vec<(OriginalId, Rank)>),
+}
+
+impl WireSize for CrashMsg {
+    fn wire_bits(&self) -> u64 {
+        match self {
+            CrashMsg::Id(_) => TAG_BITS + ID_BITS,
+            CrashMsg::Ranks(entries) => {
+                TAG_BITS + COUNT_BITS + entries.len() as u64 * (ID_BITS + RANK_BITS)
+            }
+        }
+    }
+}
+
+/// Stretch factor applied to initial positions: integer spacing 2 keeps
+/// adjacent ids two units apart, so a final cross-process spread below 0.9
+/// still rounds `rank/2` to distinct, ordered names.
+const STRETCH: f64 = 2.0;
+
+/// A correct process of the crash baseline.
+///
+/// Round 1 exchanges ids; each process ranks the ids it saw by sorted
+/// position (stretched by 2). The following `⌈log₂ t⌉ + 3` rounds run
+/// midpoint approximate agreement per id; the final name is
+/// `round(rank/2)`.
+///
+/// In the crash model every correct id reaches every correct process in
+/// round 1, so all correct arrays rank all correct ids; only ids of
+/// processes that crashed *during* round 1 are partially known, which is
+/// exactly the discrepancy AA repairs.
+#[derive(Clone, Debug)]
+pub struct CrashAaRenaming {
+    my_id: OriginalId,
+    total_rounds: u32,
+    ranks: BTreeMap<OriginalId, Rank>,
+    decided: Option<NewName>,
+}
+
+impl CrashAaRenaming {
+    /// Creates a correct process; `cfg.t()` is read as the crash bound.
+    pub fn new(cfg: SystemConfig, my_id: OriginalId) -> Self {
+        CrashAaRenaming {
+            my_id,
+            total_rounds: Self::total_rounds(cfg.t()),
+            ranks: BTreeMap::new(),
+            decided: None,
+        }
+    }
+
+    /// Total rounds: one id exchange plus `⌈log₂ t⌉ + 3` AA rounds.
+    pub fn total_rounds(t: usize) -> u32 {
+        1 + ceil_log2(t) + 3
+    }
+}
+
+impl Actor for CrashAaRenaming {
+    type Msg = CrashMsg;
+    type Output = NewName;
+
+    fn send(&mut self, round: Round) -> Outbox<CrashMsg> {
+        if round.number() == 1 {
+            Outbox::Broadcast(CrashMsg::Id(self.my_id))
+        } else if round.number() <= self.total_rounds {
+            Outbox::Broadcast(CrashMsg::Ranks(
+                self.ranks.iter().map(|(&id, &r)| (id, r)).collect(),
+            ))
+        } else {
+            Outbox::Silent
+        }
+    }
+
+    fn deliver(&mut self, round: Round, inbox: Inbox<CrashMsg>) {
+        if round.number() == 1 {
+            let mut ids: Vec<OriginalId> = inbox
+                .messages()
+                .filter_map(|(_, m)| match m {
+                    CrashMsg::Id(id) => Some(*id),
+                    _ => None,
+                })
+                .collect();
+            ids.sort_unstable();
+            ids.dedup();
+            self.ranks = ids
+                .into_iter()
+                .enumerate()
+                .map(|(i, id)| (id, Rank::new((i + 1) as f64 * STRETCH)))
+                .collect();
+        } else if round.number() <= self.total_rounds {
+            // Midpoint AA per id over all received arrays plus our own.
+            let mut lo: BTreeMap<OriginalId, Rank> = self.ranks.clone();
+            let mut hi: BTreeMap<OriginalId, Rank> = self.ranks.clone();
+            for (_, msg) in inbox.messages() {
+                if let CrashMsg::Ranks(entries) = msg {
+                    for &(id, r) in entries {
+                        lo.entry(id)
+                            .and_modify(|cur| *cur = (*cur).min(r))
+                            .or_insert(r);
+                        hi.entry(id)
+                            .and_modify(|cur| *cur = (*cur).max(r))
+                            .or_insert(r);
+                    }
+                }
+            }
+            self.ranks = lo
+                .into_iter()
+                .map(|(id, l)| (id, l.midpoint(hi[&id])))
+                .collect();
+            if round.number() == self.total_rounds {
+                // A process whose own announcement never circulated (it
+                // crashed mid-broadcast before anyone heard it) has no rank;
+                // it is faulty by definition and simply never decides.
+                if let Some(own) = self.ranks.get(&self.my_id) {
+                    self.decided = Some(NewName::new((own.value() / STRETCH).round() as i64));
+                }
+            }
+        }
+    }
+
+    fn output(&self) -> Option<NewName> {
+        self.decided
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opr_sim::{Network, Topology};
+    use opr_types::RenamingOutcome;
+
+    /// A process that crashes after sending in `alive` rounds (possibly 0).
+    struct Crasher {
+        inner: CrashAaRenaming,
+        alive: u32,
+    }
+    impl Actor for Crasher {
+        type Msg = CrashMsg;
+        type Output = NewName;
+        fn send(&mut self, round: Round) -> Outbox<CrashMsg> {
+            if round.number() > self.alive {
+                Outbox::Silent
+            } else {
+                self.inner.send(round)
+            }
+        }
+        fn deliver(&mut self, round: Round, inbox: Inbox<CrashMsg>) {
+            self.inner.deliver(round, inbox);
+        }
+        fn output(&self) -> Option<NewName> {
+            None
+        }
+    }
+
+    /// A process that crashes *mid-broadcast* in round 1: its id reaches
+    /// only the first `reach` links — the worst case for rank discrepancy.
+    struct PartialAnnouncer {
+        my_id: OriginalId,
+        reach: usize,
+    }
+    impl Actor for PartialAnnouncer {
+        type Msg = CrashMsg;
+        type Output = NewName;
+        fn send(&mut self, round: Round) -> Outbox<CrashMsg> {
+            if round.number() == 1 {
+                Outbox::Multicast(
+                    (1..=self.reach)
+                        .map(|l| (opr_types::LinkId::new(l), CrashMsg::Id(self.my_id)))
+                        .collect(),
+                )
+            } else {
+                Outbox::Silent
+            }
+        }
+        fn deliver(&mut self, _round: Round, _inbox: Inbox<CrashMsg>) {}
+        fn output(&self) -> Option<NewName> {
+            None
+        }
+    }
+
+    fn verify_run(
+        cfg: SystemConfig,
+        actors: Vec<Box<dyn Actor<Msg = CrashMsg, Output = NewName>>>,
+        correct: Vec<bool>,
+        correct_ids: Vec<(usize, OriginalId)>,
+        seed: u64,
+    ) -> RenamingOutcome {
+        let rounds = CrashAaRenaming::total_rounds(cfg.t());
+        let mut net = Network::with_faults(actors, correct, Topology::seeded(cfg.n(), seed));
+        let report = net.run(rounds);
+        assert!(report.completed);
+        RenamingOutcome::new(
+            correct_ids
+                .into_iter()
+                .map(|(idx, id)| (id, net.output_of(idx))),
+        )
+    }
+
+    #[test]
+    fn crash_free_run_gives_exact_ranks() {
+        let cfg = SystemConfig::new(5, 1).unwrap();
+        let ids = [50u64, 10, 40, 20, 30];
+        let actors: Vec<Box<dyn Actor<Msg = CrashMsg, Output = NewName>>> = ids
+            .iter()
+            .map(|&x| {
+                Box::new(CrashAaRenaming::new(cfg, OriginalId::new(x)))
+                    as Box<dyn Actor<Msg = CrashMsg, Output = NewName>>
+            })
+            .collect();
+        let positions = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (i, OriginalId::new(x)))
+            .collect();
+        let outcome = verify_run(cfg, actors, vec![true; 5], positions, 1);
+        assert!(outcome.verify(5).is_empty());
+        assert_eq!(outcome.name_of(OriginalId::new(10)), Some(NewName::new(1)));
+        assert_eq!(outcome.name_of(OriginalId::new(50)), Some(NewName::new(5)));
+    }
+
+    #[test]
+    fn partial_round1_crash_is_repaired_by_aa() {
+        // One process's id reaches only 2 of 4 correct processes; the AA
+        // rounds must still produce consistent, ordered names.
+        let cfg = SystemConfig::new(5, 1).unwrap();
+        let correct_raw = [10u64, 20, 30, 40];
+        for seed in 0..8 {
+            let mut actors: Vec<Box<dyn Actor<Msg = CrashMsg, Output = NewName>>> =
+                vec![Box::new(PartialAnnouncer {
+                    my_id: OriginalId::new(25),
+                    reach: 2,
+                })];
+            for &x in &correct_raw {
+                actors.push(Box::new(CrashAaRenaming::new(cfg, OriginalId::new(x))));
+            }
+            let positions: Vec<(usize, OriginalId)> = correct_raw
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| (i + 1, OriginalId::new(x)))
+                .collect();
+            let mut correct = vec![false];
+            correct.extend([true; 4]);
+            let outcome = verify_run(cfg, actors, correct, positions, seed);
+            assert!(
+                outcome.verify(6).is_empty(),
+                "seed {seed}: {:?}",
+                outcome.verify(6)
+            );
+        }
+    }
+
+    #[test]
+    fn mid_protocol_crash_preserves_properties() {
+        let cfg = SystemConfig::new(6, 2).unwrap();
+        let correct_raw = [5u64, 15, 25, 35];
+        for alive in 0..4 {
+            let mut actors: Vec<Box<dyn Actor<Msg = CrashMsg, Output = NewName>>> = vec![
+                Box::new(Crasher {
+                    inner: CrashAaRenaming::new(cfg, OriginalId::new(100)),
+                    alive,
+                }),
+                Box::new(Crasher {
+                    inner: CrashAaRenaming::new(cfg, OriginalId::new(1)),
+                    alive: alive + 1,
+                }),
+            ];
+            for &x in &correct_raw {
+                actors.push(Box::new(CrashAaRenaming::new(cfg, OriginalId::new(x))));
+            }
+            let mut correct = vec![false, false];
+            correct.extend([true; 4]);
+            let positions = correct_raw
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| (i + 2, OriginalId::new(x)))
+                .collect();
+            let outcome = verify_run(cfg, actors, correct, positions, alive as u64);
+            // Namespace: N + crashed-but-visible ids.
+            assert!(
+                outcome.verify(cfg.n() as u64 + 2).is_empty(),
+                "alive={alive}: {:?}",
+                outcome.verify(cfg.n() as u64 + 2)
+            );
+        }
+    }
+
+    #[test]
+    fn round_budget_is_logarithmic_in_t() {
+        assert_eq!(CrashAaRenaming::total_rounds(0), 4);
+        assert_eq!(CrashAaRenaming::total_rounds(1), 4);
+        assert_eq!(CrashAaRenaming::total_rounds(4), 6);
+        assert_eq!(CrashAaRenaming::total_rounds(16), 8);
+    }
+}

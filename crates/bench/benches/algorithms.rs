@@ -1,0 +1,49 @@
+//! F5 — wall-clock scaling of every renaming implementation (whole
+//! simulated runs, worst adversary where applicable).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use opr_bench::BenchPoint;
+use std::hint::black_box;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("renaming");
+    for point in BenchPoint::standard() {
+        group.bench_function(point.label(), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(point.execute(seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Scaling of Algorithm 1 in N at a fixed t-ratio — the headline cost curve.
+fn bench_alg1_scaling(c: &mut Criterion) {
+    use opr_adversary::AdversarySpec;
+    use opr_types::SystemConfig;
+    use opr_workload::{Algorithm, IdDistribution};
+
+    let mut group = c.benchmark_group("alg1-scaling");
+    for n in [8usize, 16, 32, 64] {
+        let t = (n - 1) / 4;
+        group.bench_function(format!("N{n}t{t}"), |b| {
+            let cfg = SystemConfig::new(n, t).expect("legal");
+            let ids = IdDistribution::SparseRandom.generate(n - t, 7);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(
+                    Algorithm::Alg1LogTime
+                        .run(cfg, &ids, t, AdversarySpec::RankSkew, seed)
+                        .expect("run"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_alg1_scaling);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Micro-benchmarks of the approximate-agreement machinery: one DLPSW
+//! reduction, a full standalone AA round-trip, and one `approximate` voting
+//! step of Algorithm 3.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use opr_aa::{reduce, OrderedMultiset};
+use opr_core::ranks::{approximate, RankVector};
+use opr_types::{OriginalId, Rank};
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+fn bench_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduce");
+    for (n, t) in [(16usize, 5usize), (64, 21), (256, 85)] {
+        let votes: OrderedMultiset<Rank> = (0..n)
+            .map(|i| Rank::new((i as f64 * 31.7) % 97.0))
+            .collect();
+        group.bench_function(format!("N{n}t{t}"), |b| {
+            b.iter(|| black_box(reduce(&votes, t)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_approximate_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("approximate-step");
+    for (n, t) in [(16usize, 5usize), (64, 21)] {
+        // n processes each voting over an accepted set of n ids.
+        let accepted: BTreeSet<OriginalId> = (0..n as u64).map(OriginalId::new).collect();
+        let delta = 1.0 + 1.0 / (3.0 * (n + t) as f64);
+        let mine = RankVector::from_accepted(&accepted, delta);
+        let votes: Vec<RankVector> = (0..n)
+            .map(|k| {
+                accepted
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &id)| (id, Rank::new((i + 1) as f64 * delta + k as f64 * 1e-3)))
+                    .collect()
+            })
+            .collect();
+        group.bench_function(format!("N{n}t{t}"), |b| {
+            b.iter(|| black_box(approximate(&mine, &accepted, &votes, n, t)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_is_valid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("is-valid");
+    for n in [16usize, 64, 256] {
+        let timely: BTreeSet<OriginalId> = (0..n as u64).map(OriginalId::new).collect();
+        let delta = 1.0 + 1.0 / (3.0 * n as f64);
+        let ranks = RankVector::from_accepted(&timely, delta);
+        group.bench_function(format!("N{n}"), |b| {
+            b.iter(|| black_box(ranks.is_valid(&timely, delta)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_reduce,
+    bench_approximate_step,
+    bench_is_valid
+);
+criterion_main!(benches);

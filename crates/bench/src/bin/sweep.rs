@@ -1,0 +1,122 @@
+//! Parameterized sweep runner: measure any implementation across `(N, t)`
+//! grids, adversaries and seeds, emitting CSV for downstream analysis.
+//!
+//! ```text
+//! cargo run -p opr-bench --bin sweep -- --alg alg1-log --t 1..5 --seeds 10
+//! cargo run -p opr-bench --bin sweep -- --alg alg4-2step --t 1..4 --adversary fake-flood
+//! cargo run -p opr-bench --bin sweep -- --alg b2-consensus --t 1..6 --n-extra 4
+//! ```
+//!
+//! `N` defaults to each implementation's minimal legal value for the given
+//! `t` (plus `--n-extra`). Output columns: algorithm, adversary, N, t, seed,
+//! rounds, messages, bits, max-message-bits, max-name, violations.
+
+use opr_adversary::AdversarySpec;
+use opr_types::SystemConfig;
+use opr_workload::{Algorithm, IdDistribution};
+
+fn parse_range(s: &str) -> Option<(usize, usize)> {
+    if let Some((a, b)) = s.split_once("..") {
+        Some((a.parse().ok()?, b.parse().ok()?))
+    } else {
+        let v = s.parse().ok()?;
+        Some((v, v + 1))
+    }
+}
+
+fn algorithm_by_label(label: &str) -> Option<Algorithm> {
+    Algorithm::ALL.into_iter().find(|a| a.label() == label)
+}
+
+fn adversary_by_label(label: &str) -> Option<AdversarySpec> {
+    AdversarySpec::ALG1
+        .iter()
+        .chain(AdversarySpec::TWO_STEP.iter())
+        .copied()
+        .find(|s| s.label() == label)
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sweep --alg <label> [--t A..B] [--seeds K] [--adversary <label>] [--n-extra E]\n\
+         algorithms: {}\n\
+         adversaries: {}",
+        Algorithm::ALL.map(|a| a.label()).join(", "),
+        AdversarySpec::ALG1
+            .iter()
+            .chain(AdversarySpec::TWO_STEP.iter())
+            .map(|s| s.label())
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut alg: Option<Algorithm> = None;
+    let mut t_range = (1usize, 4usize);
+    let mut seeds = 3u64;
+    let mut adversary: Option<AdversarySpec> = None;
+    let mut n_extra = 0usize;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--alg" => alg = it.next().and_then(|v| algorithm_by_label(v)),
+            "--t" => {
+                t_range = it
+                    .next()
+                    .and_then(|v| parse_range(v))
+                    .unwrap_or_else(|| usage())
+            }
+            "--seeds" => {
+                seeds = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--adversary" => adversary = it.next().and_then(|v| adversary_by_label(v)),
+            "--n-extra" => {
+                n_extra = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            _ => usage(),
+        }
+    }
+    let Some(alg) = alg else { usage() };
+    let spec = adversary.unwrap_or(if alg.byzantine_suite_applicable() {
+        AdversarySpec::IdForge
+    } else {
+        AdversarySpec::Silent
+    });
+
+    println!("algorithm,adversary,N,t,seed,rounds,messages,bits,max-msg-bits,max-name,violations");
+    for t in t_range.0..t_range.1 {
+        let n = alg.minimal_n(t) + n_extra;
+        let Ok(cfg) = SystemConfig::new(n, t) else {
+            continue;
+        };
+        for seed in 0..seeds {
+            let ids = IdDistribution::SparseRandom.generate(n - t, seed * 7 + 1);
+            match alg.run(cfg, &ids, t, spec, seed) {
+                Ok(stats) => println!(
+                    "{},{},{},{},{},{},{},{},{},{},{}",
+                    alg.label(),
+                    stats.adversary,
+                    n,
+                    t,
+                    seed,
+                    stats.rounds,
+                    stats.messages,
+                    stats.bits,
+                    stats.max_message_bits,
+                    stats.max_name.unwrap_or(-1),
+                    stats.violations,
+                ),
+                Err(e) => eprintln!("# {} N={n} t={t} seed={seed}: {e}", alg.label()),
+            }
+        }
+    }
+}

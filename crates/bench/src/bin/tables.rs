@@ -1,0 +1,67 @@
+//! Regenerates every experiment table/figure series from DESIGN.md §3.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p opr-bench --bin tables            # all experiments, markdown
+//! cargo run -p opr-bench --bin tables -- t1 f3   # a subset
+//! cargo run -p opr-bench --bin tables -- --csv   # CSV instead of markdown
+//! ```
+
+use opr_workload::experiments;
+use opr_workload::ExperimentTable;
+
+fn generate(id: &str) -> Option<ExperimentTable> {
+    match id {
+        "t1" => Some(experiments::t1::run()),
+        "t2" => Some(experiments::t2::run()),
+        "t3" => Some(experiments::t3::run()),
+        "t4" => Some(experiments::t4::run()),
+        "t5" => Some(experiments::t5::run()),
+        "f1" => Some(experiments::f1::run()),
+        "f2" => Some(experiments::f2::run()),
+        "f3" => Some(experiments::f3::run()),
+        "f4" => Some(experiments::f4::run()),
+        "a1" => Some(experiments::a1::run()),
+        "a2" => Some(experiments::a2::run()),
+        "a3" => Some(experiments::a3::run()),
+        "e1" => Some(experiments::e1::run()),
+        _ => None,
+    }
+}
+
+const ALL_IDS: [&str; 13] = [
+    "t1", "t2", "t3", "t4", "t5", "f1", "f2", "f3", "f4", "a1", "a2", "a3", "e1",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let requested: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let ids: Vec<&str> = if requested.is_empty() {
+        ALL_IDS.to_vec()
+    } else {
+        requested
+    };
+    for id in ids {
+        match generate(&id.to_lowercase()) {
+            Some(table) => {
+                if csv {
+                    println!("# {} — {}", table.id, table.title);
+                    println!("{}", table.to_csv());
+                } else {
+                    println!("{}", table.to_markdown());
+                }
+                println!();
+            }
+            None => {
+                eprintln!("unknown experiment id {id:?}; known: {ALL_IDS:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

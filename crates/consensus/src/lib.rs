@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+//! Synchronous Byzantine consensus — the substrate of the consensus-based
+//! renaming baseline (B2).
+//!
+//! The paper argues (Sections I and III) that renaming *via consensus* is
+//! viable in synchronous systems but needs `Ω(t)` rounds, whereas its own
+//! algorithms need `O(log t)` or `O(1)`. To reproduce that comparison we
+//! implement the classic **phase-king** protocol (Berman & Garay): `t + 1`
+//! phases of two rounds each — a universal exchange followed by a king
+//! broadcast — deciding after `2(t + 1)` rounds.
+//!
+//! # Model substitution (documented in DESIGN.md)
+//!
+//! Phase king requires a rotating, globally-agreed king, i.e. globally
+//! consistent process numbering — which the paper's model deliberately lacks
+//! (a receiver knows only local link labels). We grant the baseline this
+//! *extra power*; it is used purely as a round/message-cost comparator, and
+//! the gift only makes the baseline look better. The simple two-round phase
+//! king also requires `N ≥ 4t + 2` rather than the optimal `N > 3t`;
+//! baseline sweeps use `N = max(4t + 2, …)` accordingly.
+//!
+//! # Pieces
+//!
+//! * [`VectorPhaseKing`] — phase king run over a dynamic *vector* of binary
+//!   instances keyed by an ordered value type. Baseline B2 uses one instance
+//!   per candidate id to agree on the final id set.
+//! * [`binary`] — convenience constructor for a single-instance (plain
+//!   binary consensus) configuration, used heavily in tests.
+
+pub mod phase_king;
+
+pub use phase_king::{binary, king_links_for, ConsensusMsg, Unit, VectorPhaseKing};

@@ -1,0 +1,423 @@
+//! Phase-king consensus over a vector of binary instances.
+
+use opr_sim::{Actor, Inbox, Outbox, WireSize, COUNT_BITS, TAG_BITS};
+use opr_types::Round;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Debug;
+
+/// Phase-king messages: the universal exchange and the king broadcast, each
+/// carrying one bit per live instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConsensusMsg<V> {
+    /// Odd rounds: every process's current preferences.
+    Pref(BTreeMap<V, bool>),
+    /// Even rounds: the phase king's preferences.
+    King(BTreeMap<V, bool>),
+}
+
+impl<V: WireSize> WireSize for ConsensusMsg<V> {
+    fn wire_bits(&self) -> u64 {
+        let map = match self {
+            ConsensusMsg::Pref(m) | ConsensusMsg::King(m) => m,
+        };
+        TAG_BITS + COUNT_BITS + map.keys().map(|v| v.wire_bits() + 1).sum::<u64>()
+    }
+}
+
+/// A correct phase-king participant deciding a set of values: one binary
+/// consensus instance per key, all advancing in lock-step.
+///
+/// Instances are created lazily: a key first seen in another process's
+/// message joins with preference `false`. This keeps the key universe open
+/// (processes need not agree beforehand on which candidate ids exist) while
+/// preserving validity for keys all correct processes start with.
+///
+/// Decides after `2(t + 1)` rounds with the set of keys whose instance
+/// decided `true`.
+#[derive(Clone, Debug)]
+pub struct VectorPhaseKing<V> {
+    n: usize,
+    t: usize,
+    /// This process's position in the (globally consistent, granted) king
+    /// rotation: process `k` is king of phase `k + 1`.
+    my_index: usize,
+    /// `king_links[k]` = the local link label on which messages from the
+    /// process at rotation position `k` arrive (self-loop for `my_index`).
+    /// This encodes the granted global numbering: without it a Byzantine
+    /// process could impersonate the king (see the module docs).
+    king_links: Vec<opr_types::LinkId>,
+    prefs: BTreeMap<V, bool>,
+    /// Majority-count per key from the last universal exchange.
+    counts: BTreeMap<V, usize>,
+    decided: Option<BTreeSet<V>>,
+}
+
+impl<V: Ord + Clone + Debug> VectorPhaseKing<V> {
+    /// Creates a participant with initial `true` preferences for
+    /// `initial_true`, the given rotation position, and the link map that
+    /// identifies each rotation position's incoming link (`king_links[k]` is
+    /// the link messages from rotation position `k` arrive on).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n ≥ 4t + 2` (the resilience this two-round phase king
+    /// needs), `my_index < n`, and `king_links` covers all `n` positions.
+    pub fn new(
+        n: usize,
+        t: usize,
+        my_index: usize,
+        king_links: Vec<opr_types::LinkId>,
+        initial_true: BTreeSet<V>,
+    ) -> Self {
+        assert!(
+            n >= 4 * t + 2,
+            "phase king needs N ≥ 4t + 2 (got N={n}, t={t})"
+        );
+        assert!(my_index < n, "rotation position out of range");
+        assert_eq!(king_links.len(), n, "king_links must cover all positions");
+        VectorPhaseKing {
+            n,
+            t,
+            my_index,
+            king_links,
+            prefs: initial_true.into_iter().map(|v| (v, true)).collect(),
+            counts: BTreeMap::new(),
+            decided: None,
+        }
+    }
+
+    /// Total rounds until decision: `2(t + 1)`.
+    pub fn total_rounds(n_unused: usize, t: usize) -> u32 {
+        let _ = n_unused;
+        2 * (t as u32 + 1)
+    }
+
+    fn phase_of(round: Round) -> usize {
+        ((round.number() - 1) / 2 + 1) as usize
+    }
+
+    fn is_exchange_round(round: Round) -> bool {
+        round.number() % 2 == 1
+    }
+}
+
+impl<V: Ord + Clone + Debug + WireSize> Actor for VectorPhaseKing<V> {
+    type Msg = ConsensusMsg<V>;
+    type Output = BTreeSet<V>;
+
+    fn send(&mut self, round: Round) -> Outbox<ConsensusMsg<V>> {
+        if self.decided.is_some() {
+            return Outbox::Silent;
+        }
+        if Self::is_exchange_round(round) {
+            Outbox::Broadcast(ConsensusMsg::Pref(self.prefs.clone()))
+        } else if Self::phase_of(round) == self.my_index + 1 {
+            Outbox::Broadcast(ConsensusMsg::King(self.prefs.clone()))
+        } else {
+            Outbox::Silent
+        }
+    }
+
+    fn deliver(&mut self, round: Round, inbox: Inbox<ConsensusMsg<V>>) {
+        if self.decided.is_some() {
+            return;
+        }
+        if Self::is_exchange_round(round) {
+            // Universal exchange: adopt the majority per key; remember its
+            // support count for the king round's threshold test.
+            let mut trues: BTreeMap<V, usize> = BTreeMap::new();
+            let mut votes: BTreeMap<V, usize> = BTreeMap::new();
+            for (_, msg) in inbox.messages() {
+                if let ConsensusMsg::Pref(map) = msg {
+                    for (v, &b) in map {
+                        *votes.entry(v.clone()).or_insert(0) += 1;
+                        if b {
+                            *trues.entry(v.clone()).or_insert(0) += 1;
+                        }
+                    }
+                }
+            }
+            self.counts.clear();
+            for (v, total) in votes {
+                let yes = trues.get(&v).copied().unwrap_or(0);
+                // Keys we have never seen join with pref=false implicitly.
+                // Absent senders count as false votes: the majority is over
+                // all N processes, with silence read as false.
+                let no = self.n - yes;
+                let _ = total;
+                let (maj, cnt) = if yes >= no { (true, yes) } else { (false, no) };
+                self.prefs.insert(v.clone(), maj);
+                self.counts.insert(v, cnt);
+            }
+        } else {
+            // King round: adopt the king's bit wherever our own support was
+            // below the safety threshold n/2 + t + 1. Only the message from
+            // the current phase king's own link counts — anything else is an
+            // impersonation attempt and is ignored.
+            let threshold = self.n / 2 + self.t + 1;
+            let king_link = self.king_links[Self::phase_of(round) - 1];
+            let king_map: Option<&BTreeMap<V, bool>> =
+                inbox.from_link(king_link).and_then(|msg| match msg {
+                    ConsensusMsg::King(m) => Some(m),
+                    _ => None,
+                });
+            let keys: Vec<V> = self.prefs.keys().cloned().collect();
+            for v in keys {
+                let supported = self.counts.get(&v).copied().unwrap_or(0) >= threshold;
+                if !supported {
+                    let king_bit = king_map.and_then(|m| m.get(&v).copied()).unwrap_or(false);
+                    self.prefs.insert(v, king_bit);
+                }
+            }
+            // Also adopt king-only keys (instances we have never heard of).
+            if let Some(m) = king_map {
+                for (v, &b) in m {
+                    self.prefs.entry(v.clone()).or_insert(b);
+                }
+            }
+            if Self::phase_of(round) == self.t + 1 {
+                self.decided = Some(
+                    self.prefs
+                        .iter()
+                        .filter(|(_, &b)| b)
+                        .map(|(v, _)| v.clone())
+                        .collect(),
+                );
+            }
+        }
+    }
+
+    fn output(&self) -> Option<BTreeSet<V>> {
+        self.decided.clone()
+    }
+}
+
+/// A single-instance (binary) phase-king participant: decides `{Unit}` for
+/// `true` or `{}` for `false`. See [`VectorPhaseKing::new`] for the
+/// `king_links` parameter.
+pub fn binary(
+    n: usize,
+    t: usize,
+    my_index: usize,
+    king_links: Vec<opr_types::LinkId>,
+    input: bool,
+) -> VectorPhaseKing<Unit> {
+    let initial = if input {
+        BTreeSet::from([Unit])
+    } else {
+        BTreeSet::new()
+    };
+    VectorPhaseKing::new(n, t, my_index, king_links, initial)
+}
+
+/// Builds the `king_links` vector for process `me` from a topology — the
+/// harness-side embodiment of the granted global numbering.
+pub fn king_links_for(topology: &opr_sim::Topology, me: usize) -> Vec<opr_types::LinkId> {
+    (0..topology.n())
+        .map(|k| {
+            topology.incoming_label(
+                opr_types::ProcessIndex::new(me),
+                opr_types::ProcessIndex::new(k),
+            )
+        })
+        .collect()
+}
+
+/// Key type for [`binary`] consensus (a unit that satisfies the wire-size
+/// bound of one bit-carrying key).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Unit;
+
+impl WireSize for Unit {
+    fn wire_bits(&self) -> u64 {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opr_sim::{Network, Topology};
+    use opr_types::Round as R;
+
+    type Msg = ConsensusMsg<Unit>;
+    type Out = BTreeSet<Unit>;
+
+    /// Byzantine strategy for tests: equivocates prefs and lies as king.
+    struct Liar {
+        n: usize,
+    }
+    impl Actor for Liar {
+        type Msg = Msg;
+        type Output = Out;
+        fn send(&mut self, round: R) -> Outbox<Msg> {
+            // Send `true` to odd links, `false` to even links, every round,
+            // and claim kingship messages whenever possible.
+            let make = |b: bool, king: bool| {
+                let map = BTreeMap::from([(Unit, b)]);
+                if king {
+                    ConsensusMsg::King(map)
+                } else {
+                    ConsensusMsg::Pref(map)
+                }
+            };
+            let king_round = round.number() % 2 == 0;
+            Outbox::Multicast(
+                (1..=self.n)
+                    .map(|l| (opr_types::LinkId::new(l), make(l % 2 == 0, king_round)))
+                    .collect(),
+            )
+        }
+        fn deliver(&mut self, _round: R, _inbox: Inbox<Msg>) {}
+        fn output(&self) -> Option<Out> {
+            None
+        }
+    }
+
+    fn run_binary(n: usize, t: usize, inputs: &[Option<bool>], seed: u64) -> Vec<Option<bool>> {
+        assert_eq!(inputs.len(), n);
+        let topo = Topology::seeded(n, seed);
+        let mut actors: Vec<Box<dyn Actor<Msg = Msg, Output = Out>>> = Vec::new();
+        let mut correct = Vec::new();
+        for (i, input) in inputs.iter().enumerate() {
+            match input {
+                Some(b) => {
+                    actors.push(Box::new(binary(n, t, i, king_links_for(&topo, i), *b)));
+                    correct.push(true);
+                }
+                None => {
+                    actors.push(Box::new(Liar { n }));
+                    correct.push(false);
+                }
+            }
+        }
+        let mut net = Network::with_faults(actors, correct.clone(), topo);
+        let rounds = VectorPhaseKing::<Unit>::total_rounds(n, t);
+        let report = net.run(rounds);
+        assert!(
+            report.completed,
+            "consensus must terminate in 2(t+1) rounds"
+        );
+        assert_eq!(report.rounds_executed, rounds);
+        (0..n)
+            .map(|i| {
+                if correct[i] {
+                    Some(net.output_of(i).map(|s| s.contains(&Unit)).unwrap())
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn unanimous_inputs_decide_that_value() {
+        for value in [true, false] {
+            let n = 6;
+            let inputs = vec![Some(value); n];
+            let outs = run_binary(n, 1, &inputs, 5);
+            for o in outs.into_iter().flatten() {
+                assert_eq!(o, value, "validity violated");
+            }
+        }
+    }
+
+    #[test]
+    fn agreement_under_split_inputs_and_byzantine_king() {
+        // N = 6, t = 1: the liar occupies rotation slot 0, so it is king of
+        // phase 1 and lies; phase 2's king is correct and forces agreement.
+        let n = 6;
+        let inputs = vec![
+            None,
+            Some(true),
+            Some(false),
+            Some(true),
+            Some(false),
+            Some(true),
+        ];
+        for seed in 0..10 {
+            let outs = run_binary(n, 1, &inputs, seed);
+            let decided: Vec<bool> = outs.into_iter().flatten().collect();
+            assert_eq!(decided.len(), 5);
+            assert!(
+                decided.iter().all(|&b| b == decided[0]),
+                "agreement violated: {decided:?} (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn agreement_with_byzantine_in_every_rotation_slot() {
+        let n = 10;
+        let t = 2;
+        for byz_slots in [[0usize, 1], [1, 2], [0, 2]] {
+            let inputs: Vec<Option<bool>> = (0..n)
+                .map(|i| {
+                    if byz_slots.contains(&i) {
+                        None
+                    } else {
+                        Some(i % 2 == 0)
+                    }
+                })
+                .collect();
+            let outs = run_binary(n, t, &inputs, 77);
+            let decided: Vec<bool> = outs.into_iter().flatten().collect();
+            assert!(decided.iter().all(|&b| b == decided[0]), "{decided:?}");
+        }
+    }
+
+    #[test]
+    fn vector_instances_decide_correct_ids() {
+        // All correct processes propose {1, 2}; nobody proposes 9. The
+        // decided set must contain 1 and 2 (validity) and the correct
+        // processes must agree exactly.
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+        struct K(u8);
+        impl WireSize for K {
+            fn wire_bits(&self) -> u64 {
+                8
+            }
+        }
+        let n = 6;
+        let t = 1;
+        let topo = Topology::seeded(n, 2);
+        let mut actors: Vec<Box<dyn Actor<Msg = ConsensusMsg<K>, Output = BTreeSet<K>>>> =
+            Vec::new();
+        for i in 0..n {
+            actors.push(Box::new(VectorPhaseKing::new(
+                n,
+                t,
+                i,
+                king_links_for(&topo, i),
+                BTreeSet::from([K(1), K(2)]),
+            )));
+        }
+        let mut net = Network::new(actors, topo);
+        net.run(VectorPhaseKing::<K>::total_rounds(n, t));
+        let first = net.output_of(0).unwrap();
+        assert_eq!(first, BTreeSet::from([K(1), K(2)]));
+        for i in 1..n {
+            assert_eq!(net.output_of(i).unwrap(), first);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "4t + 2")]
+    fn rejects_insufficient_resilience() {
+        let links = (1..=5).map(opr_types::LinkId::new).collect();
+        let _ = binary(5, 1, 0, links, true);
+    }
+
+    #[test]
+    fn total_rounds_is_linear_in_t() {
+        assert_eq!(VectorPhaseKing::<Unit>::total_rounds(10, 0), 2);
+        assert_eq!(VectorPhaseKing::<Unit>::total_rounds(10, 2), 6);
+        assert_eq!(VectorPhaseKing::<Unit>::total_rounds(42, 10), 22);
+    }
+
+    #[test]
+    fn message_size_counts_keys() {
+        let m: ConsensusMsg<Unit> = ConsensusMsg::Pref(BTreeMap::from([(Unit, true)]));
+        assert!(m.wire_bits() > 0);
+    }
+}

@@ -1,0 +1,329 @@
+//! Rank vectors, the `isValid` filter (Algorithm 2) and the per-step
+//! approximation (Algorithm 3).
+
+use opr_aa::{reduce, OrderedMultiset};
+use opr_types::{OriginalId, Rank};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A process's current rank for every id it tracks — the paper's `ranks`
+/// sparse array. Iteration is always in ascending id order.
+///
+/// # Example
+///
+/// ```
+/// use opr_core::RankVector;
+/// use opr_types::OriginalId;
+/// use std::collections::BTreeSet;
+///
+/// let accepted: BTreeSet<OriginalId> =
+///     [5u64, 9, 2].iter().map(|&x| OriginalId::new(x)).collect();
+/// let delta = 1.01;
+/// let ranks = RankVector::from_accepted(&accepted, delta);
+/// // Ranks are the 1-based positions in id order, stretched by δ.
+/// assert_eq!(ranks.get(OriginalId::new(2)).unwrap().value(), delta);
+/// assert_eq!(ranks.get(OriginalId::new(9)).unwrap().value(), 3.0 * delta);
+/// ```
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct RankVector {
+    entries: BTreeMap<OriginalId, Rank>,
+}
+
+impl RankVector {
+    /// An empty vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Initial ranks after id selection (Algorithm 1, lines 26–28): the
+    /// 1-based position of each accepted id, stretched by `delta`.
+    pub fn from_accepted(accepted: &BTreeSet<OriginalId>, delta: f64) -> Self {
+        let entries = accepted
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, Rank::from_position(i + 1, delta)))
+            .collect();
+        RankVector { entries }
+    }
+
+    /// The rank of `id`, if tracked.
+    pub fn get(&self, id: OriginalId) -> Option<Rank> {
+        self.entries.get(&id).copied()
+    }
+
+    /// Sets the rank of `id`.
+    pub fn insert(&mut self, id: OriginalId, rank: Rank) {
+        self.entries.insert(id, rank);
+    }
+
+    /// Whether `id` is tracked.
+    pub fn contains(&self, id: OriginalId) -> bool {
+        self.entries.contains_key(&id)
+    }
+
+    /// Number of tracked ids.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no ids are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(id, rank)` pairs in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = (OriginalId, Rank)> + '_ {
+        self.entries.iter().map(|(&id, &r)| (id, r))
+    }
+
+    /// Serializes for the wire (ascending id order).
+    pub fn to_wire(&self) -> Vec<(OriginalId, Rank)> {
+        self.iter().collect()
+    }
+
+    /// Parses a received vote vector. Returns `None` if the sender supplied
+    /// duplicate ids — such a message is malformed and treated as invalid.
+    pub fn from_wire(entries: &[(OriginalId, Rank)]) -> Option<Self> {
+        let mut map = BTreeMap::new();
+        for &(id, rank) in entries {
+            if map.insert(id, rank).is_some() {
+                return None;
+            }
+        }
+        Some(RankVector { entries: map })
+    }
+
+    /// The `isValid` check (Algorithm 2): this vector is an acceptable vote
+    /// with respect to the receiver's `timely` set iff it ranks **every**
+    /// timely id and consecutive timely ids are spaced by at least
+    /// `spacing` (= δ) in id order.
+    ///
+    /// Consecutive spacing implies the paper's all-pairs condition by
+    /// transitivity. Rank comparisons use [`Rank::EPS`] tolerance so
+    /// correct votes are never rejected over floating-point dust
+    /// (Lemma IV.4 must hold in the implementation, not only on paper).
+    pub fn is_valid(&self, timely: &BTreeSet<OriginalId>, spacing: f64) -> bool {
+        let mut prev: Option<Rank> = None;
+        for &id in timely {
+            let Some(rank) = self.get(id) else {
+                return false;
+            };
+            if let Some(p) = prev {
+                if !p.spaced_at_least(rank, spacing) {
+                    return false;
+                }
+            }
+            prev = Some(rank);
+        }
+        true
+    }
+
+    /// The largest rank tracked, if any.
+    pub fn max_rank(&self) -> Option<Rank> {
+        self.entries.values().max().copied()
+    }
+}
+
+impl FromIterator<(OriginalId, Rank)> for RankVector {
+    fn from_iter<I: IntoIterator<Item = (OriginalId, Rank)>>(iter: I) -> Self {
+        RankVector {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// One voting step (Algorithm 3, `approximate`): for each accepted id,
+/// gather the validated votes, drop ids with fewer than `N − t` votes, pad
+/// each multiset to `N` votes with our own rank, trim `t` per side, select
+/// and average.
+///
+/// Returns the new rank vector together with the surviving accepted set.
+///
+/// # Panics
+///
+/// Panics if `my_ranks` is missing an accepted id that survives the vote
+/// threshold — an internal-invariant breach (correct processes always rank
+/// their whole accepted set).
+pub fn approximate(
+    my_ranks: &RankVector,
+    accepted: &BTreeSet<OriginalId>,
+    valid_votes: &[RankVector],
+    n: usize,
+    t: usize,
+) -> (RankVector, BTreeSet<OriginalId>) {
+    let mut new_ranks = RankVector::new();
+    let mut new_accepted = BTreeSet::new();
+    for &id in accepted {
+        let mut votes: OrderedMultiset<Rank> =
+            valid_votes.iter().filter_map(|r| r.get(id)).collect();
+        if votes.len() < n - t {
+            continue; // discard this id (Algorithm 3, line 08)
+        }
+        let own = my_ranks
+            .get(id)
+            .expect("correct process must rank every accepted id");
+        votes.fill_to(n, own);
+        new_ranks.insert(id, reduce(&votes, t));
+        new_accepted.insert(id);
+    }
+    (new_ranks, new_accepted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(raw: &[u64]) -> BTreeSet<OriginalId> {
+        raw.iter().map(|&x| OriginalId::new(x)).collect()
+    }
+
+    fn vector(pairs: &[(u64, f64)]) -> RankVector {
+        pairs
+            .iter()
+            .map(|&(id, r)| (OriginalId::new(id), Rank::new(r)))
+            .collect()
+    }
+
+    #[test]
+    fn from_accepted_assigns_stretched_positions() {
+        let delta = 1.0 + 1.0 / 39.0;
+        let ranks = RankVector::from_accepted(&ids(&[100, 7, 42]), delta);
+        assert_eq!(ranks.get(OriginalId::new(7)), Some(Rank::new(delta)));
+        assert_eq!(ranks.get(OriginalId::new(42)), Some(Rank::new(2.0 * delta)));
+        assert_eq!(
+            ranks.get(OriginalId::new(100)),
+            Some(Rank::new(3.0 * delta))
+        );
+        assert_eq!(ranks.len(), 3);
+    }
+
+    #[test]
+    fn own_initial_ranks_are_always_valid() {
+        // Lemma IV.4 base case: ranks built by from_accepted pass isValid
+        // against any subset of the accepted set.
+        let delta = 1.0 + 1.0 / 33.0;
+        let accepted = ids(&[1, 5, 9, 12, 30]);
+        let ranks = RankVector::from_accepted(&accepted, delta);
+        assert!(ranks.is_valid(&accepted, delta));
+        assert!(ranks.is_valid(&ids(&[1, 9, 30]), delta));
+        assert!(ranks.is_valid(&BTreeSet::new(), delta));
+    }
+
+    #[test]
+    fn is_valid_rejects_missing_timely_id() {
+        let ranks = vector(&[(1, 1.0), (3, 2.5)]);
+        assert!(!ranks.is_valid(&ids(&[1, 2, 3]), 1.0));
+    }
+
+    #[test]
+    fn is_valid_rejects_insufficient_spacing() {
+        let ranks = vector(&[(1, 1.0), (2, 1.5)]);
+        assert!(!ranks.is_valid(&ids(&[1, 2]), 1.0));
+        // And accepts exact spacing.
+        let ok = vector(&[(1, 1.0), (2, 2.0)]);
+        assert!(ok.is_valid(&ids(&[1, 2]), 1.0));
+    }
+
+    #[test]
+    fn is_valid_rejects_inverted_order() {
+        // Larger id with smaller rank: spacing is negative.
+        let ranks = vector(&[(1, 5.0), (2, 1.0)]);
+        assert!(!ranks.is_valid(&ids(&[1, 2]), 1.0));
+    }
+
+    #[test]
+    fn is_valid_checks_containment_even_for_singleton_timely() {
+        // Stricter than the paper's pair-only loop, harmless for correct
+        // senders (their votes rank the whole accepted ⊇ timely set).
+        let ranks = vector(&[(1, 1.0)]);
+        assert!(ranks.is_valid(&ids(&[1]), 1.0));
+        assert!(!ranks.is_valid(&ids(&[2]), 1.0));
+    }
+
+    #[test]
+    fn from_wire_rejects_duplicates() {
+        let id = OriginalId::new(4);
+        let wire = vec![(id, Rank::new(1.0)), (id, Rank::new(2.0))];
+        assert!(RankVector::from_wire(&wire).is_none());
+        let ok = vec![(id, Rank::new(1.0)), (OriginalId::new(5), Rank::new(2.0))];
+        assert_eq!(RankVector::from_wire(&ok).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_order() {
+        let v = vector(&[(9, 3.0), (1, 1.0), (5, 2.0)]);
+        let wire = v.to_wire();
+        assert!(wire.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(RankVector::from_wire(&wire).unwrap(), v);
+    }
+
+    #[test]
+    fn approximate_unanimous_votes_are_fixed_point() {
+        let (n, t) = (4usize, 1usize);
+        let accepted = ids(&[1, 2, 3, 4]);
+        let mine = RankVector::from_accepted(&accepted, 1.01);
+        let votes = vec![mine.clone(), mine.clone(), mine.clone(), mine.clone()];
+        let (new_ranks, new_accepted) = approximate(&mine, &accepted, &votes, n, t);
+        assert_eq!(new_accepted, accepted);
+        for (id, rank) in new_ranks.iter() {
+            assert!(rank.distance(mine.get(id).unwrap()) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn approximate_drops_ids_below_vote_threshold() {
+        let (n, t) = (4usize, 1usize);
+        let accepted = ids(&[1, 2]);
+        let mine = vector(&[(1, 1.0), (2, 2.0)]);
+        // Only 2 votes rank id 2 (need N−t = 3).
+        let votes = vec![
+            vector(&[(1, 1.0), (2, 2.0)]),
+            vector(&[(1, 1.1), (2, 2.1)]),
+            vector(&[(1, 0.9)]),
+            vector(&[(1, 1.0)]),
+        ];
+        let (new_ranks, new_accepted) = approximate(&mine, &accepted, &votes, n, t);
+        assert!(new_accepted.contains(&OriginalId::new(1)));
+        assert!(!new_accepted.contains(&OriginalId::new(2)));
+        assert!(!new_ranks.contains(OriginalId::new(2)));
+    }
+
+    #[test]
+    fn approximate_outputs_stay_in_correct_range() {
+        let (n, t) = (4usize, 1usize);
+        let accepted = ids(&[7]);
+        let mine = vector(&[(7, 5.0)]);
+        // Three correct-ish votes in [4.9, 5.1], one Byzantine outlier.
+        let votes = vec![
+            vector(&[(7, 4.9)]),
+            vector(&[(7, 5.0)]),
+            vector(&[(7, 5.1)]),
+            vector(&[(7, 1000.0)]),
+        ];
+        let (new_ranks, _) = approximate(&mine, &accepted, &votes, n, t);
+        let out = new_ranks.get(OriginalId::new(7)).unwrap();
+        assert!(out >= Rank::new(4.9) && out <= Rank::new(5.1), "{out}");
+    }
+
+    #[test]
+    fn approximate_preserves_delta_spacing_between_timely_ids() {
+        // Lemma A.3: if all valid votes space two ids by ≥ δ, the averages
+        // stay spaced by ≥ δ.
+        let (n, t) = (4usize, 1usize);
+        let delta = 1.0;
+        let accepted = ids(&[1, 2]);
+        let mine = vector(&[(1, 1.0), (2, 2.5)]);
+        let votes = vec![
+            vector(&[(1, 1.0), (2, 2.5)]),
+            vector(&[(1, 1.4), (2, 2.4)]),
+            vector(&[(1, 0.8), (2, 1.9)]),
+            vector(&[(1, 1.2), (2, 2.2)]),
+        ];
+        for v in &votes {
+            assert!(v.is_valid(&accepted, delta));
+        }
+        let (new_ranks, _) = approximate(&mine, &accepted, &votes, n, t);
+        let a = new_ranks.get(OriginalId::new(1)).unwrap();
+        let b = new_ranks.get(OriginalId::new(2)).unwrap();
+        assert!(a.spaced_at_least(b, delta), "spacing violated: {a} vs {b}");
+    }
+}

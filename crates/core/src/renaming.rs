@@ -1,0 +1,413 @@
+//! Algorithm 1: order-preserving Byzantine renaming.
+
+use crate::messages::Alg1Msg;
+use crate::probe::{SharedProcessProbe, VotingSnapshot};
+use crate::ranks::{approximate, RankVector};
+use opr_rbcast::EchoReadyFlood;
+use opr_sim::{Actor, Inbox, Outbox};
+use opr_types::{NewName, OriginalId, Regime, Round, SystemConfig};
+use std::collections::BTreeSet;
+
+/// A correct process running Algorithm 1.
+///
+/// Steps 1–4 run the id-selection flood; steps 5 to
+/// [`SystemConfig::total_steps`] run validated approximate-agreement voting;
+/// at the final step the process decides `Round(ranks[my_id])`.
+///
+/// The `regime` selects the voting schedule:
+/// [`Regime::LogTime`] (`3⌈log t⌉ + 3` voting steps, `N > 3t`) or
+/// [`Regime::ConstantTime`] (4 voting steps, `N > t² + 2t`, strong
+/// renaming). [`Alg1Tweaks`] exposes the knobs the margin and ablation
+/// experiments turn.
+#[derive(Clone, Debug)]
+pub struct OrderPreservingRenaming {
+    cfg: SystemConfig,
+    my_id: OriginalId,
+    total_steps: u32,
+    delta: f64,
+    tweaks: Alg1Tweaks,
+    flood: EchoReadyFlood<OriginalId>,
+    timely: BTreeSet<OriginalId>,
+    accepted: BTreeSet<OriginalId>,
+    ranks: RankVector,
+    decided: Option<NewName>,
+    probe: Option<SharedProcessProbe>,
+}
+
+/// Experimental knobs on Algorithm 1.
+///
+/// The defaults are the paper's algorithm; every deviation exists to power a
+/// specific experiment:
+///
+/// * `extra_voting_steps` / `voting_steps_override` — margin studies and the
+///   schedule-ablation experiment (A3): the paper's Lemma IV.9 constants are
+///   loose at small `t`, and truncating the schedule shows where order
+///   preservation actually starts failing.
+/// * `disable_validation` — ablation A1: without the `isValid` filter
+///   (Algorithm 2), Byzantine vote vectors with overlapping/inverted rank
+///   intervals enter the approximation and order preservation collapses —
+///   empirically demonstrating the paper's central design point.
+/// * `early_output` — a safe early-deciding extension (in the spirit of
+///   Alistarh et al. \[1\]): a process outputs as soon as one voting step
+///   delivers *unanimous* valid votes equal to its own rank vector. At that
+///   point at least `N − 2t ≥ t + 1` correct processes hold exactly this
+///   vector, so every correct vote multiset for every id contains at least
+///   `N − t` copies of the common value; the `t`-per-side trim removes every
+///   divergent vote, making the common vector a fixed point at *every*
+///   correct process — the eventual decision is already determined. The
+///   process keeps broadcasting until the schedule ends (so it never starves
+///   others of votes); only its *output* happens early.
+/// * `delta_override` — ablation on the stretch factor δ.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Alg1Tweaks {
+    /// Additional voting steps beyond the schedule.
+    pub extra_voting_steps: u32,
+    /// Replace the schedule's voting-step count entirely (before `extra` is
+    /// added).
+    pub voting_steps_override: Option<u32>,
+    /// Skip the `isValid` vote filter (ablation A1). Breaks order
+    /// preservation under the pair-squeeze adversary — never use outside
+    /// experiments.
+    pub disable_validation: bool,
+    /// Output as soon as the decision is provably frozen (see above).
+    pub early_output: bool,
+    /// Replace the stretch factor `δ = 1 + 1/(3(N+t))`.
+    pub delta_override: Option<f64>,
+}
+
+impl OrderPreservingRenaming {
+    /// Creates a correct process with original id `my_id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`opr_types::ConfigError::RegimeViolated`] if the
+    /// configuration does not satisfy the regime's resilience precondition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `regime` is [`Regime::TwoStep`] — that is
+    /// [`crate::TwoStepRenaming`]'s job.
+    pub fn new(
+        cfg: SystemConfig,
+        regime: Regime,
+        my_id: OriginalId,
+    ) -> Result<Self, opr_types::ConfigError> {
+        Self::with_extra_steps(cfg, regime, my_id, 0)
+    }
+
+    /// Like [`new`](Self::new) but runs `extra` additional voting steps —
+    /// used by the experiments that study the convergence margin at regime
+    /// boundaries (the paper's Lemma IV.9 / V.2 constants are loose for
+    /// small `t`; see EXPERIMENTS.md).
+    pub fn with_extra_steps(
+        cfg: SystemConfig,
+        regime: Regime,
+        my_id: OriginalId,
+        extra: u32,
+    ) -> Result<Self, opr_types::ConfigError> {
+        cfg.require(regime)?;
+        Ok(Self::new_unchecked(
+            cfg,
+            regime,
+            my_id,
+            Alg1Tweaks {
+                extra_voting_steps: extra,
+                ..Alg1Tweaks::default()
+            },
+        ))
+    }
+
+    /// Full-control constructor with [`Alg1Tweaks`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`opr_types::ConfigError::RegimeViolated`] if the
+    /// configuration does not satisfy the regime's resilience precondition.
+    pub fn with_tweaks(
+        cfg: SystemConfig,
+        regime: Regime,
+        my_id: OriginalId,
+        tweaks: Alg1Tweaks,
+    ) -> Result<Self, opr_types::ConfigError> {
+        cfg.require(regime)?;
+        Ok(Self::new_unchecked(cfg, regime, my_id, tweaks))
+    }
+
+    /// Like [`with_tweaks`](Self::with_tweaks) but skips the resilience
+    /// precondition — used by the resilience-boundary experiment (T5) to
+    /// observe *how* the algorithm fails when `N ≤ 3t`. Never use this in a
+    /// deployment.
+    pub fn new_unchecked(
+        cfg: SystemConfig,
+        regime: Regime,
+        my_id: OriginalId,
+        tweaks: Alg1Tweaks,
+    ) -> Self {
+        assert!(
+            regime != Regime::TwoStep,
+            "use TwoStepRenaming for the 2-step algorithm"
+        );
+        let voting = tweaks
+            .voting_steps_override
+            .unwrap_or_else(|| cfg.voting_steps(regime))
+            + tweaks.extra_voting_steps;
+        OrderPreservingRenaming {
+            cfg,
+            my_id,
+            total_steps: 4 + voting,
+            delta: tweaks.delta_override.unwrap_or_else(|| cfg.delta()),
+            tweaks,
+            flood: EchoReadyFlood::new(cfg.n(), cfg.t(), Some(my_id)),
+            timely: BTreeSet::new(),
+            accepted: BTreeSet::new(),
+            ranks: RankVector::new(),
+            decided: None,
+            probe: None,
+        }
+    }
+
+    /// Attaches a probe sink recording per-step snapshots.
+    pub fn attach_probe(&mut self, probe: SharedProcessProbe) {
+        self.probe = Some(probe);
+    }
+
+    /// The process's original id.
+    pub fn my_id(&self) -> OriginalId {
+        self.my_id
+    }
+
+    /// Total communication steps this process will run.
+    pub fn total_steps(&self) -> u32 {
+        self.total_steps
+    }
+
+    fn record_snapshot(&self, step: u32) {
+        if let Some(probe) = &self.probe {
+            probe.borrow_mut().snapshots.push(VotingSnapshot {
+                step,
+                ranks: self.ranks.clone(),
+                timely: self.timely.clone(),
+                accepted: self.accepted.clone(),
+            });
+        }
+    }
+}
+
+impl Actor for OrderPreservingRenaming {
+    type Msg = Alg1Msg;
+    type Output = NewName;
+
+    fn send(&mut self, round: Round) -> Outbox<Alg1Msg> {
+        let r = round.number();
+        if r <= 4 {
+            match self.flood.send(r) {
+                Some(msg) => Outbox::Broadcast(Alg1Msg::Flood(msg)),
+                None => Outbox::Silent,
+            }
+        } else if r <= self.total_steps {
+            Outbox::Broadcast(Alg1Msg::Votes(self.ranks.to_wire()))
+        } else {
+            Outbox::Silent
+        }
+    }
+
+    fn deliver(&mut self, round: Round, inbox: Inbox<Alg1Msg>) {
+        let r = round.number();
+        if r <= 4 {
+            // Id-selection phase: forward flood messages, ignore anything
+            // else (a Byzantine process may send Votes early; they are
+            // meaningless before step 5).
+            let flood_inbox: Inbox<opr_rbcast::FloodMsg<OriginalId>> = inbox
+                .into_messages()
+                .filter_map(|(link, msg)| match msg {
+                    Alg1Msg::Flood(f) => Some((link, f)),
+                    Alg1Msg::Votes(_) => None,
+                })
+                .collect();
+            self.flood.deliver(r, &flood_inbox);
+            if r == 4 {
+                let result = self
+                    .flood
+                    .result()
+                    .expect("flood finishes at step 4")
+                    .clone();
+                self.timely = result.timely;
+                self.accepted = result.accepted;
+                self.ranks = RankVector::from_accepted(&self.accepted, self.delta);
+                self.record_snapshot(4);
+            }
+        } else if r <= self.total_steps {
+            // Voting step: validate, approximate.
+            let spacing = self.delta;
+            let mut valid_votes: Vec<RankVector> = Vec::new();
+            let mut rejected = 0u64;
+            for (_, msg) in inbox.messages() {
+                if let Alg1Msg::Votes(wire) = msg {
+                    match RankVector::from_wire(wire) {
+                        Some(rv)
+                            if self.tweaks.disable_validation
+                                || rv.is_valid(&self.timely, spacing) =>
+                        {
+                            valid_votes.push(rv)
+                        }
+                        _ => rejected += 1,
+                    }
+                }
+            }
+            if let Some(probe) = &self.probe {
+                probe.borrow_mut().rejected_votes += rejected;
+            }
+            // Early-output rule (see Alg1Tweaks::early_output): a unanimous
+            // valid quorum equal to our own vector freezes the decision at
+            // every correct process.
+            let frozen = self.tweaks.early_output
+                && self.decided.is_none()
+                && valid_votes.len() >= self.cfg.quorum()
+                && valid_votes.iter().all(|v| *v == self.ranks);
+            let (new_ranks, new_accepted) = approximate(
+                &self.ranks,
+                &self.accepted,
+                &valid_votes,
+                self.cfg.n(),
+                self.cfg.t(),
+            );
+            self.ranks = new_ranks;
+            self.accepted = new_accepted;
+            self.record_snapshot(r);
+            if frozen || r == self.total_steps {
+                // Corollary IV.5 guarantees the own id survives voting in
+                // any legal regime; outside the regime (T5 boundary runs)
+                // it can be lost, which surfaces as a termination failure.
+                if self.decided.is_none() {
+                    self.decided = self.ranks.get(self.my_id).map(|rank| rank.round_to_name());
+                    if self.decided.is_some() {
+                        if let Some(probe) = &self.probe {
+                            probe.borrow_mut().decided_at_step = Some(r);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn output(&self) -> Option<NewName> {
+        self.decided
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::shared_probe;
+    use opr_sim::{Network, Topology};
+    use opr_types::RenamingOutcome;
+
+    fn run_correct_only(
+        cfg: SystemConfig,
+        regime: Regime,
+        raw_ids: &[u64],
+        seed: u64,
+    ) -> RenamingOutcome {
+        assert_eq!(raw_ids.len(), cfg.n());
+        let actors: Vec<Box<dyn Actor<Msg = Alg1Msg, Output = NewName>>> = raw_ids
+            .iter()
+            .map(|&x| {
+                Box::new(OrderPreservingRenaming::new(cfg, regime, OriginalId::new(x)).unwrap())
+                    as Box<dyn Actor<Msg = Alg1Msg, Output = NewName>>
+            })
+            .collect();
+        let mut net = Network::new(actors, Topology::seeded(cfg.n(), seed));
+        let report = net.run(cfg.total_steps(regime));
+        assert!(report.completed, "must decide at the final step");
+        assert_eq!(report.rounds_executed, cfg.total_steps(regime));
+        RenamingOutcome::new(
+            raw_ids
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| (OriginalId::new(x), net.output_of(i))),
+        )
+    }
+
+    #[test]
+    fn fault_free_run_renames_cleanly() {
+        let cfg = SystemConfig::new(4, 1).unwrap();
+        let outcome = run_correct_only(cfg, Regime::LogTime, &[40, 10, 30, 20], 3);
+        assert!(outcome
+            .verify(cfg.namespace_bound(Regime::LogTime))
+            .is_empty());
+        // With no faults, everyone sees the same 4 ids: names are the exact
+        // ranks 1..4.
+        assert_eq!(outcome.name_of(OriginalId::new(10)), Some(NewName::new(1)));
+        assert_eq!(outcome.name_of(OriginalId::new(40)), Some(NewName::new(4)));
+    }
+
+    #[test]
+    fn constant_time_regime_runs_eight_steps() {
+        let cfg = SystemConfig::new(16, 3).unwrap();
+        let ids: Vec<u64> = (0..16).map(|i| 1000 + 7 * i).collect();
+        let outcome = run_correct_only(cfg, Regime::ConstantTime, &ids, 5);
+        // Strong renaming: namespace is exactly N.
+        assert!(outcome.verify(16).is_empty());
+    }
+
+    #[test]
+    fn log_time_step_count_matches_formula() {
+        for (n, t) in [(4usize, 1usize), (7, 2), (13, 4)] {
+            let cfg = SystemConfig::new(n, t).unwrap();
+            let p = OrderPreservingRenaming::new(cfg, Regime::LogTime, OriginalId::new(1)).unwrap();
+            assert_eq!(
+                p.total_steps(),
+                3 * opr_types::math::ceil_log2(t) + 7,
+                "N={n} t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn probe_records_all_voting_steps() {
+        let cfg = SystemConfig::new(4, 1).unwrap();
+        let probe = shared_probe();
+        let mut p = OrderPreservingRenaming::new(cfg, Regime::LogTime, OriginalId::new(5)).unwrap();
+        p.attach_probe(probe.clone());
+        let actors: Vec<Box<dyn Actor<Msg = Alg1Msg, Output = NewName>>> = vec![
+            Box::new(p),
+            Box::new(
+                OrderPreservingRenaming::new(cfg, Regime::LogTime, OriginalId::new(6)).unwrap(),
+            ),
+            Box::new(
+                OrderPreservingRenaming::new(cfg, Regime::LogTime, OriginalId::new(7)).unwrap(),
+            ),
+            Box::new(
+                OrderPreservingRenaming::new(cfg, Regime::LogTime, OriginalId::new(8)).unwrap(),
+            ),
+        ];
+        let mut net = Network::new(actors, Topology::seeded(4, 9));
+        net.run(7);
+        // Snapshot at step 4 + one per voting step (5, 6, 7).
+        assert_eq!(probe.borrow().snapshots.len(), 4);
+        assert_eq!(probe.borrow().snapshots[0].step, 4);
+        assert_eq!(probe.borrow().rejected_votes, 0);
+    }
+
+    #[test]
+    fn rejects_wrong_regime_for_config() {
+        let cfg = SystemConfig::new(10, 3).unwrap(); // 10 ≤ 3²+2·3
+        assert!(
+            OrderPreservingRenaming::new(cfg, Regime::ConstantTime, OriginalId::new(1)).is_err()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "TwoStepRenaming")]
+    fn rejects_two_step_regime() {
+        let cfg = SystemConfig::new(22, 3).unwrap();
+        let _ = OrderPreservingRenaming::new(cfg, Regime::TwoStep, OriginalId::new(1));
+    }
+
+    #[test]
+    fn zero_fault_configuration_works() {
+        let cfg = SystemConfig::new(3, 0).unwrap();
+        let outcome = run_correct_only(cfg, Regime::LogTime, &[9, 1, 5], 2);
+        assert!(outcome.verify(3).is_empty());
+    }
+}

@@ -1,0 +1,267 @@
+//! Algorithm 4: 2-step order-preserving renaming for `N > 2t² + t`.
+
+use crate::messages::TwoStepMsg;
+use crate::probe::SharedTwoStepProbe;
+use opr_sim::{Actor, Inbox, Outbox};
+use opr_types::{LinkId, NewName, OriginalId, Regime, Round, SystemConfig};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A correct process running Algorithm 4.
+///
+/// Step 1: broadcast own id; remember which id each link announced. Step 2:
+/// broadcast the `timely` set as a `MultiEcho`; count validated echoes per
+/// id; compute new names as cumulative offsets `min(counter, N − t)` over
+/// the sorted accepted set.
+///
+/// The per-link validity check (`isValid`, Algorithm 4) bounds Byzantine
+/// influence: an echo is counted only if (a) the sending link announced an
+/// id in step 1, (b) the echo carries at most `N` ids, and (c) it shares at
+/// least `N − t` ids with the receiver's own `timely` set.
+#[derive(Clone, Debug)]
+pub struct TwoStepRenaming {
+    cfg: SystemConfig,
+    my_id: OriginalId,
+    clamp_offsets: bool,
+    /// `linkid[lnk]` — the id announced on each link in step 1 (the paper's
+    /// `linkid` array; `None` is the paper's `⊥`).
+    link_id: BTreeMap<LinkId, OriginalId>,
+    timely: BTreeSet<OriginalId>,
+    decided: Option<NewName>,
+    probe: Option<SharedTwoStepProbe>,
+}
+
+impl TwoStepRenaming {
+    /// Creates a correct process with original id `my_id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`opr_types::ConfigError::RegimeViolated`] unless
+    /// `N > 2t² + t`.
+    pub fn new(cfg: SystemConfig, my_id: OriginalId) -> Result<Self, opr_types::ConfigError> {
+        Self::with_clamp(cfg, my_id, true)
+    }
+
+    /// Like [`new`](Self::new) but with the `min(counter, N − t)` offset
+    /// clamp made optional — ablation A2. The clamp is what stops Byzantine
+    /// processes from skewing *correct* ids' offsets by echoing them to only
+    /// some receivers (Lemma VI.2's discussion); disabling it lets the
+    /// half-echo adversary break order preservation. Never disable outside
+    /// experiments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`opr_types::ConfigError::RegimeViolated`] unless
+    /// `N > 2t² + t`.
+    pub fn with_clamp(
+        cfg: SystemConfig,
+        my_id: OriginalId,
+        clamp_offsets: bool,
+    ) -> Result<Self, opr_types::ConfigError> {
+        cfg.require(Regime::TwoStep)?;
+        Ok(TwoStepRenaming {
+            cfg,
+            my_id,
+            clamp_offsets,
+            link_id: BTreeMap::new(),
+            timely: BTreeSet::new(),
+            decided: None,
+            probe: None,
+        })
+    }
+
+    /// Attaches a probe sink recording the final name table.
+    pub fn attach_probe(&mut self, probe: SharedTwoStepProbe) {
+        self.probe = Some(probe);
+    }
+
+    /// The process's original id.
+    pub fn my_id(&self) -> OriginalId {
+        self.my_id
+    }
+
+    /// The `isValid` check of Algorithm 4 for an incoming `MultiEcho`.
+    fn echo_is_valid(&self, link: LinkId, ids: &BTreeSet<OriginalId>) -> bool {
+        self.link_id.contains_key(&link)
+            && ids.len() <= self.cfg.n()
+            && self.timely.intersection(ids).count() >= self.cfg.quorum()
+    }
+}
+
+impl Actor for TwoStepRenaming {
+    type Msg = TwoStepMsg;
+    type Output = NewName;
+
+    fn send(&mut self, round: Round) -> Outbox<TwoStepMsg> {
+        match round.number() {
+            1 => Outbox::Broadcast(TwoStepMsg::Id(self.my_id)),
+            2 => Outbox::Broadcast(TwoStepMsg::MultiEcho(self.timely.clone())),
+            _ => Outbox::Silent,
+        }
+    }
+
+    fn deliver(&mut self, round: Round, inbox: Inbox<TwoStepMsg>) {
+        match round.number() {
+            1 => {
+                for (link, msg) in inbox.messages() {
+                    if let TwoStepMsg::Id(id) = msg {
+                        self.link_id.insert(link, *id);
+                        self.timely.insert(*id);
+                    }
+                }
+            }
+            2 => {
+                let mut accepted: BTreeSet<OriginalId> = BTreeSet::new();
+                let mut counter: BTreeMap<OriginalId, usize> = BTreeMap::new();
+                let mut rejected = 0u64;
+                for (link, msg) in inbox.messages() {
+                    if let TwoStepMsg::MultiEcho(ids) = msg {
+                        if self.echo_is_valid(link, ids) {
+                            for &id in ids {
+                                accepted.insert(id);
+                                *counter.entry(id).or_insert(0) += 1;
+                            }
+                        } else {
+                            rejected += 1;
+                        }
+                    }
+                }
+                // Compute new names: cumulative clamped offsets over the
+                // sorted accepted set (Algorithm 4, lines 18–22).
+                let clamp = self.cfg.quorum();
+                let mut accum: i64 = 0;
+                let mut newid: BTreeMap<OriginalId, NewName> = BTreeMap::new();
+                for &id in &accepted {
+                    let raw = counter[&id];
+                    let offset = if self.clamp_offsets {
+                        raw.min(clamp) as i64
+                    } else {
+                        raw as i64
+                    };
+                    accum += offset;
+                    newid.insert(id, NewName::new(accum));
+                }
+                self.decided = newid.get(&self.my_id).copied();
+                if let Some(probe) = &self.probe {
+                    let mut p = probe.borrow_mut();
+                    p.newid = newid;
+                    p.timely = self.timely.clone();
+                    p.rejected_echoes = rejected;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn output(&self) -> Option<NewName> {
+        self.decided
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::shared_two_step_probe;
+    use opr_sim::{Network, Topology};
+    use opr_types::RenamingOutcome;
+
+    fn run_correct_only(cfg: SystemConfig, raw_ids: &[u64], seed: u64) -> RenamingOutcome {
+        assert_eq!(raw_ids.len(), cfg.n());
+        let actors: Vec<Box<dyn Actor<Msg = TwoStepMsg, Output = NewName>>> = raw_ids
+            .iter()
+            .map(|&x| {
+                Box::new(TwoStepRenaming::new(cfg, OriginalId::new(x)).unwrap())
+                    as Box<dyn Actor<Msg = TwoStepMsg, Output = NewName>>
+            })
+            .collect();
+        let mut net = Network::new(actors, Topology::seeded(cfg.n(), seed));
+        let report = net.run(2);
+        assert!(report.completed, "2-step algorithm must decide in 2 rounds");
+        RenamingOutcome::new(
+            raw_ids
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| (OriginalId::new(x), net.output_of(i))),
+        )
+    }
+
+    #[test]
+    fn fault_free_names_are_multiples_of_n() {
+        // With no faults every id is echoed exactly N times, clamped to
+        // N − t; names are (N−t), 2(N−t), … in id order.
+        let cfg = SystemConfig::new(4, 1).unwrap();
+        let outcome = run_correct_only(cfg, &[40, 10, 30, 20], 1);
+        assert!(outcome.verify(16).is_empty());
+        assert_eq!(outcome.name_of(OriginalId::new(10)), Some(NewName::new(3)));
+        assert_eq!(outcome.name_of(OriginalId::new(20)), Some(NewName::new(6)));
+        assert_eq!(outcome.name_of(OriginalId::new(40)), Some(NewName::new(12)));
+    }
+
+    #[test]
+    fn namespace_stays_within_n_squared() {
+        let cfg = SystemConfig::new(11, 2).unwrap(); // 11 > 2t²+t = 10
+        let ids: Vec<u64> = (1..=11).map(|i| i * 11).collect();
+        let outcome = run_correct_only(cfg, &ids, 4);
+        assert!(outcome.verify(121).is_empty());
+        assert!(outcome.max_name().unwrap().raw() <= 121);
+    }
+
+    #[test]
+    fn rejects_insufficient_resilience() {
+        let cfg = SystemConfig::new(21, 3).unwrap(); // 21 ≤ 2·9+3
+        assert!(TwoStepRenaming::new(cfg, OriginalId::new(1)).is_err());
+    }
+
+    #[test]
+    fn probe_records_tables() {
+        let cfg = SystemConfig::new(4, 1).unwrap();
+        let probe = shared_two_step_probe();
+        let mut first = TwoStepRenaming::new(cfg, OriginalId::new(5)).unwrap();
+        first.attach_probe(probe.clone());
+        let mut actors: Vec<Box<dyn Actor<Msg = TwoStepMsg, Output = NewName>>> =
+            vec![Box::new(first)];
+        for id in [6u64, 7, 8] {
+            actors.push(Box::new(
+                TwoStepRenaming::new(cfg, OriginalId::new(id)).unwrap(),
+            ));
+        }
+        let mut net = Network::new(actors, Topology::seeded(4, 2));
+        net.run(2);
+        let p = probe.borrow();
+        assert_eq!(p.newid.len(), 4);
+        assert_eq!(p.timely.len(), 4);
+        assert_eq!(p.rejected_echoes, 0);
+    }
+
+    #[test]
+    fn echo_validity_rules() {
+        let cfg = SystemConfig::new(4, 1).unwrap();
+        let mut p = TwoStepRenaming::new(cfg, OriginalId::new(1)).unwrap();
+        // Simulate step-1 state: links 1..=4 announced ids 1..=4.
+        for l in 1..=4usize {
+            p.link_id.insert(LinkId::new(l), OriginalId::new(l as u64));
+            p.timely.insert(OriginalId::new(l as u64));
+        }
+        let good: BTreeSet<OriginalId> = (1..=4).map(OriginalId::new).collect();
+        assert!(p.echo_is_valid(LinkId::new(1), &good));
+        // Unknown link (announced nothing in step 1).
+        let mut q = p.clone();
+        q.link_id.remove(&LinkId::new(2));
+        assert!(!q.echo_is_valid(LinkId::new(2), &good));
+        // Oversized echo.
+        let oversized: BTreeSet<OriginalId> = (1..=5).map(OriginalId::new).collect();
+        assert!(!p.echo_is_valid(LinkId::new(1), &oversized));
+        // Too little overlap with timely: needs ≥ N−t = 3 common ids.
+        let disjoint: BTreeSet<OriginalId> = (10..=13).map(OriginalId::new).collect();
+        assert!(!p.echo_is_valid(LinkId::new(1), &disjoint));
+        let two_common: BTreeSet<OriginalId> = [1u64, 2, 10, 11]
+            .iter()
+            .map(|&x| OriginalId::new(x))
+            .collect();
+        assert!(!p.echo_is_valid(LinkId::new(1), &two_common));
+        let three_common: BTreeSet<OriginalId> = [1u64, 2, 3, 10]
+            .iter()
+            .map(|&x| OriginalId::new(x))
+            .collect();
+        assert!(p.echo_is_valid(LinkId::new(1), &three_common));
+    }
+}

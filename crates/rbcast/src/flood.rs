@@ -1,0 +1,393 @@
+//! The 4-step Echo/Ready flood (Algorithm 1, steps 1–4, generalized over
+//! the value type).
+
+use opr_sim::{Actor, Inbox, Outbox, WireSize, COUNT_BITS, TAG_BITS};
+use opr_types::{LinkId, Round};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Debug;
+
+/// Messages of the flood protocol.
+///
+/// `Init` carries exactly one value — this is what bounds a Byzantine
+/// process to introducing at most one candidate per link in step 1, which
+/// the `t(N−t)` counting argument of Lemma A.1 relies on. `Echo` and `Ready`
+/// carry the batched sets (equivalent to the paper's one-message-per-value
+/// formulation, since thresholds count *distinct links* per value).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FloodMsg<V> {
+    /// Step 1: announce one value.
+    Init(V),
+    /// Step 2: echo every value received in step 1.
+    Echo(BTreeSet<V>),
+    /// Steps 3 and 4: signal readiness for a set of values.
+    Ready(BTreeSet<V>),
+}
+
+impl<V: WireSize> WireSize for FloodMsg<V> {
+    fn wire_bits(&self) -> u64 {
+        match self {
+            FloodMsg::Init(v) => TAG_BITS + v.wire_bits(),
+            FloodMsg::Echo(set) | FloodMsg::Ready(set) => {
+                TAG_BITS + COUNT_BITS + set.iter().map(WireSize::wire_bits).sum::<u64>()
+            }
+        }
+    }
+}
+
+/// Outcome of the flood at one correct process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FloodResult<V> {
+    /// Values whose `Ready` reached `N − t` links by step 3 — guaranteed to
+    /// include every correct value, and guaranteed to be inside every other
+    /// correct process's `accepted`.
+    pub timely: BTreeSet<V>,
+    /// Values whose `Ready` messages (steps 3 + 4 combined) reached `N − t`
+    /// distinct links. `|accepted| ≤ N + ⌊t²/(N−2t)⌋`.
+    pub accepted: BTreeSet<V>,
+}
+
+impl<V> Default for FloodResult<V> {
+    fn default() -> Self {
+        FloodResult {
+            timely: BTreeSet::new(),
+            accepted: BTreeSet::new(),
+        }
+    }
+}
+
+/// State machine for the 4-step flood, meant to be *embedded*: the owner
+/// forwards [`send`](EchoReadyFlood::send) and
+/// [`deliver`](EchoReadyFlood::deliver) for relative steps `1 ⋯ 4` and reads
+/// the [`FloodResult`] afterwards.
+#[derive(Clone, Debug)]
+pub struct EchoReadyFlood<V> {
+    n: usize,
+    t: usize,
+    initial: Option<V>,
+    /// Working set: after step 1 the values to echo; after step 2 the values
+    /// to send `Ready` for; after step 3 the values to relay-`Ready`.
+    working: BTreeSet<V>,
+    /// Values we have already sent `Ready` for (step 3), so step 4 only
+    /// relays new ones.
+    ready_sent: BTreeSet<V>,
+    /// Distinct links per value across `Ready` messages of steps 3 and 4.
+    ready_links: BTreeMap<V, BTreeSet<LinkId>>,
+    result: FloodResult<V>,
+    finished: bool,
+}
+
+impl<V: Ord + Clone + Debug> EchoReadyFlood<V> {
+    /// Creates a flood participant announcing `initial` (correct processes
+    /// announce their own id; pass `None` to participate without
+    /// announcing).
+    pub fn new(n: usize, t: usize, initial: Option<V>) -> Self {
+        EchoReadyFlood {
+            n,
+            t,
+            initial,
+            working: BTreeSet::new(),
+            ready_sent: BTreeSet::new(),
+            ready_links: BTreeMap::new(),
+            result: FloodResult::default(),
+            finished: false,
+        }
+    }
+
+    /// Quorum threshold `N − t`.
+    fn quorum(&self) -> usize {
+        self.n - self.t
+    }
+
+    /// Relay threshold `N − 2t`.
+    fn weak_quorum(&self) -> usize {
+        self.n - 2 * self.t
+    }
+
+    /// The message for relative step `step ∈ 1..=4`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics on steps outside `1..=4`.
+    pub fn send(&mut self, step: u32) -> Option<FloodMsg<V>> {
+        match step {
+            1 => self.initial.clone().map(FloodMsg::Init),
+            2 => Some(FloodMsg::Echo(std::mem::take(&mut self.working))),
+            3 => {
+                let ready: BTreeSet<V> = std::mem::take(&mut self.working);
+                self.ready_sent = ready.clone();
+                Some(FloodMsg::Ready(ready))
+            }
+            4 => Some(FloodMsg::Ready(std::mem::take(&mut self.working))),
+            _ => panic!("flood has exactly 4 steps, got step {step}"),
+        }
+    }
+
+    /// Consumes the inbox of relative step `step ∈ 1..=4`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on steps outside `1..=4`.
+    pub fn deliver(&mut self, step: u32, inbox: &Inbox<FloodMsg<V>>) {
+        match step {
+            1 => {
+                // Collect one announced value per distinct link.
+                for (_, msg) in inbox.messages() {
+                    if let FloodMsg::Init(v) = msg {
+                        self.working.insert(v.clone());
+                    }
+                }
+            }
+            2 => {
+                // Values echoed on ≥ N−t distinct links survive.
+                let mut echo_links: BTreeMap<&V, usize> = BTreeMap::new();
+                for (_, msg) in inbox.messages() {
+                    if let FloodMsg::Echo(set) = msg {
+                        for v in set {
+                            *echo_links.entry(v).or_insert(0) += 1;
+                        }
+                    }
+                }
+                let quorum = self.quorum();
+                self.working = echo_links
+                    .into_iter()
+                    .filter(|(_, links)| *links >= quorum)
+                    .map(|(v, _)| v.clone())
+                    .collect();
+            }
+            3 => {
+                self.accumulate_ready(inbox);
+                // Timely: Ready on ≥ N−t links already in step 3.
+                let quorum = self.quorum();
+                self.result.timely = self
+                    .ready_links
+                    .iter()
+                    .filter(|(_, links)| links.len() >= quorum)
+                    .map(|(v, _)| v.clone())
+                    .collect();
+                // Relay in step 4: Ready on ≥ N−2t links, not yet sent by us.
+                let weak = self.weak_quorum();
+                self.working = self
+                    .ready_links
+                    .iter()
+                    .filter(|(v, links)| links.len() >= weak && !self.ready_sent.contains(*v))
+                    .map(|(v, _)| v.clone())
+                    .collect();
+            }
+            4 => {
+                self.accumulate_ready(inbox);
+                let quorum = self.quorum();
+                self.result.accepted = self
+                    .ready_links
+                    .iter()
+                    .filter(|(_, links)| links.len() >= quorum)
+                    .map(|(v, _)| v.clone())
+                    .collect();
+                self.finished = true;
+            }
+            _ => panic!("flood has exactly 4 steps, got step {step}"),
+        }
+    }
+
+    fn accumulate_ready(&mut self, inbox: &Inbox<FloodMsg<V>>) {
+        for (link, msg) in inbox.messages() {
+            if let FloodMsg::Ready(set) = msg {
+                for v in set {
+                    self.ready_links.entry(v.clone()).or_default().insert(link);
+                }
+            }
+        }
+    }
+
+    /// The result, once step 4 has been delivered.
+    pub fn result(&self) -> Option<&FloodResult<V>> {
+        self.finished.then_some(&self.result)
+    }
+}
+
+/// Standalone [`Actor`] wrapper around [`EchoReadyFlood`]: runs the four
+/// steps starting at round 1 and outputs the [`FloodResult`].
+#[derive(Clone, Debug)]
+pub struct FloodActor<V> {
+    flood: EchoReadyFlood<V>,
+}
+
+impl<V: Ord + Clone + Debug> FloodActor<V> {
+    /// Creates the actor; see [`EchoReadyFlood::new`].
+    pub fn new(n: usize, t: usize, initial: Option<V>) -> Self {
+        FloodActor {
+            flood: EchoReadyFlood::new(n, t, initial),
+        }
+    }
+}
+
+impl<V: Ord + Clone + Debug + WireSize> Actor for FloodActor<V> {
+    type Msg = FloodMsg<V>;
+    type Output = FloodResult<V>;
+
+    fn send(&mut self, round: Round) -> Outbox<FloodMsg<V>> {
+        if round.number() <= 4 {
+            match self.flood.send(round.number()) {
+                Some(msg) => Outbox::Broadcast(msg),
+                None => Outbox::Silent,
+            }
+        } else {
+            Outbox::Silent
+        }
+    }
+
+    fn deliver(&mut self, round: Round, inbox: Inbox<FloodMsg<V>>) {
+        if round.number() <= 4 {
+            self.flood.deliver(round.number(), &inbox);
+        }
+    }
+
+    fn output(&self) -> Option<FloodResult<V>> {
+        self.flood.result().cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opr_sim::{Network, Topology, ID_BITS};
+
+    #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+    struct Val(u64);
+    impl WireSize for Val {
+        fn wire_bits(&self) -> u64 {
+            ID_BITS
+        }
+    }
+
+    type Net = Network<FloodMsg<Val>, FloodResult<Val>>;
+
+    fn flood_net(n: usize, t: usize, values: &[u64], faulty: usize, seed: u64) -> Net {
+        // First `faulty` actors are silent Byzantine placeholders (announce
+        // nothing, echo nothing).
+        let mut actors: Vec<Box<dyn Actor<Msg = FloodMsg<Val>, Output = FloodResult<Val>>>> =
+            Vec::new();
+        let mut correct = Vec::new();
+        for i in 0..faulty {
+            struct Silent;
+            impl Actor for Silent {
+                type Msg = FloodMsg<Val>;
+                type Output = FloodResult<Val>;
+                fn send(&mut self, _r: Round) -> Outbox<FloodMsg<Val>> {
+                    Outbox::Silent
+                }
+                fn deliver(&mut self, _r: Round, _i: Inbox<FloodMsg<Val>>) {}
+                fn output(&self) -> Option<FloodResult<Val>> {
+                    None
+                }
+            }
+            let _ = i;
+            actors.push(Box::new(Silent));
+            correct.push(false);
+        }
+        for &v in values {
+            actors.push(Box::new(FloodActor::new(n, t, Some(Val(v)))));
+            correct.push(true);
+        }
+        assert_eq!(actors.len(), n);
+        Network::with_faults(actors, correct, Topology::seeded(n, seed))
+    }
+
+    #[test]
+    fn all_correct_values_are_timely_everywhere() {
+        let (n, t) = (7usize, 2usize);
+        let values = [10, 20, 30, 40, 50, 60, 70];
+        let mut net = flood_net(n, t, &values, 0, 3);
+        assert!(net.run(4).completed);
+        for i in 0..n {
+            let res = net.output_of(i).unwrap();
+            assert_eq!(res.timely.len(), n);
+            assert_eq!(res.accepted.len(), n);
+        }
+    }
+
+    #[test]
+    fn silent_byzantine_processes_do_not_block_correct_values() {
+        let (n, t) = (7usize, 2usize);
+        let values = [10, 20, 30, 40, 50];
+        let mut net = flood_net(n, t, &values, t, 11);
+        net.run(4);
+        for i in t..n {
+            let res = net.output_of(i).unwrap();
+            // Lemma IV.2: every correct value is timely at every correct
+            // process.
+            for v in values {
+                assert!(res.timely.contains(&Val(v)), "p{i} missing {v}");
+            }
+            // Lemma IV.1 ⊆ relation.
+            assert!(res.timely.is_subset(&res.accepted));
+        }
+    }
+
+    #[test]
+    fn timely_somewhere_implies_accepted_everywhere() {
+        let (n, t) = (10usize, 3usize);
+        let values = [1, 2, 3, 4, 5, 6, 7];
+        let mut net = flood_net(n, t, &values, t, 7);
+        net.run(4);
+        let results: Vec<FloodResult<Val>> = (t..n).map(|i| net.output_of(i).unwrap()).collect();
+        let timely_union: BTreeSet<Val> = results
+            .iter()
+            .flat_map(|r| r.timely.iter().copied())
+            .collect();
+        for (i, res) in results.iter().enumerate() {
+            assert!(
+                timely_union.is_subset(&res.accepted),
+                "correct process {i}: union of timely sets must be ⊆ accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn accepted_is_bounded_even_with_silent_byzantine() {
+        let (n, t) = (10usize, 3usize);
+        let values = [1, 2, 3, 4, 5, 6, 7];
+        let mut net = flood_net(n, t, &values, t, 9);
+        net.run(4);
+        let bound = n + (t * t) / (n - 2 * t);
+        for i in t..n {
+            let res = net.output_of(i).unwrap();
+            assert!(res.accepted.len() <= bound);
+        }
+    }
+
+    #[test]
+    fn non_announcing_correct_process_still_learns() {
+        let n = 4;
+        let mut actors: Vec<Box<dyn Actor<Msg = FloodMsg<Val>, Output = FloodResult<Val>>>> =
+            vec![Box::new(FloodActor::new(n, 1, None))];
+        for v in [5, 6, 7] {
+            actors.push(Box::new(FloodActor::new(n, 1, Some(Val(v)))));
+        }
+        let mut net: Net = Network::new(actors, Topology::canonical(n));
+        assert!(net.run(4).completed);
+        let res = net.output_of(0).unwrap();
+        assert_eq!(res.timely.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly 4 steps")]
+    fn rejects_out_of_range_step() {
+        let mut flood: EchoReadyFlood<Val> = EchoReadyFlood::new(4, 1, None);
+        let _ = flood.send(5);
+    }
+
+    #[test]
+    fn result_unavailable_before_step_4() {
+        let flood: EchoReadyFlood<Val> = EchoReadyFlood::new(4, 1, Some(Val(1)));
+        assert!(flood.result().is_none());
+    }
+
+    #[test]
+    fn message_sizes_scale_with_set_size() {
+        let small = FloodMsg::Echo(BTreeSet::from([Val(1)]));
+        let large = FloodMsg::Echo((0..10).map(Val).collect::<BTreeSet<_>>());
+        assert_eq!(large.wire_bits() - small.wire_bits(), 9 * ID_BITS);
+        let init = FloodMsg::Init(Val(1));
+        assert!(init.wire_bits() < small.wire_bits() + ID_BITS);
+    }
+}

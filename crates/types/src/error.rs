@@ -1,0 +1,167 @@
+//! Error types for configuration and protocol execution.
+
+use crate::config::Regime;
+use std::error::Error;
+use std::fmt;
+
+/// An invalid system configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ConfigError {
+    /// `N` was zero.
+    ZeroProcesses,
+    /// `t ≥ N`: no correct process would remain.
+    TooManyFaults {
+        /// Number of processes.
+        n: usize,
+        /// Claimed fault bound.
+        t: usize,
+    },
+    /// `N_max < N`: not enough room for distinct original ids.
+    NamespaceTooSmall {
+        /// Number of processes.
+        n: usize,
+        /// Original namespace size.
+        nmax: u64,
+    },
+    /// The configuration does not satisfy the resilience precondition of the
+    /// requested algorithm.
+    RegimeViolated {
+        /// Number of processes.
+        n: usize,
+        /// Fault bound.
+        t: usize,
+        /// The regime whose precondition failed.
+        regime: Regime,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroProcesses => write!(f, "system must have at least one process"),
+            ConfigError::TooManyFaults { n, t } => {
+                write!(
+                    f,
+                    "fault bound t={t} leaves no correct process out of N={n}"
+                )
+            }
+            ConfigError::NamespaceTooSmall { n, nmax } => {
+                write!(f, "original namespace {nmax} cannot hold {n} distinct ids")
+            }
+            ConfigError::RegimeViolated { n, t, regime } => {
+                write!(f, "N={n}, t={t} violates the {regime} precondition")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// An error raised while setting up or executing a renaming run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RenamingError {
+    /// The configuration was rejected.
+    Config(ConfigError),
+    /// The original ids handed to the correct processes were not distinct.
+    DuplicateOriginalIds,
+    /// The number of id assignments did not match the number of correct
+    /// processes.
+    WrongIdCount {
+        /// How many ids were supplied.
+        got: usize,
+        /// How many were needed.
+        expected: usize,
+    },
+    /// More faulty processes were configured than the fault bound `t` allows.
+    TooManyFaultyActors {
+        /// How many faulty actors were configured.
+        got: usize,
+        /// The configured bound `t`.
+        bound: usize,
+    },
+    /// A correct process failed to produce an output within the round budget.
+    MissedTermination {
+        /// The round budget that was exhausted.
+        budget: u32,
+    },
+}
+
+impl fmt::Display for RenamingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RenamingError::Config(e) => write!(f, "invalid configuration: {e}"),
+            RenamingError::DuplicateOriginalIds => {
+                write!(f, "correct processes must start with distinct original ids")
+            }
+            RenamingError::WrongIdCount { got, expected } => {
+                write!(f, "expected {expected} original ids, got {got}")
+            }
+            RenamingError::TooManyFaultyActors { got, bound } => {
+                write!(f, "{got} faulty actors exceed the fault bound t={bound}")
+            }
+            RenamingError::MissedTermination { budget } => {
+                write!(
+                    f,
+                    "a correct process produced no output within {budget} rounds"
+                )
+            }
+        }
+    }
+}
+
+impl Error for RenamingError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RenamingError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for RenamingError {
+    fn from(e: ConfigError) -> Self {
+        RenamingError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SystemConfig;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let msgs = [
+            ConfigError::ZeroProcesses.to_string(),
+            ConfigError::TooManyFaults { n: 3, t: 3 }.to_string(),
+            ConfigError::NamespaceTooSmall { n: 8, nmax: 4 }.to_string(),
+            ConfigError::RegimeViolated {
+                n: 3,
+                t: 1,
+                regime: Regime::LogTime,
+            }
+            .to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(
+                !m.ends_with('.'),
+                "error messages carry no trailing punctuation"
+            );
+        }
+    }
+
+    #[test]
+    fn renaming_error_from_config_error_preserves_source() {
+        let err: RenamingError = SystemConfig::new(0, 0).unwrap_err().into();
+        assert!(err.to_string().contains("invalid configuration"));
+        assert!(Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConfigError>();
+        assert_send_sync::<RenamingError>();
+    }
+}

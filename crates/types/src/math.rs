@@ -1,0 +1,67 @@
+//! Small integer helpers used throughout the workspace.
+
+/// `⌈log₂ x⌉` with the paper's convention that the value is `0` for
+/// `x ∈ {0, 1}` (the round formulas use `⌈log t⌉` and remain meaningful for
+/// `t ≤ 1`).
+///
+/// # Example
+///
+/// ```
+/// use opr_types::math::ceil_log2;
+/// assert_eq!(ceil_log2(0), 0);
+/// assert_eq!(ceil_log2(1), 0);
+/// assert_eq!(ceil_log2(2), 1);
+/// assert_eq!(ceil_log2(3), 2);
+/// assert_eq!(ceil_log2(8), 3);
+/// assert_eq!(ceil_log2(9), 4);
+/// ```
+pub fn ceil_log2(x: usize) -> u32 {
+    if x <= 1 {
+        0
+    } else {
+        (x - 1).ilog2() + 1
+    }
+}
+
+/// Integer ceiling division `⌈a / b⌉` for positive `b`.
+///
+/// # Panics
+///
+/// Panics if `b == 0`.
+pub fn div_ceil(a: usize, b: usize) -> usize {
+    assert!(b != 0, "division by zero");
+    a.div_ceil(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_matches_float_math() {
+        for x in 2usize..=4096 {
+            let expected = (x as f64).log2().ceil() as u32;
+            assert_eq!(ceil_log2(x), expected, "x={x}");
+        }
+    }
+
+    #[test]
+    fn ceil_log2_small_values() {
+        assert_eq!(ceil_log2(0), 0);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+    }
+
+    #[test]
+    fn div_ceil_basic() {
+        assert_eq!(div_ceil(10, 3), 4);
+        assert_eq!(div_ceil(9, 3), 3);
+        assert_eq!(div_ceil(0, 5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_ceil_zero_divisor() {
+        let _ = div_ceil(1, 0);
+    }
+}

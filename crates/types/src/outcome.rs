@@ -1,0 +1,335 @@
+//! The outcome of a renaming run and the checkers for the problem's defining
+//! properties.
+//!
+//! The renaming problem (Section II of the paper) requires, for the *correct*
+//! processes only:
+//!
+//! * **Validity** — each new name is an integer in `[1 ⋯ M]`;
+//! * **Termination** — each correct process outputs a new name;
+//! * **Uniqueness** — no two correct processes output the same new name;
+//! * **Order preservation** — new names preserve the order of original ids.
+//!
+//! [`RenamingOutcome::verify`] checks all four and returns the full list of
+//! violations, which the test-suite and the resilience-boundary experiment
+//! (T5) inspect.
+
+use crate::ids::{NewName, OriginalId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A violation of one of the renaming properties, as detected by
+/// [`RenamingOutcome::verify`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PropertyViolation {
+    /// A name fell outside `[1 ⋯ M]`.
+    Validity {
+        /// The offending process's original id.
+        id: OriginalId,
+        /// The out-of-range name.
+        name: NewName,
+        /// The target namespace bound `M`.
+        bound: u64,
+    },
+    /// A correct process never produced a name.
+    Termination {
+        /// The process that failed to decide.
+        id: OriginalId,
+    },
+    /// Two correct processes picked the same name.
+    Uniqueness {
+        /// The first process.
+        first: OriginalId,
+        /// The second process.
+        second: OriginalId,
+        /// The clashing name.
+        name: NewName,
+    },
+    /// Names do not preserve the original-id order.
+    OrderPreservation {
+        /// The smaller original id.
+        smaller: OriginalId,
+        /// Its new name.
+        smaller_name: NewName,
+        /// The larger original id.
+        larger: OriginalId,
+        /// Its new name (≤ `smaller_name`, which is the violation).
+        larger_name: NewName,
+    },
+}
+
+impl fmt::Display for PropertyViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropertyViolation::Validity { id, name, bound } => {
+                write!(f, "validity: {id:?} chose {name:?} outside [1..{bound}]")
+            }
+            PropertyViolation::Termination { id } => {
+                write!(f, "termination: {id:?} produced no name")
+            }
+            PropertyViolation::Uniqueness {
+                first,
+                second,
+                name,
+            } => write!(
+                f,
+                "uniqueness: {first:?} and {second:?} both chose {name:?}"
+            ),
+            PropertyViolation::OrderPreservation {
+                smaller,
+                smaller_name,
+                larger,
+                larger_name,
+            } => write!(
+                f,
+                "order: {smaller:?}→{smaller_name:?} vs {larger:?}→{larger_name:?}"
+            ),
+        }
+    }
+}
+
+/// The names chosen by the correct processes in one run.
+///
+/// Construct with [`RenamingOutcome::new`] from `(original id, decision)`
+/// pairs — a `None` decision records a termination failure.
+///
+/// # Example
+///
+/// ```
+/// use opr_types::{OriginalId, NewName, RenamingOutcome};
+///
+/// let outcome = RenamingOutcome::new([
+///     (OriginalId::new(100), Some(NewName::new(1))),
+///     (OriginalId::new(200), Some(NewName::new(2))),
+/// ]);
+/// assert!(outcome.verify(4).is_empty());
+/// assert_eq!(outcome.max_name(), Some(NewName::new(2)));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct RenamingOutcome {
+    decisions: BTreeMap<OriginalId, Option<NewName>>,
+}
+
+impl RenamingOutcome {
+    /// Builds an outcome from `(id, decision)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same original id appears twice — correct processes have
+    /// unique ids by the model's assumption, so a duplicate means the harness
+    /// is buggy.
+    pub fn new<I>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (OriginalId, Option<NewName>)>,
+    {
+        let mut decisions = BTreeMap::new();
+        for (id, decision) in pairs {
+            let prev = decisions.insert(id, decision);
+            assert!(prev.is_none(), "duplicate original id {id:?} in outcome");
+        }
+        RenamingOutcome { decisions }
+    }
+
+    /// The decisions, ordered by original id.
+    pub fn decisions(&self) -> &BTreeMap<OriginalId, Option<NewName>> {
+        &self.decisions
+    }
+
+    /// Number of correct processes recorded.
+    pub fn len(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// Whether no decisions were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.decisions.is_empty()
+    }
+
+    /// The name chosen for `id`, if the process terminated.
+    pub fn name_of(&self, id: OriginalId) -> Option<NewName> {
+        self.decisions.get(&id).copied().flatten()
+    }
+
+    /// The largest name any correct process chose — the *measured* namespace
+    /// of the run, compared against the paper's bounds in experiment T2.
+    pub fn max_name(&self) -> Option<NewName> {
+        self.decisions.values().flatten().max().copied()
+    }
+
+    /// Checks all four renaming properties against namespace bound `m`.
+    ///
+    /// Returns every violation found (empty means the run upheld the spec).
+    pub fn verify(&self, m: u64) -> Vec<PropertyViolation> {
+        let mut violations = Vec::new();
+
+        // Termination and validity.
+        for (&id, decision) in &self.decisions {
+            match decision {
+                None => violations.push(PropertyViolation::Termination { id }),
+                Some(name) if !name.in_namespace(m) => {
+                    violations.push(PropertyViolation::Validity {
+                        id,
+                        name: *name,
+                        bound: m,
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+
+        // Uniqueness: group by name.
+        let mut by_name: BTreeMap<NewName, Vec<OriginalId>> = BTreeMap::new();
+        for (&id, decision) in &self.decisions {
+            if let Some(name) = decision {
+                by_name.entry(*name).or_default().push(id);
+            }
+        }
+        for (name, ids) in &by_name {
+            for pair in ids.windows(2) {
+                violations.push(PropertyViolation::Uniqueness {
+                    first: pair[0],
+                    second: pair[1],
+                    name: *name,
+                });
+            }
+        }
+
+        // Order preservation: decisions are iterated in original-id order, so
+        // names must be strictly increasing. Comparing consecutive decided
+        // pairs is sufficient: strict monotonicity is transitive.
+        let decided: Vec<(OriginalId, NewName)> = self
+            .decisions
+            .iter()
+            .filter_map(|(&id, d)| d.map(|name| (id, name)))
+            .collect();
+        for pair in decided.windows(2) {
+            let (smaller, smaller_name) = pair[0];
+            let (larger, larger_name) = pair[1];
+            if larger_name <= smaller_name {
+                violations.push(PropertyViolation::OrderPreservation {
+                    smaller,
+                    smaller_name,
+                    larger,
+                    larger_name,
+                });
+            }
+        }
+
+        violations
+    }
+}
+
+impl FromIterator<(OriginalId, Option<NewName>)> for RenamingOutcome {
+    fn from_iter<I: IntoIterator<Item = (OriginalId, Option<NewName>)>>(iter: I) -> Self {
+        RenamingOutcome::new(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(id: u64, name: i64) -> (OriginalId, Option<NewName>) {
+        (OriginalId::new(id), Some(NewName::new(name)))
+    }
+
+    #[test]
+    fn clean_outcome_has_no_violations() {
+        let outcome = RenamingOutcome::new([pair(5, 1), pair(9, 2), pair(100, 3)]);
+        assert!(outcome.verify(3).is_empty());
+        assert_eq!(outcome.max_name(), Some(NewName::new(3)));
+        assert_eq!(outcome.name_of(OriginalId::new(9)), Some(NewName::new(2)));
+        assert_eq!(outcome.len(), 3);
+        assert!(!outcome.is_empty());
+    }
+
+    #[test]
+    fn detects_validity_violation() {
+        let outcome = RenamingOutcome::new([pair(1, 1), pair(2, 9)]);
+        let v = outcome.verify(4);
+        assert!(matches!(v.as_slice(), [PropertyViolation::Validity { .. }]));
+    }
+
+    #[test]
+    fn detects_zero_and_negative_names() {
+        let outcome = RenamingOutcome::new([pair(1, 0), pair(2, -2)]);
+        let v = outcome.verify(10);
+        assert_eq!(
+            v.iter()
+                .filter(|x| matches!(x, PropertyViolation::Validity { .. }))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn detects_termination_violation() {
+        let outcome = RenamingOutcome::new([pair(1, 1), (OriginalId::new(2), None)]);
+        let v = outcome.verify(4);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, PropertyViolation::Termination { .. })));
+    }
+
+    #[test]
+    fn detects_uniqueness_violation() {
+        let outcome = RenamingOutcome::new([pair(1, 2), pair(7, 2)]);
+        let v = outcome.verify(4);
+        assert!(matches!(
+            v.as_slice(),
+            [PropertyViolation::Uniqueness { .. }, ..]
+        ));
+    }
+
+    #[test]
+    fn detects_order_violation() {
+        let outcome = RenamingOutcome::new([pair(10, 3), pair(20, 1)]);
+        let v = outcome.verify(4);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, PropertyViolation::OrderPreservation { .. })));
+    }
+
+    #[test]
+    fn equal_names_count_as_both_uniqueness_and_order_violations() {
+        let outcome = RenamingOutcome::new([pair(10, 2), pair(20, 2)]);
+        let v = outcome.verify(4);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, PropertyViolation::Uniqueness { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, PropertyViolation::OrderPreservation { .. })));
+    }
+
+    #[test]
+    fn nonconsecutive_inversions_are_caught_via_transitivity() {
+        // 10→5, 20→1, 30→2: consecutive checks catch (10,20); (20,30) is
+        // fine, but (10,30) is also inverted. The windows(2) check reports at
+        // least one violation, which is what the harness needs.
+        let outcome = RenamingOutcome::new([pair(10, 5), pair(20, 1), pair(30, 2)]);
+        let v = outcome.verify(10);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, PropertyViolation::OrderPreservation { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate original id")]
+    fn rejects_duplicate_ids() {
+        let _ = RenamingOutcome::new([pair(1, 1), pair(1, 2)]);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let outcome: RenamingOutcome = vec![pair(1, 1), pair(2, 2)].into_iter().collect();
+        assert_eq!(outcome.len(), 2);
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let outcome = RenamingOutcome::new([pair(10, 3), pair(20, 3)]);
+        for v in outcome.verify(2) {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,745 @@
+//! Uniform run interface over the paper's algorithms and all baselines.
+
+use opr_adversary::AdversarySpec;
+use opr_baselines::{ChtRenaming, ConsensusRenaming, CrashAaRenaming, TranslatedRenaming};
+use opr_core::runner::{run_alg1, run_two_step, Alg1Options};
+use opr_core::{Alg1Probe, TwoStepProbe};
+use opr_sim::{Actor, Inbox, Network, Outbox, Topology, WireSize};
+use opr_types::{NewName, OriginalId, Regime, RenamingError, RenamingOutcome, Round, SystemConfig};
+use std::fmt;
+use std::fmt::Debug;
+
+/// Every runnable renaming implementation in the workspace.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Algorithm {
+    /// Algorithm 1, logarithmic voting schedule (`N > 3t`).
+    Alg1LogTime,
+    /// Algorithm 1, 4 voting steps (`N > t² + 2t`, strong renaming).
+    Alg1ConstantTime,
+    /// Algorithm 4 (`N > 2t² + t`, 2 steps).
+    TwoStep,
+    /// B1: crash-tolerant AA renaming (crash model).
+    CrashAa,
+    /// B2: consensus-based renaming (`N ≥ 4t + 2`, granted numbering).
+    Consensus,
+    /// B3: CHT interval-splitting renaming (crash model).
+    Cht,
+    /// B4: echo-translated Byzantine renaming.
+    Translated,
+}
+
+impl Algorithm {
+    /// All implementations, paper first.
+    pub const ALL: [Algorithm; 7] = [
+        Algorithm::Alg1LogTime,
+        Algorithm::Alg1ConstantTime,
+        Algorithm::TwoStep,
+        Algorithm::CrashAa,
+        Algorithm::Consensus,
+        Algorithm::Cht,
+        Algorithm::Translated,
+    ];
+
+    /// A short stable label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Algorithm::Alg1LogTime => "alg1-log",
+            Algorithm::Alg1ConstantTime => "alg1-const",
+            Algorithm::TwoStep => "alg4-2step",
+            Algorithm::CrashAa => "b1-crash-aa",
+            Algorithm::Consensus => "b2-consensus",
+            Algorithm::Cht => "b3-cht",
+            Algorithm::Translated => "b4-translated",
+        }
+    }
+
+    /// The smallest `N` this implementation supports for a given `t`.
+    pub fn minimal_n(&self, t: usize) -> usize {
+        match self {
+            Algorithm::Alg1LogTime => 3 * t + 1,
+            Algorithm::Alg1ConstantTime => t * t + 2 * t + 1,
+            Algorithm::TwoStep => 2 * t * t + t + 1,
+            Algorithm::CrashAa | Algorithm::Cht => (3 * t + 1).max(2),
+            Algorithm::Consensus => 4 * t + 2,
+            Algorithm::Translated => 3 * t + 1,
+        }
+    }
+
+    /// The target namespace bound `M` this implementation guarantees.
+    pub fn namespace_bound(&self, n: usize, t: usize) -> u64 {
+        let (n64, t64) = (n as u64, t as u64);
+        match self {
+            Algorithm::Alg1LogTime => n64 + t64.saturating_sub(1),
+            Algorithm::Alg1ConstantTime => n64,
+            Algorithm::TwoStep => n64 * n64,
+            // B1: names are rounded rank/2 over at most N visible ids.
+            Algorithm::CrashAa => n64,
+            Algorithm::Consensus => n64 + t64.saturating_sub(1),
+            Algorithm::Cht => n64,
+            Algorithm::Translated => 2 * n64,
+        }
+    }
+
+    /// The exact number of communication steps this implementation takes.
+    pub fn rounds(&self, n: usize, t: usize) -> u32 {
+        match self {
+            Algorithm::Alg1LogTime => 3 * opr_types::math::ceil_log2(t) + 7,
+            Algorithm::Alg1ConstantTime => 8,
+            Algorithm::TwoStep => 2,
+            Algorithm::CrashAa => CrashAaRenaming::total_rounds(t),
+            Algorithm::Consensus => ConsensusRenaming::total_rounds(t),
+            Algorithm::Cht => ChtRenaming::total_rounds(n),
+            Algorithm::Translated => TranslatedRenaming::total_rounds(n),
+        }
+    }
+
+    /// Whether this implementation withstands the full Byzantine adversary
+    /// suite (the baselines run under their canonical weaker adversaries —
+    /// crash, silence or consistent forgery — as documented in
+    /// `opr-baselines`).
+    pub fn byzantine_suite_applicable(&self) -> bool {
+        matches!(
+            self,
+            Algorithm::Alg1LogTime | Algorithm::Alg1ConstantTime | Algorithm::TwoStep
+        )
+    }
+
+    /// Runs the implementation on `cfg` with the given correct ids and
+    /// `faulty` adversarial actors, and verifies the outcome.
+    ///
+    /// `adversary` selects the Byzantine strategy for the paper's
+    /// algorithms; baselines use their canonical adversary and record its
+    /// label.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RenamingError`] from the underlying runner.
+    pub fn run(
+        &self,
+        cfg: SystemConfig,
+        correct_ids: &[OriginalId],
+        faulty: usize,
+        adversary: AdversarySpec,
+        seed: u64,
+    ) -> Result<RunStats, RenamingError> {
+        let bound = self.namespace_bound(cfg.n(), cfg.t());
+        match self {
+            Algorithm::Alg1LogTime | Algorithm::Alg1ConstantTime => {
+                let regime = if *self == Algorithm::Alg1LogTime {
+                    Regime::LogTime
+                } else {
+                    Regime::ConstantTime
+                };
+                let result = run_alg1(
+                    cfg,
+                    regime,
+                    correct_ids,
+                    faulty,
+                    |env| adversary.build_alg1(env),
+                    Alg1Options {
+                        seed,
+                        ..Alg1Options::default()
+                    },
+                )?;
+                Ok(RunStats::collect(
+                    *self,
+                    cfg,
+                    adversary.label(),
+                    &result.outcome,
+                    result.rounds,
+                    &result.metrics,
+                    bound,
+                ))
+            }
+            Algorithm::TwoStep => {
+                let result = run_two_step(
+                    cfg,
+                    correct_ids,
+                    faulty,
+                    |env| adversary.build_two_step(env),
+                    seed,
+                )?;
+                Ok(RunStats::collect(
+                    *self,
+                    cfg,
+                    adversary.label(),
+                    &result.outcome,
+                    result.rounds,
+                    &result.metrics,
+                    bound,
+                ))
+            }
+            Algorithm::CrashAa => self.run_crash_aa(cfg, correct_ids, faulty, seed, bound),
+            Algorithm::Consensus => self.run_consensus(cfg, correct_ids, faulty, seed, bound),
+            Algorithm::Cht => self.run_cht(cfg, correct_ids, faulty, seed, bound),
+            Algorithm::Translated => self.run_translated(cfg, correct_ids, faulty, seed, bound),
+        }
+    }
+
+    fn run_crash_aa(
+        &self,
+        cfg: SystemConfig,
+        correct_ids: &[OriginalId],
+        faulty: usize,
+        seed: u64,
+        bound: u64,
+    ) -> Result<RunStats, RenamingError> {
+        let rounds = CrashAaRenaming::total_rounds(cfg.t());
+        let fake_base = correct_ids.iter().map(|i| i.raw()).max().unwrap_or(0) + 1000;
+        type B1Actor = Box<dyn Actor<Msg = opr_baselines::crash_aa::CrashMsg, Output = NewName>>;
+        let mut actors: Vec<B1Actor> = Vec::new();
+        for k in 0..faulty {
+            let inner = CrashAaRenaming::new(cfg, OriginalId::new(fake_base + k as u64));
+            let alive = 1 + (seed + k as u64) as u32 % rounds;
+            actors.push(Box::new(opr_adversary::generic::CrashAfter::new(
+                inner, alive,
+            )));
+        }
+        for &id in correct_ids {
+            actors.push(Box::new(CrashAaRenaming::new(cfg, id)));
+        }
+        run_baseline(
+            *self,
+            cfg,
+            "crash",
+            correct_ids,
+            faulty,
+            actors,
+            rounds,
+            seed,
+            bound,
+        )
+    }
+
+    fn run_consensus(
+        &self,
+        cfg: SystemConfig,
+        correct_ids: &[OriginalId],
+        faulty: usize,
+        seed: u64,
+        bound: u64,
+    ) -> Result<RunStats, RenamingError> {
+        let rounds = ConsensusRenaming::total_rounds(cfg.t());
+        let topo = Topology::seeded(cfg.n(), seed);
+        type B2Actor =
+            Box<dyn Actor<Msg = opr_baselines::consensus_renaming::B2Msg, Output = NewName>>;
+        let mut actors: Vec<B2Actor> = Vec::new();
+        for _ in 0..faulty {
+            actors.push(Box::new(opr_core::runner::SilentActor::new()));
+        }
+        for (offset, &id) in correct_ids.iter().enumerate() {
+            let index = faulty + offset;
+            actors.push(Box::new(ConsensusRenaming::new(
+                cfg,
+                id,
+                index,
+                opr_consensus::king_links_for(&topo, index),
+            )));
+        }
+        run_baseline_with_topology(
+            *self,
+            cfg,
+            "silent",
+            correct_ids,
+            faulty,
+            actors,
+            rounds,
+            topo,
+            bound,
+        )
+    }
+
+    fn run_cht(
+        &self,
+        cfg: SystemConfig,
+        correct_ids: &[OriginalId],
+        faulty: usize,
+        seed: u64,
+        bound: u64,
+    ) -> Result<RunStats, RenamingError> {
+        let rounds = ChtRenaming::total_rounds(cfg.n());
+        type B3Actor = Box<dyn Actor<Msg = opr_baselines::cht::ChtMsg, Output = NewName>>;
+        let mut actors: Vec<B3Actor> = Vec::new();
+        for _ in 0..faulty {
+            actors.push(Box::new(opr_core::runner::SilentActor::new()));
+        }
+        for &id in correct_ids {
+            actors.push(Box::new(ChtRenaming::new(cfg.n(), id)));
+        }
+        run_baseline(
+            *self,
+            cfg,
+            "crash-at-start",
+            correct_ids,
+            faulty,
+            actors,
+            rounds,
+            seed,
+            bound,
+        )
+    }
+
+    fn run_translated(
+        &self,
+        cfg: SystemConfig,
+        correct_ids: &[OriginalId],
+        faulty: usize,
+        seed: u64,
+        bound: u64,
+    ) -> Result<RunStats, RenamingError> {
+        let rounds = TranslatedRenaming::total_rounds(cfg.n());
+        // Canonical adversary: forge interleaved fake ids consistently.
+        let fakes: Vec<u64> = correct_ids
+            .windows(2)
+            .filter_map(|w| {
+                let mid = w[0].raw() + (w[1].raw() - w[0].raw()) / 2;
+                (mid > w[0].raw() && mid < w[1].raw()).then_some(mid)
+            })
+            .take(faulty)
+            .collect();
+        type B4Actor = Box<dyn Actor<Msg = opr_baselines::translated::B4Msg, Output = NewName>>;
+        let mut actors: Vec<B4Actor> = Vec::new();
+        for k in 0..faulty {
+            let fake = fakes
+                .get(k)
+                .copied()
+                .unwrap_or(correct_ids.last().map(|i| i.raw()).unwrap_or(0) + 1 + k as u64);
+            actors.push(Box::new(Forger(TranslatedRenaming::new(
+                cfg,
+                OriginalId::new(fake),
+            ))));
+        }
+        for &id in correct_ids {
+            actors.push(Box::new(TranslatedRenaming::new(cfg, id)));
+        }
+        run_baseline(
+            *self,
+            cfg,
+            "consistent-forge",
+            correct_ids,
+            faulty,
+            actors,
+            rounds,
+            seed,
+            bound,
+        )
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A faulty process that follows the translated protocol with a forged id
+/// (and never decides).
+struct Forger(TranslatedRenaming);
+
+impl Actor for Forger {
+    type Msg = opr_baselines::translated::B4Msg;
+    type Output = NewName;
+    fn send(&mut self, round: Round) -> Outbox<Self::Msg> {
+        self.0.send(round)
+    }
+    fn deliver(&mut self, round: Round, inbox: Inbox<Self::Msg>) {
+        self.0.deliver(round, inbox);
+    }
+    fn output(&self) -> Option<NewName> {
+        None
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_baseline<M: Clone + Debug + WireSize + 'static>(
+    algorithm: Algorithm,
+    cfg: SystemConfig,
+    adversary_label: &str,
+    correct_ids: &[OriginalId],
+    faulty: usize,
+    actors: Vec<Box<dyn Actor<Msg = M, Output = NewName>>>,
+    rounds: u32,
+    seed: u64,
+    bound: u64,
+) -> Result<RunStats, RenamingError> {
+    let topo = Topology::seeded(cfg.n(), seed);
+    run_baseline_with_topology(
+        algorithm,
+        cfg,
+        adversary_label,
+        correct_ids,
+        faulty,
+        actors,
+        rounds,
+        topo,
+        bound,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_baseline_with_topology<M: Clone + Debug + WireSize + 'static>(
+    algorithm: Algorithm,
+    cfg: SystemConfig,
+    adversary_label: &str,
+    correct_ids: &[OriginalId],
+    faulty: usize,
+    actors: Vec<Box<dyn Actor<Msg = M, Output = NewName>>>,
+    rounds: u32,
+    topology: Topology,
+    bound: u64,
+) -> Result<RunStats, RenamingError> {
+    if correct_ids.len() + faulty != cfg.n() {
+        return Err(RenamingError::WrongIdCount {
+            got: correct_ids.len(),
+            expected: cfg.n() - faulty,
+        });
+    }
+    let mut correct_mask = vec![false; faulty];
+    correct_mask.extend(vec![true; correct_ids.len()]);
+    let mut net = Network::with_faults(actors, correct_mask, topology);
+    let report = net.run(rounds);
+    if !report.completed {
+        return Err(RenamingError::MissedTermination { budget: rounds });
+    }
+    let outcome = RenamingOutcome::new(
+        correct_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, net.output_of(faulty + i))),
+    );
+    Ok(RunStats::collect(
+        algorithm,
+        cfg,
+        adversary_label,
+        &outcome,
+        report.rounds_executed,
+        net.metrics(),
+        bound,
+    ))
+}
+
+/// Measurements of one run, uniform across implementations.
+#[derive(Clone, Debug)]
+pub struct RunStats {
+    /// Which implementation ran.
+    pub algorithm: Algorithm,
+    /// System size.
+    pub n: usize,
+    /// Fault bound.
+    pub t: usize,
+    /// Adversary label.
+    pub adversary: String,
+    /// Rounds executed.
+    pub rounds: u32,
+    /// Messages sent by correct processes.
+    pub messages: u64,
+    /// Bits sent by correct processes.
+    pub bits: u64,
+    /// Largest single correct message, in bits.
+    pub max_message_bits: u64,
+    /// Largest name decided (None if nobody decided).
+    pub max_name: Option<i64>,
+    /// Renaming-property violations against the implementation's bound.
+    pub violations: usize,
+}
+
+impl RunStats {
+    fn collect(
+        algorithm: Algorithm,
+        cfg: SystemConfig,
+        adversary: &str,
+        outcome: &RenamingOutcome,
+        rounds: u32,
+        metrics: &opr_sim::RunMetrics,
+        bound: u64,
+    ) -> Self {
+        RunStats {
+            algorithm,
+            n: cfg.n(),
+            t: cfg.t(),
+            adversary: adversary.to_owned(),
+            rounds,
+            messages: metrics.messages_correct(),
+            bits: metrics.bits_correct(),
+            max_message_bits: metrics.max_message_bits(),
+            max_name: outcome.max_name().map(|n| n.raw()),
+            violations: outcome.verify(bound).len(),
+        }
+    }
+}
+
+/// Builder for one-off runs of the paper's algorithms — the friendly entry
+/// point used by the examples.
+///
+/// ```
+/// use opr_workload::RenamingRun;
+/// use opr_adversary::AdversarySpec;
+/// use opr_types::{OriginalId, Regime, SystemConfig};
+///
+/// let cfg = SystemConfig::new(7, 2)?;
+/// let ids: Vec<OriginalId> = [14u64, 3, 77, 21, 58].map(OriginalId::new).into();
+/// let out = RenamingRun::builder(cfg, Regime::LogTime)
+///     .correct_ids(ids)
+///     .adversary(AdversarySpec::EchoSplit, 2)
+///     .seed(42)
+///     .run()?;
+/// assert!(out.outcome.verify(cfg.namespace_bound(Regime::LogTime)).is_empty());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct RenamingRun {
+    cfg: SystemConfig,
+    regime: Regime,
+    ids: Vec<OriginalId>,
+    adversary: AdversarySpec,
+    faulty: usize,
+    seed: u64,
+    extra_voting_steps: u32,
+}
+
+/// The result of a [`RenamingRun`].
+#[derive(Clone, Debug)]
+pub struct RunOutput {
+    /// The decided names.
+    pub outcome: RenamingOutcome,
+    /// Uniform measurements.
+    pub stats: RunStats,
+    /// Voting-phase probes (Algorithm 1 only).
+    pub alg1_probe: Option<Alg1Probe>,
+    /// Name-table probes (Algorithm 4 only).
+    pub two_step_probe: Option<TwoStepProbe>,
+}
+
+impl RenamingRun {
+    /// Starts a builder for `regime` on `cfg`.
+    pub fn builder(cfg: SystemConfig, regime: Regime) -> Self {
+        RenamingRun {
+            cfg,
+            regime,
+            ids: Vec::new(),
+            adversary: AdversarySpec::Silent,
+            faulty: 0,
+            seed: 0,
+            extra_voting_steps: 0,
+        }
+    }
+
+    /// Sets the correct processes' original ids.
+    pub fn correct_ids<I>(mut self, ids: I) -> Self
+    where
+        I: IntoIterator<Item = OriginalId>,
+    {
+        self.ids = ids.into_iter().collect();
+        self
+    }
+
+    /// Sets the Byzantine strategy and how many faulty actors run it.
+    pub fn adversary(mut self, spec: AdversarySpec, count: usize) -> Self {
+        self.adversary = spec;
+        self.faulty = count;
+        self
+    }
+
+    /// Sets the run seed (topology labels, fault placement, randomized
+    /// strategies).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Adds voting steps beyond the paper's schedule (margin studies).
+    pub fn extra_voting_steps(mut self, extra: u32) -> Self {
+        self.extra_voting_steps = extra;
+        self
+    }
+
+    /// Executes the run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RenamingError`] on invalid configuration or if a correct
+    /// process misses its termination deadline.
+    pub fn run(self) -> Result<RunOutput, RenamingError> {
+        match self.regime {
+            Regime::LogTime | Regime::ConstantTime => {
+                let spec = self.adversary;
+                let result = run_alg1(
+                    self.cfg,
+                    self.regime,
+                    &self.ids,
+                    self.faulty,
+                    |env| spec.build_alg1(env),
+                    Alg1Options {
+                        seed: self.seed,
+                        allow_regime_violation: false,
+                        tweaks: opr_core::Alg1Tweaks {
+                            extra_voting_steps: self.extra_voting_steps,
+                            ..opr_core::Alg1Tweaks::default()
+                        },
+                    },
+                )?;
+                let algorithm = if self.regime == Regime::LogTime {
+                    Algorithm::Alg1LogTime
+                } else {
+                    Algorithm::Alg1ConstantTime
+                };
+                let stats = RunStats::collect(
+                    algorithm,
+                    self.cfg,
+                    spec.label(),
+                    &result.outcome,
+                    result.rounds,
+                    &result.metrics,
+                    self.cfg.namespace_bound(self.regime),
+                );
+                Ok(RunOutput {
+                    outcome: result.outcome,
+                    stats,
+                    alg1_probe: Some(result.probe),
+                    two_step_probe: None,
+                })
+            }
+            Regime::TwoStep => {
+                let spec = self.adversary;
+                let result = run_two_step(
+                    self.cfg,
+                    &self.ids,
+                    self.faulty,
+                    |env| spec.build_two_step(env),
+                    self.seed,
+                )?;
+                let stats = RunStats::collect(
+                    Algorithm::TwoStep,
+                    self.cfg,
+                    spec.label(),
+                    &result.outcome,
+                    result.rounds,
+                    &result.metrics,
+                    self.cfg.namespace_bound(Regime::TwoStep),
+                );
+                Ok(RunOutput {
+                    outcome: result.outcome,
+                    stats,
+                    alg1_probe: None,
+                    two_step_probe: Some(result.probe),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IdDistribution;
+
+    #[test]
+    fn every_algorithm_runs_cleanly_under_its_canonical_adversary() {
+        for alg in Algorithm::ALL {
+            let t = 1usize;
+            let n = alg.minimal_n(t).max(6);
+            let cfg = SystemConfig::new(n, t).unwrap();
+            let ids = IdDistribution::SparseRandom.generate(n - t, 11);
+            let stats = alg
+                .run(cfg, &ids, t, AdversarySpec::Silent, 5)
+                .unwrap_or_else(|e| panic!("{alg}: {e}"));
+            assert_eq!(stats.violations, 0, "{alg}");
+            assert_eq!(stats.rounds, alg.rounds(n, t), "{alg}");
+            assert!(stats.max_name.is_some(), "{alg}");
+            assert!(stats.messages > 0, "{alg}");
+        }
+    }
+
+    #[test]
+    fn builder_runs_two_step() {
+        let cfg = SystemConfig::new(11, 2).unwrap();
+        let ids = IdDistribution::Clustered.generate(9, 3);
+        let out = RenamingRun::builder(cfg, Regime::TwoStep)
+            .correct_ids(ids)
+            .adversary(AdversarySpec::FakeFlood, 2)
+            .seed(8)
+            .run()
+            .unwrap();
+        assert_eq!(out.stats.violations, 0);
+        assert!(out.two_step_probe.is_some());
+        assert!(out.alg1_probe.is_none());
+    }
+
+    #[test]
+    fn builder_runs_alg1_with_probe() {
+        let cfg = SystemConfig::new(7, 2).unwrap();
+        let ids = IdDistribution::EvenSpaced.generate(5, 4);
+        let out = RenamingRun::builder(cfg, Regime::LogTime)
+            .correct_ids(ids)
+            .adversary(AdversarySpec::RankSkew, 2)
+            .seed(1)
+            .run()
+            .unwrap();
+        assert_eq!(out.stats.violations, 0);
+        let probe = out.alg1_probe.unwrap();
+        assert!(!probe.spread_series().is_empty());
+    }
+
+    #[test]
+    fn rounds_formulas_agree_with_measurements() {
+        // Cross-check Algorithm::rounds against actual executions for a
+        // couple of (n, t) points per implementation.
+        for (alg, t) in [
+            (Algorithm::Alg1LogTime, 2usize),
+            (Algorithm::TwoStep, 2),
+            (Algorithm::Consensus, 1),
+            (Algorithm::CrashAa, 2),
+        ] {
+            let n = alg.minimal_n(t);
+            let cfg = SystemConfig::new(n, t).unwrap();
+            let ids = IdDistribution::Dense.generate(n - t, 2);
+            let stats = alg.run(cfg, &ids, t, AdversarySpec::Silent, 3).unwrap();
+            assert_eq!(stats.rounds, alg.rounds(n, t), "{alg}");
+        }
+    }
+
+    #[test]
+    fn run_rejects_bad_setups_uniformly() {
+        use opr_types::RenamingError;
+        let cfg = SystemConfig::new(7, 2).unwrap();
+        // Wrong id count for every implementation that runs at (7, 2).
+        for alg in [
+            Algorithm::Alg1LogTime,
+            Algorithm::CrashAa,
+            Algorithm::Cht,
+            Algorithm::Translated,
+        ] {
+            let too_few = IdDistribution::Dense.generate(3, 1);
+            let err = alg
+                .run(cfg, &too_few, 2, AdversarySpec::Silent, 1)
+                .unwrap_err();
+            assert!(
+                matches!(err, RenamingError::WrongIdCount { .. }),
+                "{alg}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn builder_rejects_regime_violation() {
+        let cfg = SystemConfig::new(7, 2).unwrap(); // 7 ≤ 2t²+t = 10
+        let ids = IdDistribution::Dense.generate(5, 1);
+        let err = RenamingRun::builder(cfg, Regime::TwoStep)
+            .correct_ids(ids)
+            .adversary(AdversarySpec::Silent, 2)
+            .run()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            opr_types::RenamingError::Config(opr_types::ConfigError::RegimeViolated { .. })
+        ));
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut labels: Vec<&str> = Algorithm::ALL.iter().map(|a| a.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), Algorithm::ALL.len());
+    }
+}

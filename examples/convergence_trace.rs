@@ -1,0 +1,49 @@
+//! Convergence trace: watch the validated approximate agreement contract
+//! the rank spread `Δ_r` round by round under the worst-case (rank-skew)
+//! adversary — the live version of figure F1.
+//!
+//! ```text
+//! cargo run --example convergence_trace
+//! ```
+
+use opr::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (n, t) = (13usize, 4usize);
+    let cfg = SystemConfig::new(n, t)?;
+    let ids = IdDistribution::EvenSpaced.generate(n - t, 3);
+
+    let out = RenamingRun::builder(cfg, Regime::LogTime)
+        .correct_ids(ids)
+        .adversary(AdversarySpec::RankSkew, t)
+        .seed(11)
+        .run()?;
+
+    let probe = out.alg1_probe.expect("alg1 probe");
+    let series = probe.spread_series();
+    let sigma = cfg.sigma();
+    let threshold = (cfg.delta() - 1.0) / 2.0;
+
+    println!("N = {n}, t = {t}, σ_t = {sigma}, adversary = rank-skew");
+    println!("order-preservation threshold (δ−1)/2 = {threshold:.6}\n");
+    println!("{:<22} {:>14} {:>12}", "step", "max spread Δ", "bar");
+    let scale = 40.0 / series.first().copied().unwrap_or(1.0).max(1e-12);
+    for (i, spread) in series.iter().enumerate() {
+        let label = if i == 0 {
+            "after id selection".to_owned()
+        } else {
+            format!("voting step {i}")
+        };
+        let bar = "#".repeat(((spread * scale).ceil() as usize).max(1).min(60));
+        println!("{label:<22} {spread:>14.8} {bar:>12}");
+    }
+    let last = *series.last().unwrap();
+    println!(
+        "\nfinal spread {last:.2e} < threshold {threshold:.2e}: rounding cannot \
+         clash or invert — order-preserving renaming achieved in {} steps",
+        out.stats.rounds
+    );
+    assert!(last < threshold);
+    assert_eq!(out.stats.violations, 0);
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Fault injection: run Algorithm 1 against the entire Byzantine strategy
+//! suite and report what each attack achieved (spoiler: never a property
+//! violation, but measurably different namespaces, rejected votes and rank
+//! spreads).
+//!
+//! ```text
+//! cargo run --example fault_injection
+//! ```
+
+use opr::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = SystemConfig::new(10, 3)?;
+    let ids = IdDistribution::EvenSpaced.generate(7, 99);
+    println!("system: {cfg}; adversary gets the full t = 3 faulty processes\n");
+    println!(
+        "{:<14} {:>9} {:>10} {:>14} {:>13} {:>11}",
+        "adversary", "max-name", "violations", "rejected-votes", "final-spread", "messages"
+    );
+
+    for spec in AdversarySpec::ALG1 {
+        let out = RenamingRun::builder(cfg, Regime::LogTime)
+            .correct_ids(ids.clone())
+            .adversary(spec, 3)
+            .seed(5)
+            .run()?;
+        let probe = out.alg1_probe.as_ref().expect("alg1 runs carry probes");
+        let spread = probe.spread_series().last().copied().unwrap_or(0.0);
+        println!(
+            "{:<14} {:>9} {:>10} {:>14} {:>13.2e} {:>11}",
+            spec.label(),
+            out.stats.max_name.unwrap_or(0),
+            out.stats.violations,
+            probe.total_rejected_votes(),
+            spread,
+            out.stats.messages,
+        );
+        assert_eq!(out.stats.violations, 0, "{spec} broke the algorithm!");
+    }
+
+    println!(
+        "\nall attacks absorbed: max name never exceeded N + t − 1 = {}, and \
+         isValid rejected every malformed vote",
+        cfg.namespace_bound(Regime::LogTime)
+    );
+    Ok(())
+}

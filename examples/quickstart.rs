@@ -1,0 +1,50 @@
+//! Quickstart: rename 7 processes (2 of them Byzantine) with Algorithm 1
+//! and inspect the outcome.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use opr::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A synchronous system of N = 7 processes, at most t = 2 Byzantine.
+    // N > 3t, so Algorithm 1's log-time schedule applies.
+    let cfg = SystemConfig::new(7, 2)?;
+    println!("system: {cfg}, δ = {:.6}", cfg.delta());
+    println!(
+        "algorithm 1 will run {} communication steps (4 id-selection + {} voting)",
+        cfg.total_steps(Regime::LogTime),
+        cfg.voting_steps(Regime::LogTime),
+    );
+
+    // Five correct processes with sparse original ids.
+    let ids: Vec<OriginalId> = [1400u64, 23, 870_000, 512, 77].map(OriginalId::new).into();
+
+    // Two Byzantine processes running the echo-splitting attack: they try
+    // to make a forged id "timely" at some correct processes but not others.
+    let out = RenamingRun::builder(cfg, Regime::LogTime)
+        .correct_ids(ids.clone())
+        .adversary(AdversarySpec::EchoSplit, 2)
+        .seed(2026)
+        .run()?;
+
+    println!("\nold id -> new name (order must be preserved):");
+    for (&id, decision) in out.outcome.decisions() {
+        match decision {
+            Some(name) => println!("  {id:>8} -> {name}"),
+            None => println!("  {id:>8} -> (no decision)"),
+        }
+    }
+
+    let bound = cfg.namespace_bound(Regime::LogTime);
+    let violations = out.outcome.verify(bound);
+    println!("\nnamespace bound M = N + t − 1 = {bound}");
+    println!("property violations: {}", violations.len());
+    println!(
+        "rounds: {}, correct messages: {}, bits: {}",
+        out.stats.rounds, out.stats.messages, out.stats.bits
+    );
+    assert!(violations.is_empty());
+    Ok(())
+}

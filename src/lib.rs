@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+//! # opr — Order-Preserving Renaming with Byzantine Faults
+//!
+//! Facade crate for the workspace reproducing Denysyuk & Rodrigues,
+//! *Order-Preserving Renaming in Synchronous Systems with Byzantine Faults*
+//! (ICDCS 2013). Re-exports the public API of every member crate:
+//!
+//! * [`types`] — ids, configuration, ranks, outcome checkers.
+//! * [`sim`] — the synchronous full-mesh network simulator.
+//! * [`aa`] — approximate-agreement building blocks (multisets, `select_t`,
+//!   standalone Byzantine/crash AA protocols).
+//! * [`rbcast`] — Echo/Ready flooding substrate (the id-selection core).
+//! * [`consensus`] — phase-king Byzantine consensus (baseline substrate).
+//! * [`core`] — the paper's algorithms: Algorithm 1 (log-time and
+//!   constant-time schedules) and Algorithm 4 (2-step).
+//! * [`adversary`] — the Byzantine strategy library.
+//! * [`baselines`] — comparator algorithms from the related work.
+//! * [`workload`] — experiment harness, sweeps, table rendering.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use opr::prelude::*;
+//!
+//! // 10 processes, up to 3 Byzantine; N > 3t, so Algorithm 1 applies.
+//! let cfg = SystemConfig::new(10, 3)?;
+//! let ids: Vec<OriginalId> =
+//!     [14u64, 3, 77, 21, 58, 9, 42].map(OriginalId::new).into();
+//!
+//! let out = RenamingRun::builder(cfg, Regime::LogTime)
+//!     .correct_ids(ids)
+//!     .adversary(AdversarySpec::EchoSplit, 3)
+//!     .seed(42)
+//!     .run()?;
+//!
+//! // All four renaming properties hold within namespace N + t − 1 = 12.
+//! assert!(out.outcome.verify(cfg.namespace_bound(Regime::LogTime)).is_empty());
+//! assert_eq!(out.stats.rounds, cfg.total_steps(Regime::LogTime));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use opr_aa as aa;
+pub use opr_adversary as adversary;
+pub use opr_baselines as baselines;
+pub use opr_consensus as consensus;
+pub use opr_core as core;
+pub use opr_rbcast as rbcast;
+pub use opr_sim as sim;
+pub use opr_types as types;
+pub use opr_workload as workload;
+
+/// Commonly-used items in one import.
+pub mod prelude {
+    pub use opr_adversary::AdversarySpec;
+    pub use opr_types::{
+        ConfigError, LinkId, NewName, OriginalId, ProcessIndex, Rank, Regime, RenamingError,
+        RenamingOutcome, Round, SystemConfig,
+    };
+    pub use opr_workload::{
+        Algorithm, ExperimentTable, IdDistribution, RenamingRun, RunOutput, RunStats,
+    };
+}

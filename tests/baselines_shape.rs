@@ -1,0 +1,130 @@
+//! Baseline-vs-paper shape claims: the comparisons the paper's introduction
+//! and related-work section make, measured on our implementations.
+
+use opr::prelude::*;
+
+fn sparse_ids(count: usize, seed: u64) -> Vec<OriginalId> {
+    IdDistribution::SparseRandom.generate(count, seed)
+}
+
+#[test]
+fn byzantine_costs_match_crash_costs_in_rounds() {
+    // The paper's first contribution: Algorithm 1 has the *same* step
+    // complexity class as the crash-tolerant solution — O(log t) — despite
+    // tolerating Byzantine faults. Measure both and compare growth.
+    let mut alg1_rounds = Vec::new();
+    let mut crash_rounds = Vec::new();
+    for t in [1usize, 2, 4, 8] {
+        let n = 3 * t + 1;
+        let cfg = SystemConfig::new(n, t).unwrap();
+        let ids = sparse_ids(n - t, 3);
+        let a = Algorithm::Alg1LogTime
+            .run(cfg, &ids, t, AdversarySpec::IdForge, 1)
+            .unwrap();
+        let c = Algorithm::CrashAa
+            .run(cfg, &ids, t, AdversarySpec::Silent, 1)
+            .unwrap();
+        alg1_rounds.push(a.rounds);
+        crash_rounds.push(c.rounds);
+    }
+    // Doubling t adds a constant to both (logarithmic growth).
+    let alg1_deltas: Vec<i64> = alg1_rounds
+        .windows(2)
+        .map(|w| w[1] as i64 - w[0] as i64)
+        .collect();
+    let crash_deltas: Vec<i64> = crash_rounds
+        .windows(2)
+        .map(|w| w[1] as i64 - w[0] as i64)
+        .collect();
+    assert_eq!(
+        alg1_deltas,
+        vec![3, 3, 3],
+        "3 extra steps per doubling of t"
+    );
+    assert_eq!(
+        crash_deltas,
+        vec![1, 1, 1],
+        "1 extra step per doubling of t"
+    );
+}
+
+#[test]
+fn alg1_namespace_beats_translated_baseline() {
+    // Improvement over [15]: N + t − 1 < 2N namespace.
+    for t in [2usize, 3] {
+        let n = 3 * t + 1;
+        assert!(
+            (n + t - 1) < 2 * n,
+            "paper bound must beat the translation bound"
+        );
+        let cfg = SystemConfig::new(n, t).unwrap();
+        let ids = sparse_ids(n - t, 7);
+        let a = Algorithm::Alg1LogTime
+            .run(cfg, &ids, t, AdversarySpec::IdForge, 2)
+            .unwrap();
+        assert!(a.max_name.unwrap() <= (n + t - 1) as i64);
+        let b4 = Algorithm::Translated
+            .run(cfg, &ids, t, AdversarySpec::Silent, 2)
+            .unwrap();
+        assert!(b4.max_name.unwrap() <= 2 * n as i64);
+    }
+}
+
+#[test]
+fn translated_baseline_doubles_round_cost_of_cht() {
+    for t in [1usize, 2] {
+        let n = 3 * t + 1 + 4;
+        let cfg = SystemConfig::new(n, t).unwrap();
+        let ids = sparse_ids(n - t, 5);
+        let cht = Algorithm::Cht
+            .run(cfg, &ids, t, AdversarySpec::Silent, 3)
+            .unwrap();
+        let translated = Algorithm::Translated
+            .run(cfg, &ids, t, AdversarySpec::Silent, 3)
+            .unwrap();
+        assert!(
+            translated.rounds >= 2 * cht.rounds,
+            "N={n}: {} < 2×{}",
+            translated.rounds,
+            cht.rounds
+        );
+    }
+}
+
+#[test]
+fn two_step_is_the_round_floor_but_pays_namespace() {
+    let t = 2usize;
+    let n = 2 * t * t + t + 1;
+    let cfg = SystemConfig::new(n, t).unwrap();
+    let ids = sparse_ids(n - t, 9);
+    let fast = Algorithm::TwoStep
+        .run(cfg, &ids, t, AdversarySpec::FakeFlood, 1)
+        .unwrap();
+    assert_eq!(fast.rounds, 2);
+    // The fast path's names can exceed N + t − 1 (it trades namespace for
+    // rounds); its bound is N².
+    assert!(fast.max_name.unwrap() <= (n * n) as i64);
+    let slow = Algorithm::Alg1LogTime
+        .run(cfg, &ids, t, AdversarySpec::IdForge, 1)
+        .unwrap();
+    assert!(slow.rounds > fast.rounds);
+    assert!(slow.max_name.unwrap() <= (n + t - 1) as i64);
+}
+
+#[test]
+fn consensus_gets_exact_agreement_but_linear_rounds() {
+    // At t = 4 the logarithmic schedule (13 rounds) beats the consensus
+    // route (4 + 2·5 = 14 rounds); the gap then widens linearly (F3).
+    let t = 4usize;
+    let n = 4 * t + 2;
+    let cfg = SystemConfig::new(n, t).unwrap();
+    let ids = sparse_ids(n - t, 4);
+    let cons = Algorithm::Consensus
+        .run(cfg, &ids, t, AdversarySpec::Silent, 6)
+        .unwrap();
+    let alg1 = Algorithm::Alg1LogTime
+        .run(cfg, &ids, t, AdversarySpec::IdForge, 6)
+        .unwrap();
+    assert_eq!(cons.rounds, 4 + 2 * (t as u32 + 1));
+    assert!(alg1.rounds < cons.rounds);
+}

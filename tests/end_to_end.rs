@@ -1,0 +1,154 @@
+//! End-to-end integration: every regime × adversary × id layout, through
+//! the public facade.
+
+use opr::prelude::*;
+
+fn check(cfg: SystemConfig, regime: Regime, spec: AdversarySpec, dist: IdDistribution, seed: u64) {
+    let ids = dist.generate(cfg.n() - cfg.t(), seed + 1);
+    let out = RenamingRun::builder(cfg, regime)
+        .correct_ids(ids)
+        .adversary(spec, cfg.t())
+        .seed(seed)
+        .run()
+        .unwrap_or_else(|e| panic!("{regime:?}/{spec}/{dist}: {e}"));
+    let violations = out.outcome.verify(cfg.namespace_bound(regime));
+    assert!(
+        violations.is_empty(),
+        "{regime:?}/{spec}/{dist} seed {seed}: {violations:?}"
+    );
+    assert_eq!(out.stats.rounds, cfg.total_steps(regime));
+}
+
+#[test]
+fn log_time_regime_full_matrix() {
+    let cfg = SystemConfig::new(7, 2).unwrap();
+    for spec in AdversarySpec::ALG1 {
+        for dist in IdDistribution::ALL {
+            check(cfg, Regime::LogTime, spec, dist, 3);
+        }
+    }
+}
+
+#[test]
+fn constant_time_regime_full_matrix() {
+    let cfg = SystemConfig::new(16, 3).unwrap();
+    for spec in AdversarySpec::ALG1 {
+        for dist in [IdDistribution::EvenSpaced, IdDistribution::SparseRandom] {
+            check(cfg, Regime::ConstantTime, spec, dist, 5);
+        }
+    }
+}
+
+#[test]
+fn two_step_regime_full_matrix() {
+    let cfg = SystemConfig::new(11, 2).unwrap();
+    for spec in AdversarySpec::TWO_STEP {
+        for dist in IdDistribution::ALL {
+            check(cfg, Regime::TwoStep, spec, dist, 7);
+        }
+    }
+}
+
+#[test]
+fn minimal_resilience_configurations() {
+    // The tightest N for each regime, under the hardest applicable attack.
+    for t in 1..=3usize {
+        let cfg = SystemConfig::new(3 * t + 1, t).unwrap();
+        check(
+            cfg,
+            Regime::LogTime,
+            AdversarySpec::EchoSplit,
+            IdDistribution::EvenSpaced,
+            11,
+        );
+        check(
+            cfg,
+            Regime::LogTime,
+            AdversarySpec::RankSkew,
+            IdDistribution::EvenSpaced,
+            11,
+        );
+
+        let cfg = SystemConfig::new(t * t + 2 * t + 1, t).unwrap();
+        check(
+            cfg,
+            Regime::ConstantTime,
+            AdversarySpec::RankSkew,
+            IdDistribution::EvenSpaced,
+            11,
+        );
+
+        let cfg = SystemConfig::new(2 * t * t + t + 1, t).unwrap();
+        check(
+            cfg,
+            Regime::TwoStep,
+            AdversarySpec::FakeFlood,
+            IdDistribution::EvenSpaced,
+            11,
+        );
+    }
+}
+
+#[test]
+fn fewer_faulty_actors_than_t_is_fine() {
+    // t bounds the faults; actual faults f < t must also work (and f = 0).
+    let cfg = SystemConfig::new(10, 3).unwrap();
+    for f in 0..=3usize {
+        let ids = IdDistribution::SparseRandom.generate(10 - f, 13);
+        let out = RenamingRun::builder(cfg, Regime::LogTime)
+            .correct_ids(ids)
+            .adversary(AdversarySpec::IdForge, f)
+            .seed(1)
+            .run()
+            .unwrap();
+        assert_eq!(out.stats.violations, 0, "f={f}");
+    }
+}
+
+#[test]
+fn seeds_change_topology_but_never_outcome_properties() {
+    let cfg = SystemConfig::new(10, 3).unwrap();
+    let ids = IdDistribution::Clustered.generate(7, 2);
+    for seed in 0..20u64 {
+        let out = RenamingRun::builder(cfg, Regime::LogTime)
+            .correct_ids(ids.clone())
+            .adversary(AdversarySpec::EchoSplit, 3)
+            .seed(seed)
+            .run()
+            .unwrap();
+        assert_eq!(out.stats.violations, 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn identical_runs_are_bit_identical() {
+    let cfg = SystemConfig::new(7, 2).unwrap();
+    let ids = IdDistribution::SparseRandom.generate(5, 8);
+    let run = || {
+        RenamingRun::builder(cfg, Regime::LogTime)
+            .correct_ids(ids.clone())
+            .adversary(AdversarySpec::RandomNoise, 2)
+            .seed(77)
+            .run()
+            .unwrap()
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.outcome, b.outcome, "determinism is part of the contract");
+    assert_eq!(a.stats.messages, b.stats.messages);
+    assert_eq!(a.stats.bits, b.stats.bits);
+}
+
+#[test]
+fn large_system_smoke() {
+    // N = 64, t = 10 — a larger run exercising the full pipeline.
+    let cfg = SystemConfig::new(64, 10).unwrap();
+    let ids = IdDistribution::SparseRandom.generate(54, 4);
+    let out = RenamingRun::builder(cfg, Regime::LogTime)
+        .correct_ids(ids)
+        .adversary(AdversarySpec::RankSkew, 10)
+        .seed(1)
+        .run()
+        .unwrap();
+    assert_eq!(out.stats.violations, 0);
+    assert_eq!(out.stats.rounds, cfg.total_steps(Regime::LogTime));
+}

@@ -1,0 +1,128 @@
+//! Property-based integration tests: random legal configurations, random id
+//! workloads, random adversaries — the four renaming properties must hold
+//! in every sampled universe.
+
+use opr::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a legal (n, t) for the given regime, with t ≥ 1 so the
+/// adversary is never vacuous.
+fn config_for(regime: Regime) -> impl Strategy<Value = (usize, usize)> {
+    (1usize..=3).prop_flat_map(move |t| {
+        let min_n = SystemConfig::minimal_n(t, regime);
+        (min_n..min_n + 6).prop_map(move |n| (n, t))
+    })
+}
+
+fn adversary_for(regime: Regime) -> impl Strategy<Value = AdversarySpec> {
+    let suite: Vec<AdversarySpec> = AdversarySpec::suite(regime).to_vec();
+    proptest::sample::select(suite)
+}
+
+fn distribution() -> impl Strategy<Value = IdDistribution> {
+    proptest::sample::select(IdDistribution::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn alg1_log_time_upholds_renaming_properties(
+        (n, t) in config_for(Regime::LogTime),
+        spec in adversary_for(Regime::LogTime),
+        dist in distribution(),
+        seed in 0u64..1000,
+    ) {
+        let cfg = SystemConfig::new(n, t).unwrap();
+        let ids = dist.generate(n - t, seed);
+        let out = RenamingRun::builder(cfg, Regime::LogTime)
+            .correct_ids(ids)
+            .adversary(spec, t)
+            .seed(seed)
+            .run()
+            .unwrap();
+        let violations = out.outcome.verify(cfg.namespace_bound(Regime::LogTime));
+        prop_assert!(violations.is_empty(), "{spec}/{dist}: {violations:?}");
+    }
+
+    #[test]
+    fn alg1_constant_time_is_strong(
+        (n, t) in config_for(Regime::ConstantTime),
+        spec in adversary_for(Regime::ConstantTime),
+        dist in distribution(),
+        seed in 0u64..1000,
+    ) {
+        let cfg = SystemConfig::new(n, t).unwrap();
+        let ids = dist.generate(n - t, seed);
+        let out = RenamingRun::builder(cfg, Regime::ConstantTime)
+            .correct_ids(ids)
+            .adversary(spec, t)
+            .seed(seed)
+            .run()
+            .unwrap();
+        // Strong renaming: the namespace is exactly N (Lemma V.1).
+        let violations = out.outcome.verify(n as u64);
+        prop_assert!(violations.is_empty(), "{spec}/{dist}: {violations:?}");
+        prop_assert_eq!(out.stats.rounds, 8);
+    }
+
+    #[test]
+    fn two_step_upholds_renaming_properties(
+        (n, t) in config_for(Regime::TwoStep),
+        spec in adversary_for(Regime::TwoStep),
+        dist in distribution(),
+        seed in 0u64..1000,
+    ) {
+        let cfg = SystemConfig::new(n, t).unwrap();
+        let ids = dist.generate(n - t, seed);
+        let out = RenamingRun::builder(cfg, Regime::TwoStep)
+            .correct_ids(ids)
+            .adversary(spec, t)
+            .seed(seed)
+            .run()
+            .unwrap();
+        let violations = out.outcome.verify((n as u64) * (n as u64));
+        prop_assert!(violations.is_empty(), "{spec}/{dist}: {violations:?}");
+        prop_assert_eq!(out.stats.rounds, 2);
+    }
+
+    #[test]
+    fn alg1_namespace_bound_is_n_plus_t_minus_1(
+        (n, t) in config_for(Regime::LogTime),
+        seed in 0u64..1000,
+    ) {
+        // Even under the id-forging adversary, no name exceeds N + t − 1
+        // (Theorem IV.10's validity property).
+        let cfg = SystemConfig::new(n, t).unwrap();
+        let ids = IdDistribution::EvenSpaced.generate(n - t, seed);
+        let out = RenamingRun::builder(cfg, Regime::LogTime)
+            .correct_ids(ids)
+            .adversary(AdversarySpec::IdForge, t)
+            .seed(seed)
+            .run()
+            .unwrap();
+        let max = out.stats.max_name.unwrap();
+        prop_assert!(max <= (n + t - 1) as i64, "max name {max}");
+    }
+
+    #[test]
+    fn outcome_checker_catches_planted_inversions(
+        names in proptest::collection::btree_set(1i64..100, 2..10),
+    ) {
+        // Meta-test of the verifier itself: take a valid outcome and swap
+        // two names — the checker must flag it.
+        let sorted: Vec<i64> = names.into_iter().collect();
+        let ids: Vec<OriginalId> =
+            (0..sorted.len()).map(|i| OriginalId::new((i as u64 + 1) * 10)).collect();
+        let good = RenamingOutcome::new(
+            ids.iter().zip(&sorted).map(|(&id, &n)| (id, Some(NewName::new(n)))),
+        );
+        prop_assert!(good.verify(100).is_empty());
+        let mut swapped = sorted.clone();
+        swapped.swap(0, sorted.len() - 1);
+        let bad = RenamingOutcome::new(
+            ids.iter().zip(&swapped).map(|(&id, &n)| (id, Some(NewName::new(n)))),
+        );
+        prop_assert!(!bad.verify(100).is_empty());
+    }
+}

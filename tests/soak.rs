@@ -1,0 +1,84 @@
+//! Soak tests: exhaustive adversary × seed × configuration matrices.
+//! Ignored by default (minutes of runtime); run with
+//! `cargo test --test soak -- --ignored`.
+
+use opr::prelude::*;
+
+#[test]
+#[ignore = "soak: large matrix, run explicitly"]
+fn alg1_log_time_soak() {
+    for t in 1..=4usize {
+        for n in (3 * t + 1)..(3 * t + 5) {
+            let cfg = SystemConfig::new(n, t).unwrap();
+            for spec in AdversarySpec::ALG1 {
+                for dist in IdDistribution::ALL {
+                    for seed in 0..10u64 {
+                        let ids = dist.generate(n - t, seed);
+                        let out = RenamingRun::builder(cfg, Regime::LogTime)
+                            .correct_ids(ids)
+                            .adversary(spec, t)
+                            .seed(seed)
+                            .run()
+                            .unwrap();
+                        assert_eq!(
+                            out.stats.violations, 0,
+                            "N={n} t={t} {spec} {dist} seed={seed}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+#[ignore = "soak: large matrix, run explicitly"]
+fn two_step_soak() {
+    for t in 1..=3usize {
+        for n in (2 * t * t + t + 1)..(2 * t * t + t + 4) {
+            let cfg = SystemConfig::new(n, t).unwrap();
+            for spec in AdversarySpec::TWO_STEP {
+                for dist in IdDistribution::ALL {
+                    for seed in 0..10u64 {
+                        let ids = dist.generate(n - t, seed);
+                        let out = RenamingRun::builder(cfg, Regime::TwoStep)
+                            .correct_ids(ids)
+                            .adversary(spec, t)
+                            .seed(seed)
+                            .run()
+                            .unwrap();
+                        assert_eq!(
+                            out.stats.violations, 0,
+                            "N={n} t={t} {spec} {dist} seed={seed}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+#[ignore = "soak: large matrix, run explicitly"]
+fn constant_time_soak() {
+    for t in 1..=3usize {
+        let n = t * t + 2 * t + 1;
+        let cfg = SystemConfig::new(n, t).unwrap();
+        for spec in AdversarySpec::ALG1 {
+            for seed in 0..20u64 {
+                let ids = IdDistribution::EvenSpaced.generate(n - t, seed);
+                let out = RenamingRun::builder(cfg, Regime::ConstantTime)
+                    .correct_ids(ids)
+                    .adversary(spec, t)
+                    .seed(seed)
+                    .run()
+                    .unwrap();
+                // Strong renaming at the regime boundary under every attack.
+                assert!(
+                    out.outcome.verify(n as u64).is_empty(),
+                    "N={n} t={t} {spec} seed={seed}"
+                );
+            }
+        }
+    }
+}
