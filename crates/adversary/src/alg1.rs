@@ -326,119 +326,6 @@ impl Actor for OrderInverter {
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use opr_core::runner::{run_alg1, Alg1Options};
-    use opr_types::{Regime, SystemConfig};
-
-    fn ids(raw: &[u64]) -> Vec<OriginalId> {
-        raw.iter().map(|&x| OriginalId::new(x)).collect()
-    }
-
-    fn check_strategy<F>(
-        cfg: SystemConfig,
-        raw_ids: &[u64],
-        f: usize,
-        build: F,
-    ) -> opr_core::RunResult<opr_core::Alg1Probe>
-    where
-        F: FnMut(&AdversaryEnv) -> Option<Box<dyn Actor<Msg = Alg1Msg, Output = NewName>>>,
-    {
-        let result = run_alg1(
-            cfg,
-            Regime::LogTime,
-            &ids(raw_ids),
-            f,
-            build,
-            Alg1Options {
-                seed: 42,
-                allow_regime_violation: false,
-                ..Alg1Options::default()
-            },
-        )
-        .unwrap();
-        let m = cfg.namespace_bound(Regime::LogTime);
-        let violations = result.outcome.verify(m);
-        assert!(violations.is_empty(), "violations: {violations:?}");
-        result
-    }
-
-    #[test]
-    fn id_forger_cannot_break_renaming() {
-        let cfg = SystemConfig::new(7, 2).unwrap();
-        let result = check_strategy(cfg, &[5, 18, 33, 47, 90], 2, |env| {
-            Some(Box::new(IdForger::new(env)))
-        });
-        // Lemma IV.3: accepted sets stay within the bound.
-        for size in result.probe.accepted_sizes() {
-            assert!(size <= cfg.accepted_bound(), "{size} > bound");
-        }
-    }
-
-    #[test]
-    fn echo_splitter_cannot_break_renaming() {
-        let cfg = SystemConfig::new(7, 2).unwrap();
-        let result = check_strategy(cfg, &[5, 18, 33, 47, 90], 2, |env| {
-            Some(Box::new(EchoSplitter::new(env)))
-        });
-        assert_eq!(result.probe.containment_violations(), 0);
-    }
-
-    #[test]
-    fn rank_skewer_cannot_break_renaming() {
-        let cfg = SystemConfig::new(7, 2).unwrap();
-        let result = check_strategy(cfg, &[5, 18, 33, 47, 90], 2, |env| {
-            Some(Box::new(RankSkewer::new(env)))
-        });
-        // The spread must still contract to a safe level by the end.
-        let series = result.probe.spread_series();
-        let last = *series.last().unwrap();
-        assert!(
-            last < (cfg.delta() - 1.0) / 2.0 + 1e-9,
-            "final spread {last} too large"
-        );
-    }
-
-    #[test]
-    fn order_inverter_votes_are_rejected() {
-        let cfg = SystemConfig::new(7, 2).unwrap();
-        let result = check_strategy(cfg, &[5, 18, 33, 47, 90], 2, |env| {
-            Some(Box::new(OrderInverter::new(env)))
-        });
-        assert!(
-            result.probe.total_rejected_votes() > 0,
-            "isValid should have rejected the inverted votes"
-        );
-    }
-
-    #[test]
-    fn strategies_work_at_minimal_resilience() {
-        // N = 3t+1 is the tightest legal configuration.
-        let cfg = SystemConfig::new(4, 1).unwrap();
-        check_strategy(cfg, &[11, 22, 33], 1, |env| {
-            Some(Box::new(IdForger::new(env)))
-        });
-        check_strategy(cfg, &[11, 22, 33], 1, |env| {
-            Some(Box::new(RankSkewer::new(env)))
-        });
-        check_strategy(cfg, &[11, 22, 33], 1, |env| {
-            Some(Box::new(EchoSplitter::new(env)))
-        });
-    }
-
-    #[test]
-    fn shifted_votes_are_delta_spaced() {
-        let set: BTreeSet<OriginalId> = [3u64, 7, 9].iter().map(|&x| OriginalId::new(x)).collect();
-        let delta = 1.01;
-        let votes = shifted_votes(&set, delta, 5.0);
-        for w in votes.windows(2) {
-            assert!(w[0].1.spaced_at_least(w[1].1, delta));
-        }
-        assert_eq!(votes[0].1, Rank::new(delta + 5.0));
-    }
-}
-
 /// The attack the `isValid` filter exists to stop (ablation A1, and the
 /// paper's Section I motivation): drive `t` fake ids below the id space
 /// through the divergence gadget with *staggered* favoured sets, so the
@@ -620,5 +507,118 @@ impl Actor for PairSqueezer {
 
     fn output(&self) -> Option<NewName> {
         None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opr_core::runner::{run_alg1, Alg1Options};
+    use opr_types::{Regime, SystemConfig};
+
+    fn ids(raw: &[u64]) -> Vec<OriginalId> {
+        raw.iter().map(|&x| OriginalId::new(x)).collect()
+    }
+
+    fn check_strategy<F>(
+        cfg: SystemConfig,
+        raw_ids: &[u64],
+        f: usize,
+        build: F,
+    ) -> opr_core::RunResult<opr_core::Alg1Probe>
+    where
+        F: FnMut(&AdversaryEnv) -> Option<Box<dyn Actor<Msg = Alg1Msg, Output = NewName>>>,
+    {
+        let result = run_alg1(
+            cfg,
+            Regime::LogTime,
+            &ids(raw_ids),
+            f,
+            build,
+            Alg1Options {
+                seed: 42,
+                allow_regime_violation: false,
+                ..Alg1Options::default()
+            },
+        )
+        .unwrap();
+        let m = cfg.namespace_bound(Regime::LogTime);
+        let violations = result.outcome.verify(m);
+        assert!(violations.is_empty(), "violations: {violations:?}");
+        result
+    }
+
+    #[test]
+    fn id_forger_cannot_break_renaming() {
+        let cfg = SystemConfig::new(7, 2).unwrap();
+        let result = check_strategy(cfg, &[5, 18, 33, 47, 90], 2, |env| {
+            Some(Box::new(IdForger::new(env)))
+        });
+        // Lemma IV.3: accepted sets stay within the bound.
+        for size in result.probe.accepted_sizes() {
+            assert!(size <= cfg.accepted_bound(), "{size} > bound");
+        }
+    }
+
+    #[test]
+    fn echo_splitter_cannot_break_renaming() {
+        let cfg = SystemConfig::new(7, 2).unwrap();
+        let result = check_strategy(cfg, &[5, 18, 33, 47, 90], 2, |env| {
+            Some(Box::new(EchoSplitter::new(env)))
+        });
+        assert_eq!(result.probe.containment_violations(), 0);
+    }
+
+    #[test]
+    fn rank_skewer_cannot_break_renaming() {
+        let cfg = SystemConfig::new(7, 2).unwrap();
+        let result = check_strategy(cfg, &[5, 18, 33, 47, 90], 2, |env| {
+            Some(Box::new(RankSkewer::new(env)))
+        });
+        // The spread must still contract to a safe level by the end.
+        let series = result.probe.spread_series();
+        let last = *series.last().unwrap();
+        assert!(
+            last < (cfg.delta() - 1.0) / 2.0 + 1e-9,
+            "final spread {last} too large"
+        );
+    }
+
+    #[test]
+    fn order_inverter_votes_are_rejected() {
+        let cfg = SystemConfig::new(7, 2).unwrap();
+        let result = check_strategy(cfg, &[5, 18, 33, 47, 90], 2, |env| {
+            Some(Box::new(OrderInverter::new(env)))
+        });
+        assert!(
+            result.probe.total_rejected_votes() > 0,
+            "isValid should have rejected the inverted votes"
+        );
+    }
+
+    #[test]
+    fn strategies_work_at_minimal_resilience() {
+        // N = 3t+1 is the tightest legal configuration.
+        let cfg = SystemConfig::new(4, 1).unwrap();
+        check_strategy(cfg, &[11, 22, 33], 1, |env| {
+            Some(Box::new(IdForger::new(env)))
+        });
+        check_strategy(cfg, &[11, 22, 33], 1, |env| {
+            Some(Box::new(RankSkewer::new(env)))
+        });
+        check_strategy(cfg, &[11, 22, 33], 1, |env| {
+            Some(Box::new(EchoSplitter::new(env)))
+        });
+    }
+
+    #[test]
+    fn shifted_votes_are_delta_spaced() {
+        let set: BTreeSet<OriginalId> = [3u64, 7, 9].iter().map(|&x| OriginalId::new(x)).collect();
+        let delta = 1.01;
+        let votes = shifted_votes(&set, delta, 5.0);
+        for w in votes.windows(2) {
+            assert!(w[0].1.spaced_at_least(w[1].1, delta));
+        }
+        assert_eq!(votes[0].1, Rank::new(delta + 5.0));
     }
 }

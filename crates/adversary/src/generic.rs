@@ -77,7 +77,7 @@ impl<M, O> Replay<M, O> {
     }
 }
 
-impl<M: Clone, O> Actor for Replay<M, O> {
+impl<M: Clone + Send, O: Send> Actor for Replay<M, O> {
     type Msg = M;
     type Output = O;
 
@@ -135,7 +135,9 @@ where
 
 impl<M, O, F> Actor for Noise<M, O, F>
 where
-    F: FnMut(&mut StdRng, Round) -> Option<M>,
+    M: Send,
+    O: Send,
+    F: FnMut(&mut StdRng, Round) -> Option<M> + Send,
 {
     type Msg = M;
     type Output = O;

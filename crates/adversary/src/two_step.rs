@@ -185,6 +185,64 @@ impl Actor for EchoWithholder {
     }
 }
 
+/// The attack the offset clamp `min(counter, N − t)` exists to stop
+/// (ablation A2): echo the correct ids to only half of the correct
+/// processes. Counters for *every* correct id then differ by `t` across the
+/// two halves; with the clamp both sides floor at `N − t` and nothing
+/// happens, but without it the per-id error accumulates linearly along the
+/// sorted id sequence and eventually inverts names across processes.
+pub struct HalfEcho {
+    fake: OriginalId,
+    correct_ids: Vec<OriginalId>,
+    favoured: Vec<LinkId>,
+}
+
+impl HalfEcho {
+    /// Creates the half-echoer from the adversary environment.
+    pub fn new(env: &AdversaryEnv<'_>) -> Self {
+        let links = env.links_to_correct();
+        let half = links.len() / 2;
+        HalfEcho {
+            fake: fake_ids(env, 1)[0],
+            correct_ids: env.correct_ids.to_vec(),
+            favoured: links[..half].to_vec(),
+        }
+    }
+}
+
+impl Actor for HalfEcho {
+    type Msg = TwoStepMsg;
+    type Output = NewName;
+
+    fn send(&mut self, round: Round) -> Outbox<TwoStepMsg> {
+        match round.number() {
+            // Announce to everyone so our echoes pass the linkid ≠ ⊥ check.
+            1 => Outbox::Broadcast(TwoStepMsg::Id(self.fake)),
+            2 => {
+                let set: BTreeSet<OriginalId> = self
+                    .correct_ids
+                    .iter()
+                    .copied()
+                    .chain(std::iter::once(self.fake))
+                    .collect();
+                Outbox::Multicast(
+                    self.favoured
+                        .iter()
+                        .map(|&l| (l, TwoStepMsg::MultiEcho(set.clone())))
+                        .collect(),
+                )
+            }
+            _ => Outbox::Silent,
+        }
+    }
+
+    fn deliver(&mut self, _round: Round, _inbox: Inbox<TwoStepMsg>) {}
+
+    fn output(&self) -> Option<NewName> {
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -300,63 +358,5 @@ mod tests {
         )
         .unwrap();
         assert!(result.outcome.verify(16).is_empty());
-    }
-}
-
-/// The attack the offset clamp `min(counter, N − t)` exists to stop
-/// (ablation A2): echo the correct ids to only half of the correct
-/// processes. Counters for *every* correct id then differ by `t` across the
-/// two halves; with the clamp both sides floor at `N − t` and nothing
-/// happens, but without it the per-id error accumulates linearly along the
-/// sorted id sequence and eventually inverts names across processes.
-pub struct HalfEcho {
-    fake: OriginalId,
-    correct_ids: Vec<OriginalId>,
-    favoured: Vec<LinkId>,
-}
-
-impl HalfEcho {
-    /// Creates the half-echoer from the adversary environment.
-    pub fn new(env: &AdversaryEnv<'_>) -> Self {
-        let links = env.links_to_correct();
-        let half = links.len() / 2;
-        HalfEcho {
-            fake: fake_ids(env, 1)[0],
-            correct_ids: env.correct_ids.to_vec(),
-            favoured: links[..half].to_vec(),
-        }
-    }
-}
-
-impl Actor for HalfEcho {
-    type Msg = TwoStepMsg;
-    type Output = NewName;
-
-    fn send(&mut self, round: Round) -> Outbox<TwoStepMsg> {
-        match round.number() {
-            // Announce to everyone so our echoes pass the linkid ≠ ⊥ check.
-            1 => Outbox::Broadcast(TwoStepMsg::Id(self.fake)),
-            2 => {
-                let set: BTreeSet<OriginalId> = self
-                    .correct_ids
-                    .iter()
-                    .copied()
-                    .chain(std::iter::once(self.fake))
-                    .collect();
-                Outbox::Multicast(
-                    self.favoured
-                        .iter()
-                        .map(|&l| (l, TwoStepMsg::MultiEcho(set.clone())))
-                        .collect(),
-                )
-            }
-            _ => Outbox::Silent,
-        }
-    }
-
-    fn deliver(&mut self, _round: Round, _inbox: Inbox<TwoStepMsg>) {}
-
-    fn output(&self) -> Option<NewName> {
-        None
     }
 }

@@ -4,6 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use opr_rbcast::{FloodActor, FloodMsg, FloodResult};
 use opr_sim::{Actor, Inbox, Network, Outbox, Topology, WireSize};
+use opr_transport::{BackendKind, Job};
 use opr_types::{OriginalId, Round};
 use std::hint::black_box;
 
@@ -69,5 +70,30 @@ fn bench_id_selection_flood(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_all_to_all_rounds, bench_id_selection_flood);
+/// Sim vs threaded on the same all-to-all job: what the barrier + channel
+/// machinery costs (or buys) relative to the single-threaded reference at
+/// each system size.
+fn bench_backend_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate-backends");
+    for n in [8usize, 32, 128] {
+        for backend in BackendKind::ALL {
+            group.bench_function(format!("{backend}/N{n}"), |b| {
+                b.iter(|| {
+                    let actors: Vec<Box<dyn Actor<Msg = Ping, Output = u64>>> =
+                        (0..n).map(|i| Box::new(Pinger(i as u64)) as _).collect();
+                    let report = backend.execute(Job::new(actors, Topology::canonical(n), 10));
+                    black_box(report.metrics.messages_correct())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_all_to_all_rounds,
+    bench_id_selection_flood,
+    bench_backend_comparison
+);
 criterion_main!(benches);

@@ -12,6 +12,7 @@
 //! rounds, messages, bits, max-message-bits, max-name, violations.
 
 use opr_adversary::AdversarySpec;
+use opr_transport::BackendKind;
 use opr_types::SystemConfig;
 use opr_workload::{Algorithm, IdDistribution};
 
@@ -38,7 +39,7 @@ fn adversary_by_label(label: &str) -> Option<AdversarySpec> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sweep --alg <label> [--t A..B] [--seeds K] [--adversary <label>] [--n-extra E]\n\
+        "usage: sweep --alg <label> [--t A..B] [--seeds K] [--adversary <label>] [--n-extra E] [--backend sim|threaded]\n\
          algorithms: {}\n\
          adversaries: {}",
         Algorithm::ALL.map(|a| a.label()).join(", "),
@@ -59,6 +60,7 @@ fn main() {
     let mut seeds = 3u64;
     let mut adversary: Option<AdversarySpec> = None;
     let mut n_extra = 0usize;
+    let mut backend = BackendKind::default();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -82,6 +84,12 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--backend" => {
+                backend = it
+                    .next()
+                    .and_then(|v| BackendKind::parse(v))
+                    .unwrap_or_else(|| usage())
+            }
             _ => usage(),
         }
     }
@@ -100,7 +108,7 @@ fn main() {
         };
         for seed in 0..seeds {
             let ids = IdDistribution::SparseRandom.generate(n - t, seed * 7 + 1);
-            match alg.run(cfg, &ids, t, spec, seed) {
+            match alg.run_on(backend, cfg, &ids, t, spec, seed) {
                 Ok(stats) => println!(
                     "{},{},{},{},{},{},{},{},{},{},{}",
                     alg.label(),

@@ -6,8 +6,14 @@
 //! cargo run -p opr-bench --bin tables            # all experiments, markdown
 //! cargo run -p opr-bench --bin tables -- t1 f3   # a subset
 //! cargo run -p opr-bench --bin tables -- --csv   # CSV instead of markdown
+//! cargo run -p opr-bench --bin tables -- --backend threaded t1
 //! ```
+//!
+//! `--backend` selects the execution substrate every experiment runs on
+//! (default `sim`); results are identical on either, only the execution
+//! strategy changes.
 
+use opr_transport::BackendKind;
 use opr_workload::experiments;
 use opr_workload::ExperimentTable;
 
@@ -37,9 +43,29 @@ const ALL_IDS: [&str; 13] = [
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let csv = args.iter().any(|a| a == "--csv");
+    if let Some(pos) = args.iter().position(|a| a == "--backend") {
+        match args.get(pos + 1).and_then(|v| BackendKind::parse(v)) {
+            Some(kind) => BackendKind::set_process_default(kind),
+            None => {
+                eprintln!("--backend takes one of: sim, threaded");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut skip_next = false;
     let requested: Vec<&str> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--backend" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with("--")
+        })
         .map(String::as_str)
         .collect();
     let ids: Vec<&str> = if requested.is_empty() {

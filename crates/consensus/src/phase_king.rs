@@ -101,7 +101,7 @@ impl<V: Ord + Clone + Debug> VectorPhaseKing<V> {
     }
 }
 
-impl<V: Ord + Clone + Debug + WireSize> Actor for VectorPhaseKing<V> {
+impl<V: Ord + Clone + Debug + WireSize + Send> Actor for VectorPhaseKing<V> {
     type Msg = ConsensusMsg<V>;
     type Output = BTreeSet<V>;
 
@@ -261,7 +261,7 @@ mod tests {
                     ConsensusMsg::Pref(map)
                 }
             };
-            let king_round = round.number() % 2 == 0;
+            let king_round = round.number().is_multiple_of(2);
             Outbox::Multicast(
                 (1..=self.n)
                     .map(|l| (opr_types::LinkId::new(l), make(l % 2 == 0, king_round)))

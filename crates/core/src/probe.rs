@@ -9,9 +9,8 @@
 
 use crate::ranks::RankVector;
 use opr_types::{NewName, OriginalId};
-use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// One correct process's view at the end of a step of Algorithm 1.
 #[derive(Clone, Debug, PartialEq)]
@@ -39,12 +38,14 @@ pub struct ProcessProbe {
     pub decided_at_step: Option<u32>,
 }
 
-/// Shared handle to a [`ProcessProbe`] (the simulator is single-threaded).
-pub type SharedProcessProbe = Rc<RefCell<ProcessProbe>>;
+/// Shared handle to a [`ProcessProbe`]. `Arc<Mutex<…>>` so actors stay
+/// `Send` and probes work on the threaded substrate; on the sim backend the
+/// lock is uncontended and effectively free.
+pub type SharedProcessProbe = Arc<Mutex<ProcessProbe>>;
 
 /// Creates a fresh shared probe.
 pub fn shared_probe() -> SharedProcessProbe {
-    Rc::new(RefCell::new(ProcessProbe::default()))
+    Arc::new(Mutex::new(ProcessProbe::default()))
 }
 
 /// Aggregated observations of all correct processes in one Algorithm 1 run.
@@ -163,11 +164,11 @@ pub struct TwoStepProcessProbe {
 }
 
 /// Shared handle for a [`TwoStepProcessProbe`].
-pub type SharedTwoStepProbe = Rc<RefCell<TwoStepProcessProbe>>;
+pub type SharedTwoStepProbe = Arc<Mutex<TwoStepProcessProbe>>;
 
 /// Creates a fresh shared two-step probe.
 pub fn shared_two_step_probe() -> SharedTwoStepProbe {
-    Rc::new(RefCell::new(TwoStepProcessProbe::default()))
+    Arc::new(Mutex::new(TwoStepProcessProbe::default()))
 }
 
 /// Aggregated observations of one Algorithm 4 run.

@@ -183,7 +183,7 @@ impl OrderPreservingRenaming {
 
     fn record_snapshot(&self, step: u32) {
         if let Some(probe) = &self.probe {
-            probe.borrow_mut().snapshots.push(VotingSnapshot {
+            probe.lock().unwrap().snapshots.push(VotingSnapshot {
                 step,
                 ranks: self.ranks.clone(),
                 timely: self.timely.clone(),
@@ -255,7 +255,7 @@ impl Actor for OrderPreservingRenaming {
                 }
             }
             if let Some(probe) = &self.probe {
-                probe.borrow_mut().rejected_votes += rejected;
+                probe.lock().unwrap().rejected_votes += rejected;
             }
             // Early-output rule (see Alg1Tweaks::early_output): a unanimous
             // valid quorum equal to our own vector freezes the decision at
@@ -282,7 +282,7 @@ impl Actor for OrderPreservingRenaming {
                     self.decided = self.ranks.get(self.my_id).map(|rank| rank.round_to_name());
                     if self.decided.is_some() {
                         if let Some(probe) = &self.probe {
-                            probe.borrow_mut().decided_at_step = Some(r);
+                            probe.lock().unwrap().decided_at_step = Some(r);
                         }
                     }
                 }
@@ -384,9 +384,9 @@ mod tests {
         let mut net = Network::new(actors, Topology::seeded(4, 9));
         net.run(7);
         // Snapshot at step 4 + one per voting step (5, 6, 7).
-        assert_eq!(probe.borrow().snapshots.len(), 4);
-        assert_eq!(probe.borrow().snapshots[0].step, 4);
-        assert_eq!(probe.borrow().rejected_votes, 0);
+        assert_eq!(probe.lock().unwrap().snapshots.len(), 4);
+        assert_eq!(probe.lock().unwrap().snapshots[0].step, 4);
+        assert_eq!(probe.lock().unwrap().rejected_votes, 0);
     }
 
     #[test]

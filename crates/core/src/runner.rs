@@ -9,7 +9,8 @@ use crate::messages::{Alg1Msg, TwoStepMsg};
 use crate::probe::{shared_probe, shared_two_step_probe, Alg1Probe, TwoStepProbe};
 use crate::renaming::OrderPreservingRenaming;
 use crate::two_step::TwoStepRenaming;
-use opr_sim::{Actor, Inbox, Network, Outbox, RunMetrics, Topology, WireSize};
+use opr_sim::{Actor, Inbox, Outbox, RunMetrics, Topology, WireSize};
+use opr_transport::{BackendKind, FaultPlan, Job};
 use opr_types::{NewName, OriginalId, Regime, RenamingError, RenamingOutcome, Round, SystemConfig};
 use std::collections::BTreeSet;
 use std::fmt::Debug;
@@ -69,7 +70,7 @@ impl AdversaryEnv<'_> {
 }
 
 /// Options for [`run_alg1`].
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Alg1Options {
     /// Seed for topology labelling and faulty-actor placement.
     pub seed: u64,
@@ -80,6 +81,37 @@ pub struct Alg1Options {
     /// Algorithm knobs (extra/overridden voting steps, validation and δ
     /// ablations, early output); see [`Alg1Tweaks`](crate::renaming::Alg1Tweaks).
     pub tweaks: crate::renaming::Alg1Tweaks,
+    /// Which execution substrate runs the system (observationally
+    /// equivalent; defaults to the single-threaded simulator).
+    pub backend: BackendKind,
+    /// Transport-level faults applied below the actors (drops and
+    /// delay-to-silence schedules on chosen links).
+    pub faults: FaultPlan,
+}
+
+/// Options for [`run_two_step_with`].
+#[derive(Clone, Debug)]
+pub struct TwoStepOptions {
+    /// Seed for topology labelling and faulty-actor placement.
+    pub seed: u64,
+    /// Whether offsets are clamped to `[0, t]` (the paper's algorithm; only
+    /// ablation A2 switches this off — see [`TwoStepRenaming::with_clamp`]).
+    pub clamp_offsets: bool,
+    /// Which execution substrate runs the system.
+    pub backend: BackendKind,
+    /// Transport-level faults applied below the actors.
+    pub faults: FaultPlan,
+}
+
+impl Default for TwoStepOptions {
+    fn default() -> Self {
+        TwoStepOptions {
+            seed: 0,
+            clamp_offsets: true,
+            backend: BackendKind::default(),
+            faults: FaultPlan::default(),
+        }
+    }
 }
 
 /// Everything observed in one run.
@@ -98,7 +130,7 @@ pub struct RunResult<P> {
 /// An actor that never sends and never decides — the default Byzantine
 /// behaviour when an adversary factory returns `None` (a silent process is
 /// indistinguishable from a crashed one).
-pub struct SilentActor<M, O>(PhantomData<(M, O)>);
+pub struct SilentActor<M, O>(PhantomData<fn() -> (M, O)>);
 
 impl<M, O> SilentActor<M, O> {
     /// Creates a silent actor.
@@ -181,12 +213,14 @@ fn generic_run<M, F, C, P>(
     faulty_count: usize,
     total_steps: u32,
     seed: u64,
+    backend: BackendKind,
+    faults: FaultPlan,
     mut make_adversary: F,
     mut make_correct: C,
     collect_probe: impl FnOnce() -> P,
 ) -> Result<RunResult<P>, RenamingError>
 where
-    M: Clone + Debug + WireSize + 'static,
+    M: Clone + Debug + WireSize + Send + 'static,
     F: FnMut(&AdversaryEnv) -> Option<Box<dyn Actor<Msg = M, Output = NewName>>>,
     C: FnMut(OriginalId) -> Box<dyn Actor<Msg = M, Output = NewName>>,
 {
@@ -231,8 +265,8 @@ where
             correct_mask.push(true);
         }
     }
-    let mut net = Network::with_faults(actors, correct_mask, topology);
-    let report = net.run(total_steps);
+    let job = Job::with_faulty(actors, correct_mask, topology, total_steps).faults(faults);
+    let report = backend.execute(job);
     if !report.completed {
         return Err(RenamingError::MissedTermination {
             budget: total_steps,
@@ -241,11 +275,11 @@ where
     let outcome = RenamingOutcome::new(
         correct_positions
             .iter()
-            .map(|&(index, id)| (id, net.output_of(index))),
+            .map(|&(index, id)| (id, report.outputs[index])),
     );
     Ok(RunResult {
         outcome,
-        metrics: net.metrics().clone(),
+        metrics: report.metrics,
         rounds: report.rounds_executed,
         probe: collect_probe(),
     })
@@ -288,6 +322,8 @@ where
         faulty_count,
         total_steps,
         opts.seed,
+        opts.backend,
+        opts.faults,
         adversary,
         |id| {
             let mut actor = OrderPreservingRenaming::new_unchecked(cfg, regime, id, opts.tweaks);
@@ -297,7 +333,11 @@ where
             Box::new(actor)
         },
         || Alg1Probe {
-            processes: probes.borrow().iter().map(|p| p.borrow().clone()).collect(),
+            processes: probes
+                .borrow()
+                .iter()
+                .map(|p| p.lock().unwrap().clone())
+                .collect(),
         },
     )?;
     Ok(result)
@@ -319,7 +359,16 @@ pub fn run_two_step<F>(
 where
     F: FnMut(&AdversaryEnv) -> Option<Box<dyn Actor<Msg = TwoStepMsg, Output = NewName>>>,
 {
-    run_two_step_clamped(cfg, correct_ids, faulty_count, adversary, seed, true)
+    run_two_step_with(
+        cfg,
+        correct_ids,
+        faulty_count,
+        adversary,
+        TwoStepOptions {
+            seed,
+            ..TwoStepOptions::default()
+        },
+    )
 }
 
 /// [`run_two_step`] with the offset clamp made optional — ablation A2 only
@@ -339,6 +388,35 @@ pub fn run_two_step_clamped<F>(
 where
     F: FnMut(&AdversaryEnv) -> Option<Box<dyn Actor<Msg = TwoStepMsg, Output = NewName>>>,
 {
+    run_two_step_with(
+        cfg,
+        correct_ids,
+        faulty_count,
+        adversary,
+        TwoStepOptions {
+            seed,
+            clamp_offsets,
+            ..TwoStepOptions::default()
+        },
+    )
+}
+
+/// Runs Algorithm 4 with full control over substrate, transport faults, seed
+/// and the offset clamp.
+///
+/// # Errors
+///
+/// Same conditions as [`run_alg1`].
+pub fn run_two_step_with<F>(
+    cfg: SystemConfig,
+    correct_ids: &[OriginalId],
+    faulty_count: usize,
+    adversary: F,
+    opts: TwoStepOptions,
+) -> Result<RunResult<TwoStepProbe>, RenamingError>
+where
+    F: FnMut(&AdversaryEnv) -> Option<Box<dyn Actor<Msg = TwoStepMsg, Output = NewName>>>,
+{
     cfg.require(Regime::TwoStep)?;
     let probes = std::cell::RefCell::new(Vec::new());
     let result = generic_run(
@@ -346,18 +424,24 @@ where
         correct_ids,
         faulty_count,
         2,
-        seed,
+        opts.seed,
+        opts.backend,
+        opts.faults,
         adversary,
         |id| {
-            let mut actor =
-                TwoStepRenaming::with_clamp(cfg, id, clamp_offsets).expect("regime checked above");
+            let mut actor = TwoStepRenaming::with_clamp(cfg, id, opts.clamp_offsets)
+                .expect("regime checked above");
             let sink = shared_two_step_probe();
             actor.attach_probe(sink.clone());
             probes.borrow_mut().push(sink);
             Box::new(actor)
         },
         || TwoStepProbe {
-            processes: probes.borrow().iter().map(|p| p.borrow().clone()).collect(),
+            processes: probes
+                .borrow()
+                .iter()
+                .map(|p| p.lock().unwrap().clone())
+                .collect(),
         },
     )?;
     Ok(result)

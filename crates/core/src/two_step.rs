@@ -142,7 +142,7 @@ impl Actor for TwoStepRenaming {
                 }
                 self.decided = newid.get(&self.my_id).copied();
                 if let Some(probe) = &self.probe {
-                    let mut p = probe.borrow_mut();
+                    let mut p = probe.lock().unwrap();
                     p.newid = newid;
                     p.timely = self.timely.clone();
                     p.rejected_echoes = rejected;
@@ -226,7 +226,7 @@ mod tests {
         }
         let mut net = Network::new(actors, Topology::seeded(4, 2));
         net.run(2);
-        let p = probe.borrow();
+        let p = probe.lock().unwrap();
         assert_eq!(p.newid.len(), 4);
         assert_eq!(p.timely.len(), 4);
         assert_eq!(p.rejected_echoes, 0);

@@ -220,7 +220,7 @@ impl<V: Ord + Clone + Debug> FloodActor<V> {
     }
 }
 
-impl<V: Ord + Clone + Debug + WireSize> Actor for FloodActor<V> {
+impl<V: Ord + Clone + Debug + WireSize + Send> Actor for FloodActor<V> {
     type Msg = FloodMsg<V>;
     type Output = FloodResult<V>;
 

@@ -120,7 +120,11 @@ impl<M> FromIterator<(LinkId, M)> for Inbox<M> {
 /// inbox of round `r`. State transitions therefore happen in lock-step, as
 /// the model requires. [`Actor::output`] is polled after each round; a run
 /// completes once every *correct* actor reports `Some`.
-pub trait Actor {
+///
+/// Actors are `Send` so execution substrates may place each process on its
+/// own OS thread (`opr-transport`'s threaded backend); the deterministic
+/// simulator does not otherwise rely on it.
+pub trait Actor: Send {
     /// Message vocabulary of the protocol.
     type Msg;
     /// The value a process decides.

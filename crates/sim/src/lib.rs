@@ -76,7 +76,7 @@ pub mod wire;
 
 pub use actor::{Actor, Inbox, Outbox};
 pub use metrics::{RoundMetrics, RunMetrics};
-pub use network::{Network, RunReport};
+pub use network::{DeliveryFilter, Network, RunReport};
 pub use topology::Topology;
 pub use trace::{Trace, TraceEvent};
 pub use wire::{WireSize, COUNT_BITS, ID_BITS, RANK_BITS, TAG_BITS};

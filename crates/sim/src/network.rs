@@ -29,7 +29,15 @@ pub struct Network<M, O> {
     metrics: RunMetrics,
     next_round: Round,
     trace: Option<Trace>,
+    delivery_filter: Option<DeliveryFilter>,
 }
+
+/// A transport-level delivery predicate: given the round, the sending
+/// process and the *outgoing* link label at the sender, decide whether the
+/// message traverses the link. Returning `false` models a transport fault
+/// (drop, or delay past the round boundary — equivalent to silence in the
+/// synchronous model): the message is never routed, counted or traced.
+pub type DeliveryFilter = Box<dyn FnMut(Round, ProcessIndex, opr_types::LinkId) -> bool + Send>;
 
 impl<M, O> Network<M, O>
 where
@@ -70,7 +78,15 @@ where
             metrics: RunMetrics::new(),
             next_round: Round::FIRST,
             trace: None,
+            delivery_filter: None,
         }
+    }
+
+    /// Installs a transport-level [`DeliveryFilter`]. Messages the filter
+    /// rejects are dropped before routing, metrics and tracing — exactly as
+    /// if the link had failed for that round.
+    pub fn set_delivery_filter(&mut self, filter: DeliveryFilter) {
+        self.delivery_filter = Some(filter);
     }
 
     /// Starts recording deliveries into a bounded [`Trace`].
@@ -101,6 +117,11 @@ where
             let sender = ProcessIndex::new(s);
             let is_correct = self.correct[s];
             let mut deliver_one = |link: opr_types::LinkId, msg: M, net: &mut Self| {
+                if let Some(filter) = net.delivery_filter.as_mut() {
+                    if !filter(round, sender, link) {
+                        return;
+                    }
+                }
                 let receiver = net.topology.peer(sender, link);
                 let in_label = net.topology.incoming_label(receiver, sender);
                 let bits = msg.wire_bits();

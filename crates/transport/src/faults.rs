@@ -1,0 +1,180 @@
+//! Transport-level fault injection: scheduled link failures *below* the
+//! adversary layer.
+//!
+//! The Byzantine adversaries in `opr-adversary` act through the protocol
+//! interface — they choose what to send. A [`FaultPlan`] instead fails the
+//! *links themselves*: a scheduled message drop, or a link that falls silent
+//! from some round on (in the synchronous model a message delayed past its
+//! round boundary is indistinguishable from silence, so "delay-to-silence"
+//! is the honest name for the second schedule). Crash-style faults compose
+//! from these: silencing every outgoing link of a process from round `r` is
+//! exactly a crash at the end of round `r − 1`.
+//!
+//! Links are identified by `(sender index, outgoing link label)` — the
+//! sender-side view, matching where a real transport would fail. Plans are
+//! applied identically by every backend, before routing, metrics and
+//! tracing.
+
+use opr_types::{LinkId, ProcessIndex, Round};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A deterministic schedule of transport faults.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// One-shot drops: `(sender, link label, round)`.
+    drops: BTreeSet<(usize, usize, u32)>,
+    /// Per-link silence onset: `(sender, link label) → first silent round`.
+    link_silences: BTreeMap<(usize, usize), u32>,
+    /// Whole-process silence onset: `sender → first silent round`.
+    process_silences: BTreeMap<usize, u32>,
+}
+
+impl FaultPlan {
+    /// An empty plan (all links healthy forever).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Drops the message `sender` emits on `link` in exactly `round`.
+    /// Other rounds on the link are unaffected.
+    pub fn drop_message(mut self, sender: usize, link: LinkId, round: Round) -> Self {
+        self.drops.insert((sender, link.label(), round.number()));
+        self
+    }
+
+    /// Silences `sender`'s `link` from `round` onwards — the
+    /// delay-to-silence schedule: every message from that round on is
+    /// delayed past its round boundary and therefore never delivered.
+    pub fn silence_link_from(mut self, sender: usize, link: LinkId, round: Round) -> Self {
+        let entry = self
+            .link_silences
+            .entry((sender, link.label()))
+            .or_insert(round.number());
+        *entry = (*entry).min(round.number());
+        self
+    }
+
+    /// Silences every outgoing link of `sender` from `round` onwards — a
+    /// crash at the transport layer, invisible to (and unchosen by) the
+    /// actor above.
+    pub fn crash_from(mut self, sender: usize, round: Round) -> Self {
+        let entry = self
+            .process_silences
+            .entry(sender)
+            .or_insert(round.number());
+        *entry = (*entry).min(round.number());
+        self
+    }
+
+    /// Whether the plan schedules no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.drops.is_empty() && self.link_silences.is_empty() && self.process_silences.is_empty()
+    }
+
+    /// Whether a message sent by `sender` on `link` in `round` traverses
+    /// the transport.
+    pub fn delivers(&self, round: Round, sender: ProcessIndex, link: LinkId) -> bool {
+        let (s, l, r) = (sender.index(), link.label(), round.number());
+        if self.drops.contains(&(s, l, r)) {
+            return false;
+        }
+        if let Some(&from) = self.link_silences.get(&(s, l)) {
+            if r >= from {
+                return false;
+            }
+        }
+        if let Some(&from) = self.process_silences.get(&s) {
+            if r >= from {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lnk(l: usize) -> LinkId {
+        LinkId::new(l)
+    }
+
+    fn rnd(r: u32) -> Round {
+        Round::new(r)
+    }
+
+    #[test]
+    fn empty_plan_delivers_everything() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        for r in 1..5 {
+            for l in 1..4 {
+                assert!(plan.delivers(rnd(r), ProcessIndex::new(0), lnk(l)));
+            }
+        }
+    }
+
+    #[test]
+    fn drop_message_hits_exactly_one_round_on_one_link() {
+        let plan = FaultPlan::new().drop_message(1, lnk(2), rnd(3));
+        assert!(!plan.is_empty());
+        // The scheduled (sender, link, round) is dropped…
+        assert!(!plan.delivers(rnd(3), ProcessIndex::new(1), lnk(2)));
+        // …while neighbouring rounds, links and senders are untouched.
+        assert!(plan.delivers(rnd(2), ProcessIndex::new(1), lnk(2)));
+        assert!(plan.delivers(rnd(4), ProcessIndex::new(1), lnk(2)));
+        assert!(plan.delivers(rnd(3), ProcessIndex::new(1), lnk(1)));
+        assert!(plan.delivers(rnd(3), ProcessIndex::new(0), lnk(2)));
+    }
+
+    #[test]
+    fn silence_link_from_is_permanent_from_onset() {
+        let plan = FaultPlan::new().silence_link_from(0, lnk(1), rnd(2));
+        assert!(plan.delivers(rnd(1), ProcessIndex::new(0), lnk(1)));
+        for r in 2..10 {
+            assert!(
+                !plan.delivers(rnd(r), ProcessIndex::new(0), lnk(1)),
+                "round {r}"
+            );
+        }
+        // Other links of the same sender stay healthy.
+        assert!(plan.delivers(rnd(5), ProcessIndex::new(0), lnk(2)));
+    }
+
+    #[test]
+    fn crash_from_silences_every_link_of_the_process() {
+        let plan = FaultPlan::new().crash_from(2, rnd(4));
+        for l in 1..=5 {
+            assert!(plan.delivers(rnd(3), ProcessIndex::new(2), lnk(l)));
+            assert!(!plan.delivers(rnd(4), ProcessIndex::new(2), lnk(l)));
+            assert!(!plan.delivers(rnd(9), ProcessIndex::new(2), lnk(l)));
+        }
+        // Other processes unaffected.
+        assert!(plan.delivers(rnd(9), ProcessIndex::new(1), lnk(1)));
+    }
+
+    #[test]
+    fn earliest_onset_wins_when_scheduled_twice() {
+        let plan = FaultPlan::new()
+            .silence_link_from(0, lnk(1), rnd(5))
+            .silence_link_from(0, lnk(1), rnd(3))
+            .crash_from(1, rnd(6))
+            .crash_from(1, rnd(2));
+        assert!(!plan.delivers(rnd(3), ProcessIndex::new(0), lnk(1)));
+        assert!(!plan.delivers(rnd(2), ProcessIndex::new(1), lnk(4)));
+        assert!(plan.delivers(rnd(1), ProcessIndex::new(1), lnk(4)));
+    }
+
+    #[test]
+    fn schedules_compose() {
+        let plan = FaultPlan::new()
+            .drop_message(0, lnk(1), rnd(1))
+            .silence_link_from(0, lnk(2), rnd(2))
+            .crash_from(1, rnd(3));
+        assert!(!plan.delivers(rnd(1), ProcessIndex::new(0), lnk(1)));
+        assert!(plan.delivers(rnd(1), ProcessIndex::new(0), lnk(2)));
+        assert!(!plan.delivers(rnd(2), ProcessIndex::new(0), lnk(2)));
+        assert!(!plan.delivers(rnd(3), ProcessIndex::new(1), lnk(1)));
+    }
+}

@@ -1,0 +1,69 @@
+#![warn(missing_docs)]
+//! Pluggable lock-step execution substrates.
+//!
+//! Every protocol in this workspace is written against the
+//! [`Actor`](opr_sim::Actor) contract: `send`, route, `deliver`, one
+//! synchronous round at a time. This crate makes *where that contract
+//! executes* a first-class choice:
+//!
+//! * [`SimBackend`] — the deterministic single-threaded engine
+//!   ([`opr_sim::Network`]) the experiments were born on. Zero concurrency,
+//!   bit-for-bit reproducible, the reference semantics.
+//! * [`ThreadedBackend`] — one OS thread per process, `std::sync::mpsc`
+//!   links and a [`std::sync::Barrier`] round synchronizer. Real parallelism
+//!   across processes within a round, while inboxes are merged in canonical
+//!   link-id order so a given seed produces **identical**
+//!   outcomes, traces and [`RunMetrics`](opr_sim::RunMetrics) on both
+//!   backends.
+//!
+//! The substrate boundary is also where the model's link-anonymity lives:
+//! receivers observe *link labels*, never sender identities, on every
+//! backend. And it is the natural place for faults *below* the adversary
+//! layer — [`FaultPlan`] drops or silences chosen links per round at the
+//! transport itself, regardless of what the (possibly Byzantine) actor
+//! above tried to send.
+//!
+//! # Example: one job, two substrates, equal results
+//!
+//! ```
+//! use opr_transport::{BackendKind, Job};
+//! use opr_sim::{Actor, Inbox, Outbox, Topology, WireSize};
+//! use opr_types::Round;
+//!
+//! #[derive(Clone, Debug)]
+//! struct Ping(u64);
+//! impl WireSize for Ping {
+//!     fn wire_bits(&self) -> u64 { 64 }
+//! }
+//! struct Echo(u64, Option<u64>);
+//! impl Actor for Echo {
+//!     type Msg = Ping;
+//!     type Output = u64;
+//!     fn send(&mut self, _r: Round) -> Outbox<Ping> { Outbox::Broadcast(Ping(self.0)) }
+//!     fn deliver(&mut self, _r: Round, inbox: Inbox<Ping>) {
+//!         self.1 = Some(inbox.messages().map(|(_, m)| m.0).sum());
+//!     }
+//!     fn output(&self) -> Option<u64> { self.1 }
+//! }
+//!
+//! let job = |_| Job::new(
+//!     (0..4u64).map(|v| Box::new(Echo(v, None)) as Box<dyn Actor<Msg = Ping, Output = u64>>)
+//!         .collect(),
+//!     Topology::seeded(4, 7),
+//!     5,
+//! );
+//! let sim = BackendKind::Sim.execute(job(()));
+//! let threaded = BackendKind::Threaded.execute(job(()));
+//! assert_eq!(sim.outputs, threaded.outputs);
+//! assert_eq!(sim.metrics, threaded.metrics);
+//! ```
+
+pub mod faults;
+pub mod sim_backend;
+pub mod substrate;
+pub mod threaded;
+
+pub use faults::FaultPlan;
+pub use sim_backend::SimBackend;
+pub use substrate::{BackendKind, ExecutionReport, Job, Substrate};
+pub use threaded::ThreadedBackend;

@@ -1,0 +1,203 @@
+//! The substrate contract: what it means to execute a lock-step job.
+
+use crate::faults::FaultPlan;
+use crate::{SimBackend, ThreadedBackend};
+use opr_sim::{Actor, RunMetrics, Topology, Trace, WireSize};
+use std::fmt;
+use std::fmt::Debug;
+
+/// A complete lock-step execution: actors, their correctness mask, the
+/// topology routing them, a round budget, and optional transport faults and
+/// tracing. Consumed by [`Substrate::execute`].
+pub struct Job<M, O> {
+    /// One actor per process, in topology index order.
+    pub actors: Vec<Box<dyn Actor<Msg = M, Output = O>>>,
+    /// `correct[i]` — whether actor `i` counts toward termination detection
+    /// and the `correct` metrics. Faulty actors still execute fully.
+    pub correct: Vec<bool>,
+    /// The full-mesh topology with per-process link labelling.
+    pub topology: Topology,
+    /// Maximum number of rounds to execute.
+    pub max_rounds: u32,
+    /// Transport-level faults applied below the actors.
+    pub faults: FaultPlan,
+    /// When `Some(cap)`, record up to `cap` delivery events.
+    pub trace_capacity: Option<usize>,
+}
+
+impl<M, O> Job<M, O> {
+    /// A job in which every actor is correct, with no transport faults and
+    /// no tracing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the actor count differs from the topology size.
+    pub fn new(
+        actors: Vec<Box<dyn Actor<Msg = M, Output = O>>>,
+        topology: Topology,
+        max_rounds: u32,
+    ) -> Self {
+        let correct = vec![true; actors.len()];
+        Job::with_faulty(actors, correct, topology, max_rounds)
+    }
+
+    /// A job with an explicit correctness mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths are inconsistent with the topology.
+    pub fn with_faulty(
+        actors: Vec<Box<dyn Actor<Msg = M, Output = O>>>,
+        correct: Vec<bool>,
+        topology: Topology,
+        max_rounds: u32,
+    ) -> Self {
+        assert_eq!(
+            actors.len(),
+            topology.n(),
+            "actor count must match topology"
+        );
+        assert_eq!(actors.len(), correct.len(), "mask must cover every actor");
+        Job {
+            actors,
+            correct,
+            topology,
+            max_rounds,
+            faults: FaultPlan::default(),
+            trace_capacity: None,
+        }
+    }
+
+    /// Attaches a transport-level fault plan.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Enables delivery tracing with the given event capacity.
+    pub fn trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
+        self
+    }
+}
+
+/// Everything observable from one execution, identical across backends for
+/// the same [`Job`].
+#[derive(Clone, Debug)]
+pub struct ExecutionReport<O> {
+    /// Rounds actually executed.
+    pub rounds_executed: u32,
+    /// Whether every correct actor produced an output within the budget.
+    pub completed: bool,
+    /// Final outputs of all actors (faulty included), in index order.
+    pub outputs: Vec<Option<O>>,
+    /// Per-round message/bit counters.
+    pub metrics: RunMetrics,
+    /// The delivery trace, if the job requested one.
+    pub trace: Option<Trace>,
+}
+
+/// A lock-step execution substrate: consumes a [`Job`], runs it round by
+/// round (all sends, then all deliveries, in lock-step), and reports what
+/// happened.
+///
+/// Implementations must be *observationally deterministic*: for a fixed job
+/// (same actors, topology, budget, faults), the report — outcomes, rounds,
+/// metrics, trace — must not depend on scheduling. The cross-backend
+/// equivalence tests hold every backend to [`SimBackend`]'s reference
+/// semantics.
+pub trait Substrate<M, O> {
+    /// Executes the job to completion or round-budget exhaustion.
+    fn execute(&self, job: Job<M, O>) -> ExecutionReport<O>;
+}
+
+/// Backend selection, e.g. from a `--backend` CLI flag.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// Single-threaded deterministic simulator (the reference).
+    Sim,
+    /// One OS thread per process, barrier-synchronized rounds.
+    Threaded,
+}
+
+/// The process-wide default backend; see [`BackendKind::set_process_default`].
+static PROCESS_DEFAULT: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(0);
+
+impl Default for BackendKind {
+    /// The process default: [`BackendKind::Sim`] unless a binary overrode it
+    /// via [`BackendKind::set_process_default`] (e.g. a `--backend` flag).
+    fn default() -> Self {
+        match PROCESS_DEFAULT.load(std::sync::atomic::Ordering::Relaxed) {
+            1 => BackendKind::Threaded,
+            _ => BackendKind::Sim,
+        }
+    }
+}
+
+impl BackendKind {
+    /// Every backend, reference first.
+    pub const ALL: [BackendKind; 2] = [BackendKind::Sim, BackendKind::Threaded];
+
+    /// Overrides what `BackendKind::default()` returns for the rest of the
+    /// process. Intended for binaries translating a `--backend` flag once at
+    /// startup, so every run that doesn't pick a backend explicitly (the
+    /// experiment tables, default options) executes on the chosen substrate.
+    /// Backends are observationally equivalent, so this changes how runs
+    /// execute, never what they produce.
+    pub fn set_process_default(kind: BackendKind) {
+        let tag = match kind {
+            BackendKind::Sim => 0,
+            BackendKind::Threaded => 1,
+        };
+        PROCESS_DEFAULT.store(tag, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Stable label (accepted by [`BackendKind::parse`]).
+    pub fn label(&self) -> &'static str {
+        match self {
+            BackendKind::Sim => "sim",
+            BackendKind::Threaded => "threaded",
+        }
+    }
+
+    /// Parses a label as produced by [`BackendKind::label`].
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        BackendKind::ALL.into_iter().find(|b| b.label() == s)
+    }
+
+    /// Executes `job` on the selected backend.
+    pub fn execute<M, O>(&self, job: Job<M, O>) -> ExecutionReport<O>
+    where
+        M: Clone + Debug + WireSize + Send + 'static,
+        O: Send + 'static,
+    {
+        match self {
+            BackendKind::Sim => SimBackend.execute(job),
+            BackendKind::Threaded => ThreadedBackend.execute(job),
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for kind in BackendKind::ALL {
+            assert_eq!(BackendKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(BackendKind::parse("fpga"), None);
+    }
+
+    #[test]
+    fn default_is_the_reference_backend() {
+        assert_eq!(BackendKind::default(), BackendKind::Sim);
+    }
+}

@@ -1,0 +1,504 @@
+//! One OS thread per process, barrier-synchronized lock-step rounds.
+//!
+//! # Design
+//!
+//! Each process runs on its own thread and owns its actor. Links are
+//! `std::sync::mpsc` channels — one receiving queue per process, with every
+//! sender holding a clone of every queue's `Sender`. A round is three
+//! barrier-delimited phases:
+//!
+//! 1. **Decide** — the barrier leader checks the round budget and whether
+//!    every correct actor has decided, and publishes a stop flag.
+//! 2. **Send** — every thread calls `Actor::send`, applies the transport
+//!    [`FaultPlan`](crate::FaultPlan), counts metrics and pushes messages
+//!    into the receivers' queues.
+//! 3. **Deliver** — after the send barrier, every thread drains its own
+//!    queue, sorts the round's messages in **canonical link-id order** and
+//!    calls `Actor::deliver`.
+//!
+//! The canonical merge order is what makes the backend observationally
+//! deterministic: thread scheduling can only permute the *arrival* order
+//! within a round, and the sort erases exactly that. Metrics are summed
+//! per round across senders (commutative), and trace events are tagged
+//! `(round, sender, emission index)` and merge-sorted afterwards, so
+//! outcomes, metrics and traces are bit-for-bit identical to
+//! [`SimBackend`](crate::SimBackend)'s.
+//!
+//! # Panics
+//!
+//! A panic inside an actor (e.g. a duplicate multicast link) is caught on
+//! its thread, the run is stopped at the next round boundary, and the first
+//! panic payload is re-raised on the caller's thread. Work other threads
+//! did in the partially-executed round is discarded with the run.
+
+use crate::substrate::{ExecutionReport, Job, Substrate};
+use opr_sim::{Actor, Inbox, Outbox, RoundMetrics, RunMetrics, Trace, TraceEvent, WireSize};
+use opr_types::{LinkId, ProcessIndex, Round};
+use std::fmt::Debug;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{mpsc, Arc, Barrier, Mutex};
+
+/// Executes jobs with one OS thread per process over mpsc links,
+/// reproducing [`SimBackend`](crate::SimBackend)'s observable behaviour
+/// exactly.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ThreadedBackend;
+
+/// Shared coordination state between process threads.
+struct Shared {
+    barrier: Barrier,
+    stop: AtomicBool,
+    decided: Vec<AtomicBool>,
+    executed: AtomicU32,
+    panicked: AtomicBool,
+    panic_message: Mutex<Option<String>>,
+    correct: Vec<bool>,
+    max_rounds: u32,
+}
+
+/// What each process thread hands back at join time.
+struct ThreadReport<O> {
+    output: Option<O>,
+    per_round: Vec<RoundMetrics>,
+    trace_events: Vec<(u32, u32, TraceEvent)>,
+}
+
+impl<M, O> Substrate<M, O> for ThreadedBackend
+where
+    M: Clone + Debug + WireSize + Send + 'static,
+    O: Send + 'static,
+{
+    fn execute(&self, job: Job<M, O>) -> ExecutionReport<O> {
+        let Job {
+            actors,
+            correct,
+            topology,
+            max_rounds,
+            faults,
+            trace_capacity,
+        } = job;
+        let n = actors.len();
+        assert!(n >= 1, "threaded backend needs at least one process");
+
+        let shared = Arc::new(Shared {
+            barrier: Barrier::new(n),
+            stop: AtomicBool::new(false),
+            decided: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            executed: AtomicU32::new(0),
+            panicked: AtomicBool::new(false),
+            panic_message: Mutex::new(None),
+            correct,
+            max_rounds,
+        });
+        let topology = Arc::new(topology);
+        let faults = Arc::new(faults);
+
+        let mut txs = Vec::with_capacity(n);
+        let mut rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = mpsc::channel::<(LinkId, M)>();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+
+        let mut handles = Vec::with_capacity(n);
+        for (me, (actor, rx)) in actors.into_iter().zip(rxs).enumerate() {
+            let shared = Arc::clone(&shared);
+            let topology = Arc::clone(&topology);
+            let faults = Arc::clone(&faults);
+            let txs = txs.clone();
+            let trace_enabled = trace_capacity.is_some();
+            let handle = std::thread::Builder::new()
+                .name(format!("opr-proc-{me}"))
+                .spawn(move || {
+                    process_thread(me, actor, rx, txs, shared, topology, faults, trace_enabled)
+                })
+                .expect("spawn process thread");
+            handles.push(handle);
+        }
+        // The root senders must drop so queues close when threads finish.
+        drop(txs);
+
+        let mut outputs = Vec::with_capacity(n);
+        let mut per_thread_metrics = Vec::with_capacity(n);
+        let mut trace_events = Vec::new();
+        for (me, handle) in handles.into_iter().enumerate() {
+            let report: ThreadReport<O> = handle.join().expect("process thread must not die");
+            outputs.push(report.output);
+            per_thread_metrics.push(report.per_round);
+            trace_events.extend(
+                report
+                    .trace_events
+                    .into_iter()
+                    .map(|(round, seq, ev)| (round, me, seq, ev)),
+            );
+        }
+
+        if shared.panicked.load(Ordering::SeqCst) {
+            let msg = shared
+                .panic_message
+                .lock()
+                .unwrap()
+                .take()
+                .unwrap_or_else(|| "actor panicked on a process thread".to_string());
+            panic!("{msg}");
+        }
+
+        let rounds_executed = shared.executed.load(Ordering::SeqCst);
+        let mut metrics = RunMetrics::new();
+        for round_idx in 0..rounds_executed as usize {
+            let mut merged = RoundMetrics::default();
+            for thread_rounds in &per_thread_metrics {
+                let rm = &thread_rounds[round_idx];
+                merged.messages_correct += rm.messages_correct;
+                merged.messages_faulty += rm.messages_faulty;
+                merged.bits_correct += rm.bits_correct;
+                merged.max_message_bits = merged.max_message_bits.max(rm.max_message_bits);
+            }
+            metrics.push_round(merged);
+        }
+
+        let trace = trace_capacity.map(|capacity| {
+            trace_events.sort_by_key(|&(round, sender, seq, _)| (round, sender, seq));
+            let mut trace = Trace::with_capacity(capacity);
+            for (_, _, _, event) in trace_events {
+                trace.record(event);
+            }
+            trace
+        });
+
+        let completed = shared
+            .correct
+            .iter()
+            .zip(&shared.decided)
+            .filter(|(&c, _)| c)
+            .all(|(_, d)| d.load(Ordering::SeqCst));
+
+        ExecutionReport {
+            rounds_executed,
+            completed,
+            outputs,
+            metrics,
+            trace,
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn process_thread<M, O>(
+    me: usize,
+    mut actor: Box<dyn Actor<Msg = M, Output = O>>,
+    rx: mpsc::Receiver<(LinkId, M)>,
+    txs: Vec<mpsc::Sender<(LinkId, M)>>,
+    shared: Arc<Shared>,
+    topology: Arc<opr_sim::Topology>,
+    faults: Arc<crate::FaultPlan>,
+    trace_enabled: bool,
+) -> ThreadReport<O>
+where
+    M: Clone + Debug + WireSize,
+{
+    let n = txs.len();
+    let sender = ProcessIndex::new(me);
+    let is_correct = shared.correct[me];
+    let mut round = Round::FIRST;
+    let mut per_round: Vec<RoundMetrics> = Vec::new();
+    let mut trace_events: Vec<(u32, u32, TraceEvent)> = Vec::new();
+    // Set when this actor panicked: the thread keeps participating in the
+    // barrier protocol (so nobody deadlocks) but stops touching the actor.
+    let mut poisoned = false;
+
+    loop {
+        // Phase 1: decide. Every thread's round-(r−1) writes (decided flags,
+        // executed counter) happen-before the leader's read via the barrier.
+        if shared.barrier.wait().is_leader() {
+            let all_decided = shared
+                .correct
+                .iter()
+                .zip(&shared.decided)
+                .filter(|(&c, _)| c)
+                .all(|(_, d)| d.load(Ordering::SeqCst));
+            let exhausted = shared.executed.load(Ordering::SeqCst) >= shared.max_rounds;
+            let panicked = shared.panicked.load(Ordering::SeqCst);
+            shared
+                .stop
+                .store(all_decided || exhausted || panicked, Ordering::SeqCst);
+        }
+        shared.barrier.wait();
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+
+        // Phase 2: send.
+        let mut round_metrics = RoundMetrics::default();
+        if !poisoned {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                let outbox = actor.send(round);
+                let mut seq = 0u32;
+                let mut deliver_one = |link: LinkId, msg: M| {
+                    if !faults.delivers(round, sender, link) {
+                        return;
+                    }
+                    let receiver = topology.peer(sender, link);
+                    let in_label = topology.incoming_label(receiver, sender);
+                    let bits = msg.wire_bits();
+                    let self_loop = receiver == sender;
+                    if is_correct {
+                        if !self_loop {
+                            round_metrics.messages_correct += 1;
+                            round_metrics.bits_correct += bits;
+                        }
+                        round_metrics.max_message_bits = round_metrics.max_message_bits.max(bits);
+                    } else if !self_loop {
+                        round_metrics.messages_faulty += 1;
+                    }
+                    if trace_enabled {
+                        trace_events.push((
+                            round.number(),
+                            seq,
+                            TraceEvent {
+                                round,
+                                sender,
+                                receiver,
+                                link: in_label,
+                                message: format!("{msg:?}"),
+                            },
+                        ));
+                    }
+                    seq += 1;
+                    txs[receiver.index()]
+                        .send((in_label, msg))
+                        .expect("receiver thread alive until the common stop");
+                };
+                match outbox {
+                    Outbox::Silent => {}
+                    Outbox::Broadcast(msg) => {
+                        for l in 1..=n {
+                            deliver_one(LinkId::new(l), msg.clone());
+                        }
+                    }
+                    Outbox::Multicast(entries) => {
+                        let mut seen = vec![false; n];
+                        for (link, msg) in entries {
+                            assert!(link.label() <= n, "link {link:?} out of range for N={n}");
+                            assert!(
+                                !std::mem::replace(&mut seen[link.index()], true),
+                                "one message per link per round: duplicate {link:?}"
+                            );
+                            deliver_one(link, msg);
+                        }
+                    }
+                }
+            }));
+            if let Err(payload) = result {
+                record_panic(&shared, payload);
+                poisoned = true;
+            }
+        }
+        per_round.push(round_metrics);
+
+        // Phase 3: all sends of this round are enqueued once every thread
+        // passes this barrier; draining afterwards sees the whole round.
+        shared.barrier.wait();
+        let mut entries: Vec<(LinkId, M)> = rx.try_iter().collect();
+        if !poisoned {
+            entries.sort_by_key(|(l, _)| *l);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                actor.deliver(round, Inbox::new(entries));
+                actor.output().is_some()
+            }));
+            match result {
+                Ok(decided) => shared.decided[me].store(decided, Ordering::SeqCst),
+                Err(payload) => {
+                    record_panic(&shared, payload);
+                    poisoned = true;
+                }
+            }
+        }
+        if me == 0 {
+            shared.executed.store(round.number(), Ordering::SeqCst);
+        }
+        round = round.next();
+    }
+
+    let output = if poisoned {
+        None
+    } else {
+        catch_unwind(AssertUnwindSafe(|| actor.output())).unwrap_or(None)
+    };
+    ThreadReport {
+        output,
+        per_round,
+        trace_events,
+    }
+}
+
+fn record_panic(shared: &Shared, payload: Box<dyn std::any::Any + Send>) {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "actor panicked on a process thread".to_string());
+    let mut slot = shared.panic_message.lock().unwrap();
+    if slot.is_none() {
+        *slot = Some(msg);
+    }
+    shared.panicked.store(true, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::substrate::BackendKind;
+    use crate::FaultPlan;
+    use opr_sim::Topology;
+
+    #[derive(Clone, Debug)]
+    struct Num(u64);
+    impl WireSize for Num {
+        fn wire_bits(&self) -> u64 {
+            64
+        }
+    }
+
+    /// Broadcasts its value; decides the sum of round-1 values.
+    struct Summer {
+        value: u64,
+        sum: Option<u64>,
+    }
+    impl Actor for Summer {
+        type Msg = Num;
+        type Output = u64;
+        fn send(&mut self, _round: Round) -> Outbox<Num> {
+            Outbox::Broadcast(Num(self.value))
+        }
+        fn deliver(&mut self, _round: Round, inbox: Inbox<Num>) {
+            if self.sum.is_none() {
+                self.sum = Some(inbox.messages().map(|(_, m)| m.0).sum());
+            }
+        }
+        fn output(&self) -> Option<u64> {
+            self.sum
+        }
+    }
+
+    /// Per-link equivocator that never decides.
+    struct Equivocator(usize);
+    impl Actor for Equivocator {
+        type Msg = Num;
+        type Output = u64;
+        fn send(&mut self, _round: Round) -> Outbox<Num> {
+            Outbox::Multicast(
+                (1..=self.0)
+                    .map(|l| (LinkId::new(l), Num(1000 * l as u64)))
+                    .collect(),
+            )
+        }
+        fn deliver(&mut self, _round: Round, _inbox: Inbox<Num>) {}
+        fn output(&self) -> Option<u64> {
+            None
+        }
+    }
+
+    fn summers(values: &[u64]) -> Vec<Box<dyn Actor<Msg = Num, Output = u64>>> {
+        values
+            .iter()
+            .map(|&v| {
+                Box::new(Summer {
+                    value: v,
+                    sum: None,
+                }) as _
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_reference_backend_on_clean_runs() {
+        for seed in 0..5u64 {
+            let job = |_| Job::new(summers(&[3, 1, 4, 1, 5, 9]), Topology::seeded(6, seed), 4);
+            let sim = BackendKind::Sim.execute(job(())).clone();
+            let threaded = BackendKind::Threaded.execute(job(()));
+            assert_eq!(sim.outputs, threaded.outputs, "seed {seed}");
+            assert_eq!(sim.metrics, threaded.metrics, "seed {seed}");
+            assert_eq!(sim.rounds_executed, threaded.rounds_executed);
+            assert!(threaded.completed);
+        }
+    }
+
+    #[test]
+    fn matches_reference_backend_with_equivocator_and_faults() {
+        let build = |_| {
+            let mut actors = summers(&[10, 20, 30, 40]);
+            actors.push(Box::new(Equivocator(5)));
+            let correct = vec![true, true, true, true, false];
+            Job::with_faulty(actors, correct, Topology::seeded(5, 42), 6).faults(
+                FaultPlan::new()
+                    .drop_message(0, LinkId::new(2), Round::new(1))
+                    .silence_link_from(4, LinkId::new(1), Round::new(1)),
+            )
+        };
+        let sim = BackendKind::Sim.execute(build(()));
+        let threaded = BackendKind::Threaded.execute(build(()));
+        assert_eq!(sim.outputs, threaded.outputs);
+        assert_eq!(sim.metrics, threaded.metrics);
+        assert_eq!(sim.completed, threaded.completed);
+    }
+
+    #[test]
+    fn traces_are_identical_across_backends() {
+        let job = |_| Job::new(summers(&[7, 8, 9]), Topology::seeded(3, 11), 2).trace(1000);
+        let sim = BackendKind::Sim.execute(job(()));
+        let threaded = BackendKind::Threaded.execute(job(()));
+        let (st, tt) = (sim.trace.unwrap(), threaded.trace.unwrap());
+        assert_eq!(st.events(), tt.events());
+        assert_eq!(st.dropped(), tt.dropped());
+    }
+
+    #[test]
+    fn respects_round_budget_without_deciders() {
+        struct Never;
+        impl Actor for Never {
+            type Msg = Num;
+            type Output = u64;
+            fn send(&mut self, _round: Round) -> Outbox<Num> {
+                Outbox::Silent
+            }
+            fn deliver(&mut self, _round: Round, _inbox: Inbox<Num>) {}
+            fn output(&self) -> Option<u64> {
+                None
+            }
+        }
+        let actors: Vec<Box<dyn Actor<Msg = Num, Output = u64>>> =
+            vec![Box::new(Never), Box::new(Never)];
+        let report = ThreadedBackend.execute(Job::new(actors, Topology::canonical(2), 3));
+        assert!(!report.completed);
+        assert_eq!(report.rounds_executed, 3);
+        assert_eq!(report.metrics.rounds_executed(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn actor_panics_propagate_to_the_caller() {
+        struct Dup;
+        impl Actor for Dup {
+            type Msg = Num;
+            type Output = u64;
+            fn send(&mut self, _round: Round) -> Outbox<Num> {
+                Outbox::Multicast(vec![(LinkId::new(1), Num(1)), (LinkId::new(1), Num(2))])
+            }
+            fn deliver(&mut self, _round: Round, _inbox: Inbox<Num>) {}
+            fn output(&self) -> Option<u64> {
+                None
+            }
+        }
+        let actors: Vec<Box<dyn Actor<Msg = Num, Output = u64>>> = vec![
+            Box::new(Dup),
+            Box::new(Summer {
+                value: 0,
+                sum: None,
+            }),
+        ];
+        let _ = ThreadedBackend.execute(Job::new(actors, Topology::canonical(2), 3));
+    }
+}

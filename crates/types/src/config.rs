@@ -416,7 +416,7 @@ mod tests {
             for n in (3 * t + 1)..(3 * t + 40) {
                 let cfg = SystemConfig::new(n, t).unwrap();
                 assert!(
-                    cfg.accepted_bound() <= n + t - 1,
+                    cfg.accepted_bound() < n + t,
                     "N={n} t={t}: {} > {}",
                     cfg.accepted_bound(),
                     n + t - 1
@@ -436,7 +436,7 @@ mod tests {
         // enough, and ≥ suffices for the 4-step convergence bound).
         for t in 1..=8 {
             let cfg = SystemConfig::new(t * t + 2 * t + 1, t).unwrap();
-            assert!(cfg.sigma() >= t + 1, "t={t}: sigma={}", cfg.sigma());
+            assert!(cfg.sigma() > t, "t={t}: sigma={}", cfg.sigma());
         }
     }
 

@@ -34,6 +34,7 @@ fn violating_runs(n: usize, t: usize, validation: bool, seeds: u64) -> (u32, u32
                     disable_validation: !validation,
                     ..Alg1Tweaks::default()
                 },
+                ..Alg1Options::default()
             },
         );
         match result {

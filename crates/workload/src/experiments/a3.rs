@@ -35,6 +35,7 @@ fn violations_at(cfg: SystemConfig, steps: u32, seeds: u64) -> (u32, u32, f64) {
                     voting_steps_override: Some(steps),
                     ..Alg1Tweaks::default()
                 },
+                ..Alg1Options::default()
             },
         );
         match result {
@@ -106,10 +107,10 @@ mod tests {
         let mut saw_truncated_break = false;
         for row in &table.rows {
             let violating: u32 = row[3].parse().unwrap();
-            if row[1].starts_with("truncated-1") || row[1].starts_with("truncated-2") {
-                if violating > 0 {
-                    saw_truncated_break = true;
-                }
+            if (row[1].starts_with("truncated-1") || row[1].starts_with("truncated-2"))
+                && violating > 0
+            {
+                saw_truncated_break = true;
             }
             if row[1].starts_with("paper") || row[1].starts_with("analytic") {
                 assert_eq!(violating, 0, "full schedule must be clean: {row:?}");

@@ -58,6 +58,7 @@ pub fn run() -> ExperimentTable {
                     early_output: true,
                     ..Alg1Tweaks::default()
                 },
+                ..Alg1Options::default()
             },
         )
         .expect("legal run");

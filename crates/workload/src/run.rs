@@ -2,9 +2,10 @@
 
 use opr_adversary::AdversarySpec;
 use opr_baselines::{ChtRenaming, ConsensusRenaming, CrashAaRenaming, TranslatedRenaming};
-use opr_core::runner::{run_alg1, run_two_step, Alg1Options};
+use opr_core::runner::{run_alg1, run_two_step_with, Alg1Options, TwoStepOptions};
 use opr_core::{Alg1Probe, TwoStepProbe};
-use opr_sim::{Actor, Inbox, Network, Outbox, Topology, WireSize};
+use opr_sim::{Actor, Inbox, Outbox, Topology, WireSize};
+use opr_transport::{BackendKind, Job};
 use opr_types::{NewName, OriginalId, Regime, RenamingError, RenamingOutcome, Round, SystemConfig};
 use std::fmt;
 use std::fmt::Debug;
@@ -122,6 +123,32 @@ impl Algorithm {
         adversary: AdversarySpec,
         seed: u64,
     ) -> Result<RunStats, RenamingError> {
+        self.run_on(
+            BackendKind::default(),
+            cfg,
+            correct_ids,
+            faulty,
+            adversary,
+            seed,
+        )
+    }
+
+    /// [`Algorithm::run`] on an explicitly chosen execution substrate.
+    /// Backends are observationally equivalent, so the stats are identical;
+    /// this selects how the system executes, not what it computes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RenamingError`] from the underlying runner.
+    pub fn run_on(
+        &self,
+        backend: BackendKind,
+        cfg: SystemConfig,
+        correct_ids: &[OriginalId],
+        faulty: usize,
+        adversary: AdversarySpec,
+        seed: u64,
+    ) -> Result<RunStats, RenamingError> {
         let bound = self.namespace_bound(cfg.n(), cfg.t());
         match self {
             Algorithm::Alg1LogTime | Algorithm::Alg1ConstantTime => {
@@ -138,6 +165,7 @@ impl Algorithm {
                     |env| adversary.build_alg1(env),
                     Alg1Options {
                         seed,
+                        backend,
                         ..Alg1Options::default()
                     },
                 )?;
@@ -152,12 +180,16 @@ impl Algorithm {
                 ))
             }
             Algorithm::TwoStep => {
-                let result = run_two_step(
+                let result = run_two_step_with(
                     cfg,
                     correct_ids,
                     faulty,
                     |env| adversary.build_two_step(env),
-                    seed,
+                    TwoStepOptions {
+                        seed,
+                        backend,
+                        ..TwoStepOptions::default()
+                    },
                 )?;
                 Ok(RunStats::collect(
                     *self,
@@ -169,15 +201,20 @@ impl Algorithm {
                     bound,
                 ))
             }
-            Algorithm::CrashAa => self.run_crash_aa(cfg, correct_ids, faulty, seed, bound),
-            Algorithm::Consensus => self.run_consensus(cfg, correct_ids, faulty, seed, bound),
-            Algorithm::Cht => self.run_cht(cfg, correct_ids, faulty, seed, bound),
-            Algorithm::Translated => self.run_translated(cfg, correct_ids, faulty, seed, bound),
+            Algorithm::CrashAa => self.run_crash_aa(backend, cfg, correct_ids, faulty, seed, bound),
+            Algorithm::Consensus => {
+                self.run_consensus(backend, cfg, correct_ids, faulty, seed, bound)
+            }
+            Algorithm::Cht => self.run_cht(backend, cfg, correct_ids, faulty, seed, bound),
+            Algorithm::Translated => {
+                self.run_translated(backend, cfg, correct_ids, faulty, seed, bound)
+            }
         }
     }
 
     fn run_crash_aa(
         &self,
+        backend: BackendKind,
         cfg: SystemConfig,
         correct_ids: &[OriginalId],
         faulty: usize,
@@ -200,6 +237,7 @@ impl Algorithm {
         }
         run_baseline(
             *self,
+            backend,
             cfg,
             "crash",
             correct_ids,
@@ -213,6 +251,7 @@ impl Algorithm {
 
     fn run_consensus(
         &self,
+        backend: BackendKind,
         cfg: SystemConfig,
         correct_ids: &[OriginalId],
         faulty: usize,
@@ -238,6 +277,7 @@ impl Algorithm {
         }
         run_baseline_with_topology(
             *self,
+            backend,
             cfg,
             "silent",
             correct_ids,
@@ -251,6 +291,7 @@ impl Algorithm {
 
     fn run_cht(
         &self,
+        backend: BackendKind,
         cfg: SystemConfig,
         correct_ids: &[OriginalId],
         faulty: usize,
@@ -268,6 +309,7 @@ impl Algorithm {
         }
         run_baseline(
             *self,
+            backend,
             cfg,
             "crash-at-start",
             correct_ids,
@@ -281,6 +323,7 @@ impl Algorithm {
 
     fn run_translated(
         &self,
+        backend: BackendKind,
         cfg: SystemConfig,
         correct_ids: &[OriginalId],
         faulty: usize,
@@ -314,6 +357,7 @@ impl Algorithm {
         }
         run_baseline(
             *self,
+            backend,
             cfg,
             "consistent-forge",
             correct_ids,
@@ -351,8 +395,9 @@ impl Actor for Forger {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn run_baseline<M: Clone + Debug + WireSize + 'static>(
+fn run_baseline<M: Clone + Debug + WireSize + Send + 'static>(
     algorithm: Algorithm,
+    backend: BackendKind,
     cfg: SystemConfig,
     adversary_label: &str,
     correct_ids: &[OriginalId],
@@ -365,6 +410,7 @@ fn run_baseline<M: Clone + Debug + WireSize + 'static>(
     let topo = Topology::seeded(cfg.n(), seed);
     run_baseline_with_topology(
         algorithm,
+        backend,
         cfg,
         adversary_label,
         correct_ids,
@@ -377,8 +423,9 @@ fn run_baseline<M: Clone + Debug + WireSize + 'static>(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn run_baseline_with_topology<M: Clone + Debug + WireSize + 'static>(
+fn run_baseline_with_topology<M: Clone + Debug + WireSize + Send + 'static>(
     algorithm: Algorithm,
+    backend: BackendKind,
     cfg: SystemConfig,
     adversary_label: &str,
     correct_ids: &[OriginalId],
@@ -396,8 +443,7 @@ fn run_baseline_with_topology<M: Clone + Debug + WireSize + 'static>(
     }
     let mut correct_mask = vec![false; faulty];
     correct_mask.extend(vec![true; correct_ids.len()]);
-    let mut net = Network::with_faults(actors, correct_mask, topology);
-    let report = net.run(rounds);
+    let report = backend.execute(Job::with_faulty(actors, correct_mask, topology, rounds));
     if !report.completed {
         return Err(RenamingError::MissedTermination { budget: rounds });
     }
@@ -405,7 +451,7 @@ fn run_baseline_with_topology<M: Clone + Debug + WireSize + 'static>(
         correct_ids
             .iter()
             .enumerate()
-            .map(|(i, &id)| (id, net.output_of(faulty + i))),
+            .map(|(i, &id)| (id, report.outputs[faulty + i])),
     );
     Ok(RunStats::collect(
         algorithm,
@@ -413,7 +459,7 @@ fn run_baseline_with_topology<M: Clone + Debug + WireSize + 'static>(
         adversary_label,
         &outcome,
         report.rounds_executed,
-        net.metrics(),
+        &report.metrics,
         bound,
     ))
 }
@@ -495,6 +541,7 @@ pub struct RenamingRun {
     faulty: usize,
     seed: u64,
     extra_voting_steps: u32,
+    backend: BackendKind,
 }
 
 /// The result of a [`RenamingRun`].
@@ -521,6 +568,7 @@ impl RenamingRun {
             faulty: 0,
             seed: 0,
             extra_voting_steps: 0,
+            backend: BackendKind::default(),
         }
     }
 
@@ -553,6 +601,14 @@ impl RenamingRun {
         self
     }
 
+    /// Selects the execution substrate (default: the single-threaded
+    /// simulator; `BackendKind::Threaded` runs one OS thread per process
+    /// with identical observable results).
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Executes the run.
     ///
     /// # Errors
@@ -576,6 +632,8 @@ impl RenamingRun {
                             extra_voting_steps: self.extra_voting_steps,
                             ..opr_core::Alg1Tweaks::default()
                         },
+                        backend: self.backend,
+                        ..Alg1Options::default()
                     },
                 )?;
                 let algorithm = if self.regime == Regime::LogTime {
@@ -601,12 +659,16 @@ impl RenamingRun {
             }
             Regime::TwoStep => {
                 let spec = self.adversary;
-                let result = run_two_step(
+                let result = run_two_step_with(
                     self.cfg,
                     &self.ids,
                     self.faulty,
                     |env| spec.build_two_step(env),
-                    self.seed,
+                    TwoStepOptions {
+                        seed: self.seed,
+                        backend: self.backend,
+                        ..TwoStepOptions::default()
+                    },
                 )?;
                 let stats = RunStats::collect(
                     Algorithm::TwoStep,

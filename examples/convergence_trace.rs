@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             format!("voting step {i}")
         };
-        let bar = "#".repeat(((spread * scale).ceil() as usize).max(1).min(60));
+        let bar = "#".repeat(((spread * scale).ceil() as usize).clamp(1, 60));
         println!("{label:<22} {spread:>14.8} {bar:>12}");
     }
     let last = *series.last().unwrap();

@@ -49,6 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     early_output: true,
                     ..Alg1Tweaks::default()
                 },
+                ..Alg1Options::default()
             },
         )?;
         assert!(result

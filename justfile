@@ -1,0 +1,36 @@
+# Development commands. `just ci` is the full gate; individual recipes below.
+
+# Everything CI runs, in order.
+ci: fmt-check lint build test
+
+# Formatting gate.
+fmt-check:
+    cargo fmt --all -- --check
+
+# Reformat in place.
+fmt:
+    cargo fmt --all
+
+# Lint gate: warnings are errors, across every target.
+lint:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Tier-1 build.
+build:
+    cargo build --release
+
+# Full test suite (unit + property + integration + doc tests).
+test:
+    cargo test -q
+
+# Cross-backend equivalence suite only.
+equivalence:
+    cargo test -q --test backend_equivalence
+
+# Regenerate every experiment table (add `--backend threaded` to switch substrate).
+tables *ARGS:
+    cargo run --release -p opr-bench --bin tables -- {{ARGS}}
+
+# Wall-clock benchmarks (writes BENCH_<target>.json per bench target).
+bench:
+    cargo bench

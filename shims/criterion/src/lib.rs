@@ -1,0 +1,283 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the `criterion_group!`/`criterion_main!`/`Criterion` surface the
+//! workspace's benches use, measuring wall-clock time with `std::time` and
+//! writing a `BENCH_<target>.json` report next to the working directory.
+//! There is no statistical analysis beyond warmup plus a mean over an
+//! adaptive number of iterations — enough for coarse comparisons in an
+//! environment where the real criterion cannot be downloaded.
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (std's is stable since 1.66).
+pub use std::hint::black_box;
+
+/// One measured benchmark.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Group name (from [`Criterion::benchmark_group`]).
+    pub group: String,
+    /// Benchmark id within the group.
+    pub name: String,
+    /// Iterations measured (after warmup).
+    pub iterations: u64,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+}
+
+/// The benchmark driver: collects [`Measurement`]s as groups run.
+pub struct Criterion {
+    measurements: Vec<Measurement>,
+    /// Target measuring time per benchmark.
+    measurement_time: Duration,
+    /// Target warmup time per benchmark.
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurements: Vec::new(),
+            measurement_time: Duration::from_millis(300),
+            warm_up_time: Duration::from_millis(60),
+        }
+    }
+}
+
+impl Criterion {
+    /// Overrides the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Overrides the per-benchmark warmup budget.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        self.run_one("", &name, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, group: &str, name: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            iterations: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let mean_ns = if bencher.iterations == 0 {
+            0.0
+        } else {
+            bencher.elapsed.as_nanos() as f64 / bencher.iterations as f64
+        };
+        let label = if group.is_empty() {
+            name.to_string()
+        } else {
+            format!("{group}/{name}")
+        };
+        eprintln!(
+            "bench {label:<40} {:>12.1} ns/iter ({} iters)",
+            mean_ns, bencher.iterations
+        );
+        self.measurements.push(Measurement {
+            group: group.to_string(),
+            name: name.to_string(),
+            iterations: bencher.iterations,
+            mean_ns,
+        });
+    }
+
+    /// All measurements collected so far.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    /// Writes `BENCH_<target>.json` (target = executable stem without the
+    /// trailing cargo hash) into the current directory.
+    pub fn write_json_report(&self) {
+        let stem = std::env::current_exe()
+            .ok()
+            .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+            .unwrap_or_else(|| "bench".to_string());
+        // cargo names bench executables `<name>-<16-hex-hash>`.
+        let target = match stem.rsplit_once('-') {
+            Some((base, tail))
+                if tail.len() == 16 && tail.bytes().all(|b| b.is_ascii_hexdigit()) =>
+            {
+                base.to_string()
+            }
+            _ => stem,
+        };
+        let path = format!("BENCH_{target}.json");
+        if let Err(e) = std::fs::write(&path, self.to_json()) {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            eprintln!("wrote {path}");
+        }
+    }
+
+    /// The report as a JSON string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, m) in self.measurements.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!(
+                "  {{\"group\": \"{}\", \"name\": \"{}\", \"iterations\": {}, \"mean_ns\": {:.1}}}",
+                escape(&m.group),
+                escape(&m.name),
+                m.iterations,
+                m.mean_ns
+            ));
+        }
+        out.push_str("\n]\n");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// A named group of benchmarks sharing the driver's configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Measures one closure under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let group = self.name.clone();
+        self.criterion.run_one(&group, &id, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] exactly once.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, adapting the iteration count to the configured
+    /// measurement budget.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warmup: also yields a per-iteration estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let target = ((self.measurement_time.as_secs_f64() / per_iter.max(1e-9)) as u64)
+            .clamp(1, 10_000_000);
+
+        let start = Instant::now();
+        for _ in 0..target {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = target;
+    }
+}
+
+/// Declares a function running a list of benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench target: runs every group, then writes the
+/// JSON report.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.write_json_report();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("g");
+        group.bench_function("work", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.finish();
+        assert_eq!(c.measurements().len(), 1);
+        let m = &c.measurements()[0];
+        assert_eq!(m.group, "g");
+        assert_eq!(m.name, "work");
+        assert!(m.iterations > 0);
+        assert!(m.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        c.bench_function("standalone", |b| b.iter(|| 1 + 1));
+        let json = c.to_json();
+        assert!(json.starts_with("[\n"));
+        assert!(json.contains("\"name\": \"standalone\""));
+        assert!(json.trim_end().ends_with(']'));
+    }
+}

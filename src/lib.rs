@@ -11,6 +11,9 @@
 //!   standalone Byzantine/crash AA protocols).
 //! * [`rbcast`] — Echo/Ready flooding substrate (the id-selection core).
 //! * [`consensus`] — phase-king Byzantine consensus (baseline substrate).
+//! * [`transport`] — pluggable lock-step execution substrates (the
+//!   deterministic simulator backend and the thread-per-process backend)
+//!   plus transport-level fault injection.
 //! * [`core`] — the paper's algorithms: Algorithm 1 (log-time and
 //!   constant-time schedules) and Algorithm 4 (2-step).
 //! * [`adversary`] — the Byzantine strategy library.
@@ -46,12 +49,14 @@ pub use opr_consensus as consensus;
 pub use opr_core as core;
 pub use opr_rbcast as rbcast;
 pub use opr_sim as sim;
+pub use opr_transport as transport;
 pub use opr_types as types;
 pub use opr_workload as workload;
 
 /// Commonly-used items in one import.
 pub mod prelude {
     pub use opr_adversary::AdversarySpec;
+    pub use opr_transport::BackendKind;
     pub use opr_types::{
         ConfigError, LinkId, NewName, OriginalId, ProcessIndex, Rank, Regime, RenamingError,
         RenamingOutcome, Round, SystemConfig,

@@ -35,6 +35,7 @@ fn early_output_is_outcome_equivalent_to_full_schedule() {
                             early_output: early,
                             ..Alg1Tweaks::default()
                         },
+                        ..Alg1Options::default()
                     },
                 )
                 .unwrap()
@@ -69,6 +70,7 @@ fn early_output_fires_at_first_voting_step_without_active_faults() {
                 early_output: true,
                 ..Alg1Tweaks::default()
             },
+            ..Alg1Options::default()
         },
     )
     .unwrap();
@@ -119,6 +121,7 @@ fn safe_voting_steps_meet_the_paper_spread_target() {
                     extra_voting_steps: extra,
                     ..Alg1Tweaks::default()
                 },
+                ..Alg1Options::default()
             },
         )
         .unwrap();

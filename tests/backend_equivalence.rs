@@ -1,0 +1,141 @@
+//! Cross-backend equivalence: the thread-per-process substrate must be
+//! observationally indistinguishable from the single-threaded reference
+//! simulator. For any legal `(N, t, seed, adversary, id distribution)`, both
+//! backends must produce identical renaming outcomes, round counts and
+//! message/bit metrics — the tentpole guarantee of `opr-transport`.
+
+use opr::prelude::*;
+use opr::workload::RenamingRun;
+use proptest::prelude::*;
+
+/// Strategy: a legal (n, t) for the given regime, with t ≥ 1 so the
+/// adversary is never vacuous.
+fn config_for(regime: Regime) -> impl Strategy<Value = (usize, usize)> {
+    (1usize..=3).prop_flat_map(move |t| {
+        let min_n = SystemConfig::minimal_n(t, regime);
+        (min_n..min_n + 5).prop_map(move |n| (n, t))
+    })
+}
+
+fn adversary_for(regime: Regime) -> impl Strategy<Value = AdversarySpec> {
+    let suite: Vec<AdversarySpec> = AdversarySpec::suite(regime).to_vec();
+    proptest::sample::select(suite)
+}
+
+fn distribution() -> impl Strategy<Value = IdDistribution> {
+    proptest::sample::select(IdDistribution::ALL.to_vec())
+}
+
+/// Runs the same configuration on both backends and asserts every
+/// observable is equal.
+fn assert_backends_agree(
+    regime: Regime,
+    n: usize,
+    t: usize,
+    spec: AdversarySpec,
+    dist: IdDistribution,
+    seed: u64,
+) {
+    let cfg = SystemConfig::new(n, t).unwrap();
+    let ids = dist.generate(n - t, seed);
+    let run = |backend: BackendKind| {
+        RenamingRun::builder(cfg, regime)
+            .correct_ids(ids.clone())
+            .adversary(spec, t)
+            .seed(seed)
+            .backend(backend)
+            .run()
+            .unwrap()
+    };
+    let sim = run(BackendKind::Sim);
+    let threaded = run(BackendKind::Threaded);
+    let tag = format!("{spec}/{dist}/N{n}t{t}s{seed}");
+    assert_eq!(sim.outcome, threaded.outcome, "outcome: {tag}");
+    assert_eq!(sim.stats.rounds, threaded.stats.rounds, "rounds: {tag}");
+    assert_eq!(
+        sim.stats.messages, threaded.stats.messages,
+        "messages: {tag}"
+    );
+    assert_eq!(sim.stats.bits, threaded.stats.bits, "bits: {tag}");
+    assert_eq!(
+        sim.stats.max_message_bits, threaded.stats.max_message_bits,
+        "max bits: {tag}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn alg1_log_time_backends_agree(
+        (n, t) in config_for(Regime::LogTime),
+        spec in adversary_for(Regime::LogTime),
+        dist in distribution(),
+        seed in 0u64..1000,
+    ) {
+        assert_backends_agree(Regime::LogTime, n, t, spec, dist, seed);
+    }
+
+    #[test]
+    fn alg1_constant_time_backends_agree(
+        (n, t) in config_for(Regime::ConstantTime),
+        spec in adversary_for(Regime::ConstantTime),
+        dist in distribution(),
+        seed in 0u64..1000,
+    ) {
+        assert_backends_agree(Regime::ConstantTime, n, t, spec, dist, seed);
+    }
+
+    #[test]
+    fn two_step_backends_agree(
+        (n, t) in config_for(Regime::TwoStep),
+        spec in adversary_for(Regime::TwoStep),
+        dist in distribution(),
+        seed in 0u64..1000,
+    ) {
+        assert_backends_agree(Regime::TwoStep, n, t, spec, dist, seed);
+    }
+}
+
+/// Every adversary in both suites, deterministically (not sampled): the
+/// equivalence must hold for each strategy, not just most of them.
+#[test]
+fn every_adversary_agrees_across_backends() {
+    for spec in AdversarySpec::ALG1 {
+        assert_backends_agree(Regime::LogTime, 7, 2, spec, IdDistribution::SparseRandom, 5);
+    }
+    for spec in AdversarySpec::TWO_STEP {
+        assert_backends_agree(Regime::TwoStep, 11, 2, spec, IdDistribution::Clustered, 9);
+    }
+}
+
+/// Baselines execute on both substrates too (they go through the same
+/// `Job`/`Substrate` path in the workload harness).
+#[test]
+fn baselines_agree_across_backends() {
+    use opr::workload::Algorithm;
+    for alg in Algorithm::ALL {
+        let t = 1usize;
+        let n = alg.minimal_n(t).max(6);
+        let cfg = SystemConfig::new(n, t).unwrap();
+        let ids = IdDistribution::EvenSpaced.generate(n - t, 4);
+        let sim = alg
+            .run_on(BackendKind::Sim, cfg, &ids, t, AdversarySpec::Silent, 4)
+            .unwrap();
+        let threaded = alg
+            .run_on(
+                BackendKind::Threaded,
+                cfg,
+                &ids,
+                t,
+                AdversarySpec::Silent,
+                4,
+            )
+            .unwrap();
+        assert_eq!(sim.rounds, threaded.rounds, "{alg}");
+        assert_eq!(sim.messages, threaded.messages, "{alg}");
+        assert_eq!(sim.bits, threaded.bits, "{alg}");
+        assert_eq!(sim.max_name, threaded.max_name, "{alg}");
+        assert_eq!(sim.violations, threaded.violations, "{alg}");
+    }
+}

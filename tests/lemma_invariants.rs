@@ -70,7 +70,7 @@ fn accepted_set_size_is_bounded() {
             .unwrap();
             for size in result.probe.accepted_sizes() {
                 assert!(size <= cfg.accepted_bound(), "N={n} t={t}: {size}");
-                assert!(size <= n + t - 1, "N={n} t={t}: {size} > N+t−1");
+                assert!(size < n + t, "N={n} t={t}: {size} > N+t−1");
             }
         }
     }
