@@ -1,0 +1,310 @@
+//! Chaos campaign driver: randomized fault-schedule exploration with
+//! paper-invariant oracles, shrinking and replayable repro files.
+//!
+//! ```text
+//! # A 500-run mixed-budget campaign on both backends:
+//! cargo run --release -p opr-bench --bin chaos -- --seed 42 --runs 500 --budget mixed --backend both
+//!
+//! # Replay a repro file captured by a failing campaign:
+//! cargo run --release -p opr-bench --bin chaos -- --repro chaos-repro.json
+//!
+//! # Prove the shrink/repro pipeline end-to-end on an injected failure:
+//! cargo run --release -p opr-bench --bin chaos -- --self-test
+//!
+//! # Measure campaign throughput per backend into BENCH_chaos.json:
+//! cargo run --release -p opr-bench --bin chaos -- --bench crates/bench/BENCH_chaos.json
+//! ```
+//!
+//! Exit status: 0 when the campaign (or replay, or self-test) passes,
+//! 1 on failure, 2 on usage errors.
+
+use opr_chaos::engine::{
+    judge_schedule, per_run_seed, run_campaign, BackendChoice, CampaignConfig,
+};
+use opr_chaos::generator::generate_schedule;
+use opr_chaos::oracle::standard_suite;
+use opr_chaos::repro::Repro;
+use opr_chaos::schedule::BudgetRegime;
+use opr_chaos::shrink::shrink;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: chaos [--seed S] [--runs K] [--budget in|at|over|mixed] [--backend sim|threaded|both]\n\
+         \x20            [--repro-out <file>]\n\
+         \x20      chaos --repro <file>      replay a captured failure\n\
+         \x20      chaos --self-test         inject a failure, shrink it, round-trip the repro\n\
+         \x20      chaos --bench <file>      measure runs/sec per backend into <file>"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    seed: u64,
+    runs: usize,
+    budget: Option<BudgetRegime>,
+    backend: BackendChoice,
+    repro: Option<String>,
+    repro_out: String,
+    self_test: bool,
+    bench: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: 42,
+        runs: 200,
+        budget: None,
+        backend: BackendChoice::Both,
+        repro: None,
+        repro_out: "chaos-repro.json".to_string(),
+        self_test: false,
+        bench: None,
+    };
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = raw.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--runs" => {
+                args.runs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--budget" => {
+                args.budget = match it.next().map(String::as_str) {
+                    Some("mixed") => None,
+                    Some(label) => Some(BudgetRegime::parse(label).unwrap_or_else(|| usage())),
+                    None => usage(),
+                }
+            }
+            "--backend" => {
+                args.backend = it
+                    .next()
+                    .and_then(|v| BackendChoice::parse(v))
+                    .unwrap_or_else(|| usage())
+            }
+            "--repro" => args.repro = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--repro-out" => args.repro_out = it.next().cloned().unwrap_or_else(|| usage()),
+            "--self-test" => args.self_test = true,
+            "--bench" => args.bench = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let oracles = standard_suite();
+    let exit = if let Some(path) = &args.repro {
+        replay(path, &oracles)
+    } else if args.self_test {
+        self_test(&args, &oracles)
+    } else if let Some(path) = &args.bench {
+        bench(&args, path, &oracles)
+    } else {
+        campaign(&args, &oracles)
+    };
+    std::process::exit(exit);
+}
+
+fn campaign(args: &Args, oracles: &[Box<dyn opr_chaos::Oracle>]) -> i32 {
+    let config = CampaignConfig {
+        seed: args.seed,
+        runs: args.runs,
+        budget: args.budget,
+        backend: args.backend,
+    };
+    let budget_label = args.budget.map(|b| b.label()).unwrap_or("mixed");
+    eprintln!(
+        "chaos: seed={} runs={} budget={} backend={}",
+        args.seed, args.runs, budget_label, args.backend
+    );
+    let report = run_campaign(&config, oracles);
+    eprintln!("chaos: {report}");
+    if report.passed() {
+        return 0;
+    }
+    // Shrink and persist the first failure.
+    let failure = &report.failures[0];
+    eprintln!(
+        "chaos: run #{} failed [{}] — {}",
+        failure.index,
+        failure.verdict.digest(),
+        failure.schedule.describe()
+    );
+    let digest = failure.verdict.digest();
+    let backend = args.backend;
+    let result = shrink(&failure.schedule, |candidate| {
+        let verdict = judge_schedule(candidate, backend, oracles);
+        verdict.is_failure(failure.budget) && digests_overlap(&verdict.digest(), &digest)
+    });
+    eprintln!(
+        "chaos: shrunk {} → {} events in {} attempts",
+        result.original_events, result.events, result.attempts
+    );
+    let repro = Repro {
+        campaign_seed: args.seed,
+        run_index: failure.index,
+        budget: failure.budget,
+        backend: args.backend,
+        digest,
+        schedule: result.schedule,
+    };
+    match std::fs::write(&args.repro_out, repro.to_json()) {
+        Ok(()) => eprintln!("chaos: wrote {}", args.repro_out),
+        Err(e) => eprintln!("chaos: could not write {}: {e}", args.repro_out),
+    }
+    1
+}
+
+/// Two digests overlap when they share at least one violation kind — the
+/// shrink predicate's notion of "the same failure".
+fn digests_overlap(a: &str, b: &str) -> bool {
+    a.split('+').any(|kind| b.split('+').any(|k| k == kind))
+}
+
+fn replay(path: &str, oracles: &[Box<dyn opr_chaos::Oracle>]) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("chaos: cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    let repro = match Repro::from_json(&text) {
+        Ok(repro) => repro,
+        Err(e) => {
+            eprintln!("chaos: {e}");
+            return 2;
+        }
+    };
+    eprintln!(
+        "chaos: replaying {} (campaign seed {}, run #{}, recorded digest '{}')",
+        repro.schedule.describe(),
+        repro.campaign_seed,
+        repro.run_index,
+        repro.digest
+    );
+    let verdict = repro.replay(oracles);
+    let digest = verdict.digest();
+    eprintln!("chaos: replay digest '{digest}'");
+    if digests_overlap(&digest, &repro.digest) {
+        eprintln!("chaos: failure reproduced");
+        0
+    } else {
+        eprintln!("chaos: failure did NOT reproduce (fixed, or environment drift)");
+        1
+    }
+}
+
+/// Injects a real failure (an over-budget schedule judged under at-budget
+/// rules), shrinks it, round-trips it through the repro format, and checks
+/// the replay reproduces the digest — the full pipeline in one command.
+fn self_test(args: &Args, oracles: &[Box<dyn opr_chaos::Oracle>]) -> i32 {
+    let injected_budget = BudgetRegime::AtBudget;
+    for index in 0..1000usize {
+        let seed = per_run_seed(args.seed, index);
+        let schedule = generate_schedule(seed, BudgetRegime::OverBudget);
+        let verdict = judge_schedule(&schedule, args.backend, oracles);
+        if !verdict.is_failure(injected_budget) {
+            continue;
+        }
+        let digest = verdict.digest();
+        eprintln!(
+            "chaos: injected failure at seed {seed} [{digest}] — {}",
+            schedule.describe()
+        );
+        let backend = args.backend;
+        let result = shrink(&schedule, |candidate| {
+            let v = judge_schedule(candidate, backend, oracles);
+            v.is_failure(injected_budget) && digests_overlap(&v.digest(), &digest)
+        });
+        eprintln!(
+            "chaos: shrunk {} → {} events in {} attempts — {}",
+            result.original_events,
+            result.events,
+            result.attempts,
+            result.schedule.describe()
+        );
+        let repro = Repro {
+            campaign_seed: args.seed,
+            run_index: index,
+            budget: injected_budget,
+            backend: args.backend,
+            digest: digest.clone(),
+            schedule: result.schedule,
+        };
+        let text = repro.to_json();
+        let reread = match Repro::from_json(&text) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("chaos: self-test round-trip failed: {e}");
+                return 1;
+            }
+        };
+        if reread != repro {
+            eprintln!("chaos: self-test round-trip altered the repro");
+            return 1;
+        }
+        let replayed = reread.replay(oracles).digest();
+        if !digests_overlap(&replayed, &digest) {
+            eprintln!("chaos: self-test replay digest '{replayed}' does not match '{digest}'");
+            return 1;
+        }
+        if let Err(e) = std::fs::write(&args.repro_out, text) {
+            eprintln!("chaos: could not write {}: {e}", args.repro_out);
+        } else {
+            eprintln!("chaos: self-test passed; repro at {}", args.repro_out);
+        }
+        return 0;
+    }
+    eprintln!("chaos: self-test could not provoke a failure in 1000 schedules");
+    1
+}
+
+fn bench(args: &Args, path: &str, oracles: &[Box<dyn opr_chaos::Oracle>]) -> i32 {
+    let mut rows = Vec::new();
+    for backend in [BackendChoice::Sim, BackendChoice::Threaded] {
+        let report = run_campaign(
+            &CampaignConfig {
+                seed: args.seed,
+                runs: args.runs,
+                budget: None,
+                backend,
+            },
+            oracles,
+        );
+        eprintln!("chaos: {backend}: {report}");
+        if !report.passed() {
+            eprintln!("chaos: bench campaign failed on {backend}; not writing {path}");
+            return 1;
+        }
+        rows.push(format!(
+            "  {{\"group\": \"chaos-campaign\", \"name\": \"{}/runs{}\", \"runs\": {}, \"clean\": {}, \"degraded\": {}, \"runs_per_sec\": {:.1}}}",
+            backend,
+            args.runs,
+            report.total,
+            report.clean,
+            report.degraded,
+            report.runs_per_sec()
+        ));
+    }
+    let body = format!("[\n{}\n]\n", rows.join(",\n"));
+    match std::fs::write(path, body) {
+        Ok(()) => {
+            eprintln!("chaos: wrote {path}");
+            0
+        }
+        Err(e) => {
+            eprintln!("chaos: could not write {path}: {e}");
+            1
+        }
+    }
+}

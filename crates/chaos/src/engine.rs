@@ -1,0 +1,427 @@
+//! The campaign loop: generate → execute → judge, with panic containment
+//! and per-regime pass rules.
+//!
+//! A campaign is deterministic in its seed: run `i` executes
+//! `generate_schedule(per_run_seed(seed, i), budget_i)` where `budget_i` is
+//! the configured regime (or cycles in/at/over when mixed). The pass rule
+//! is the crate's core contract:
+//!
+//! * **in-budget / at-budget** — the paper's theorems apply; any oracle
+//!   violation is a failure.
+//! * **over-budget** — the theorems are void; a run passes iff it comes
+//!   back *degraded but diagnosed*. Harness-level breaches (a correct
+//!   process sending malformed traffic, backends diverging) and panics
+//!   fail in every regime.
+
+use crate::generator::generate_schedule;
+use crate::oracle::{violation_kind, Oracle, OracleInput};
+use crate::schedule::{BudgetRegime, ChaosSchedule};
+use opr_transport::BackendKind;
+use opr_types::Violation;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+/// Which execution substrate(s) a campaign drives.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BackendChoice {
+    /// The single-threaded reference simulator only.
+    Sim,
+    /// The thread-per-process backend only.
+    Threaded,
+    /// Both, with the cross-backend oracle comparing them run by run.
+    Both,
+}
+
+impl BackendChoice {
+    /// All choices.
+    pub const ALL: [BackendChoice; 3] = [
+        BackendChoice::Sim,
+        BackendChoice::Threaded,
+        BackendChoice::Both,
+    ];
+
+    /// A short stable label (`"sim"`, `"threaded"`, `"both"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            BackendChoice::Sim => "sim",
+            BackendChoice::Threaded => "threaded",
+            BackendChoice::Both => "both",
+        }
+    }
+
+    /// Parses a [`BackendChoice::label`].
+    pub fn parse(label: &str) -> Option<BackendChoice> {
+        BackendChoice::ALL
+            .iter()
+            .copied()
+            .find(|b| b.label() == label)
+    }
+
+    /// The reference backend and the optional second backend to compare.
+    pub fn backends(&self) -> (BackendKind, Option<BackendKind>) {
+        match self {
+            BackendChoice::Sim => (BackendKind::Sim, None),
+            BackendChoice::Threaded => (BackendKind::Threaded, None),
+            BackendChoice::Both => (BackendKind::Sim, Some(BackendKind::Threaded)),
+        }
+    }
+}
+
+impl fmt::Display for BackendChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Parameters of one campaign.
+#[derive(Clone, Copy, Debug)]
+pub struct CampaignConfig {
+    /// Campaign seed; everything else derives from it.
+    pub seed: u64,
+    /// How many schedules to run.
+    pub runs: usize,
+    /// The fault budget regime, or `None` to cycle through all three.
+    pub budget: Option<BudgetRegime>,
+    /// Which backend(s) execute each schedule.
+    pub backend: BackendChoice,
+}
+
+/// How one executed schedule was judged.
+#[derive(Clone, Debug)]
+pub enum RunVerdict {
+    /// Every oracle held.
+    Clean,
+    /// Oracles reported breaches that are legitimate outside the envelope
+    /// (over-budget only): degraded but diagnosed.
+    Degraded {
+        /// Violation kinds, joined with `+`.
+        digest: String,
+    },
+    /// Oracle violations that the run's budget regime does not excuse.
+    Violated {
+        /// Every violation the oracle suite reported.
+        violations: Vec<Violation>,
+    },
+    /// The run panicked — a failure in every regime.
+    Panicked {
+        /// The panic payload, rendered.
+        message: String,
+    },
+    /// The runner refused the setup (generator or repro-file bug).
+    SetupError {
+        /// The runner's error, rendered.
+        message: String,
+    },
+}
+
+impl RunVerdict {
+    /// The violation kinds (or failure class), joined with `+` — the stable
+    /// fingerprint shrinking preserves.
+    pub fn digest(&self) -> String {
+        match self {
+            RunVerdict::Clean => "clean".to_string(),
+            RunVerdict::Degraded { digest } => digest.clone(),
+            RunVerdict::Violated { violations } => {
+                let mut kinds: Vec<&'static str> = violations.iter().map(violation_kind).collect();
+                kinds.dedup();
+                kinds.join("+")
+            }
+            RunVerdict::Panicked { .. } => "panic".to_string(),
+            RunVerdict::SetupError { .. } => "setup-error".to_string(),
+        }
+    }
+
+    /// Whether this verdict fails a campaign run in `budget`.
+    pub fn is_failure(&self, budget: BudgetRegime) -> bool {
+        match self {
+            RunVerdict::Clean | RunVerdict::Degraded { .. } => false,
+            RunVerdict::Panicked { .. } | RunVerdict::SetupError { .. } => true,
+            RunVerdict::Violated { violations } => {
+                budget != BudgetRegime::OverBudget
+                    || violations.iter().any(|v| !tolerable_over_budget(v))
+            }
+        }
+    }
+}
+
+/// Whether `v` is a legitimate consequence of exceeding the fault budget
+/// (the paper's theorems no longer apply) rather than a harness bug.
+fn tolerable_over_budget(v: &Violation) -> bool {
+    !matches!(
+        v,
+        Violation::CorrectMalformed(_) | Violation::BackendDivergence { .. }
+    )
+}
+
+/// One failing run, with everything needed to shrink and replay it.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Index of the run within the campaign.
+    pub index: usize,
+    /// The per-run generator seed.
+    pub seed: u64,
+    /// The budget regime the run was judged under.
+    pub budget: BudgetRegime,
+    /// The failing schedule.
+    pub schedule: ChaosSchedule,
+    /// The verdict.
+    pub verdict: RunVerdict,
+}
+
+/// Aggregate result of a campaign.
+#[derive(Clone, Debug)]
+pub struct CampaignReport {
+    /// Total schedules executed.
+    pub total: usize,
+    /// Runs every oracle passed.
+    pub clean: usize,
+    /// Over-budget runs that degraded with a structured diagnosis.
+    pub degraded: usize,
+    /// Failing runs (empty ⇔ the campaign passed).
+    pub failures: Vec<Failure>,
+    /// Wall-clock time of the whole campaign.
+    pub elapsed: Duration,
+}
+
+impl CampaignReport {
+    /// Whether the campaign passed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Campaign throughput (schedules per second).
+    pub fn runs_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.total as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+impl fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} runs: {} clean, {} degraded, {} failed ({:.0} runs/s)",
+            self.total,
+            self.clean,
+            self.degraded,
+            self.failures.len(),
+            self.runs_per_sec()
+        )
+    }
+}
+
+/// The seed run `index` of a campaign generates its schedule from
+/// (splitmix64 of the pair, so neighbouring indices decorrelate).
+pub fn per_run_seed(campaign_seed: u64, index: usize) -> u64 {
+    let mut z = campaign_seed
+        .wrapping_add((index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Executes `schedule` on the chosen backend(s), contains panics, and runs
+/// the oracle suite over the result.
+pub fn judge_schedule(
+    schedule: &ChaosSchedule,
+    backend: BackendChoice,
+    oracles: &[Box<dyn Oracle>],
+) -> RunVerdict {
+    let (reference_backend, other_backend) = backend.backends();
+    let reference = match execute_contained(schedule, reference_backend) {
+        Ok(run) => run,
+        Err(verdict) => return verdict,
+    };
+    let other = match other_backend {
+        None => None,
+        Some(kind) => match execute_contained(schedule, kind) {
+            Ok(run) => Some((kind, run)),
+            Err(verdict) => return verdict,
+        },
+    };
+    let input = OracleInput {
+        schedule,
+        reference: &reference,
+        reference_backend,
+        other: other.as_ref().map(|(kind, run)| (*kind, run)),
+    };
+    let violations: Vec<Violation> = oracles
+        .iter()
+        .flat_map(|oracle| oracle.check(&input))
+        .collect();
+    if violations.is_empty() {
+        RunVerdict::Clean
+    } else {
+        RunVerdict::Violated { violations }
+    }
+}
+
+fn execute_contained(
+    schedule: &ChaosSchedule,
+    backend: BackendKind,
+) -> Result<opr_workload::DiagnosedRun, RunVerdict> {
+    match catch_unwind(AssertUnwindSafe(|| schedule.run_on(backend))) {
+        Ok(Ok(run)) => Ok(run),
+        Ok(Err(e)) => Err(RunVerdict::SetupError {
+            message: format!("{backend:?}: {e}"),
+        }),
+        Err(payload) => Err(RunVerdict::Panicked {
+            message: format!("{backend:?}: {}", panic_message(payload.as_ref())),
+        }),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs a full campaign and applies the per-regime pass rule to every
+/// verdict. The oracle digest of an over-budget degraded run is preserved
+/// in the `degraded` count; failures carry their whole schedule.
+pub fn run_campaign(config: &CampaignConfig, oracles: &[Box<dyn Oracle>]) -> CampaignReport {
+    let start = Instant::now();
+    let mut report = CampaignReport {
+        total: config.runs,
+        clean: 0,
+        degraded: 0,
+        failures: Vec::new(),
+        elapsed: Duration::ZERO,
+    };
+    for index in 0..config.runs {
+        let budget = config
+            .budget
+            .unwrap_or(BudgetRegime::ALL[index % BudgetRegime::ALL.len()]);
+        let seed = per_run_seed(config.seed, index);
+        let schedule = generate_schedule(seed, budget);
+        let mut verdict = judge_schedule(&schedule, config.backend, oracles);
+        // Over-budget oracle violations that the regime excuses become the
+        // structured "degraded but diagnosed" outcome.
+        if let RunVerdict::Violated { .. } = &verdict {
+            if !verdict.is_failure(budget) {
+                verdict = RunVerdict::Degraded {
+                    digest: verdict.digest(),
+                };
+            }
+        }
+        match &verdict {
+            RunVerdict::Clean => report.clean += 1,
+            RunVerdict::Degraded { .. } => report.degraded += 1,
+            _ => report.failures.push(Failure {
+                index,
+                seed,
+                budget,
+                schedule,
+                verdict,
+            }),
+        }
+    }
+    report.elapsed = start.elapsed();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::standard_suite;
+
+    #[test]
+    fn in_budget_campaign_is_all_clean() {
+        let report = run_campaign(
+            &CampaignConfig {
+                seed: 42,
+                runs: 30,
+                budget: Some(BudgetRegime::InBudget),
+                backend: BackendChoice::Sim,
+            },
+            &standard_suite(),
+        );
+        assert!(report.passed(), "{:#?}", report.failures);
+        assert_eq!(report.clean, 30);
+        assert_eq!(report.degraded, 0);
+    }
+
+    #[test]
+    fn over_budget_campaign_degrades_without_failing() {
+        let report = run_campaign(
+            &CampaignConfig {
+                seed: 43,
+                runs: 30,
+                budget: Some(BudgetRegime::OverBudget),
+                backend: BackendChoice::Sim,
+            },
+            &standard_suite(),
+        );
+        assert!(report.passed(), "{:#?}", report.failures);
+        // Over-budget runs may degrade or (if the protocol happens to cope)
+        // stay clean; both tally, nothing fails.
+        assert_eq!(report.clean + report.degraded, 30);
+        assert!(
+            report.degraded > 0,
+            "expected at least one degraded diagnosis in 30 over-budget runs"
+        );
+    }
+
+    #[test]
+    fn mixed_campaign_cycles_regimes_deterministically() {
+        let cfg = CampaignConfig {
+            seed: 7,
+            runs: 12,
+            budget: None,
+            backend: BackendChoice::Sim,
+        };
+        let a = run_campaign(&cfg, &standard_suite());
+        let b = run_campaign(&cfg, &standard_suite());
+        assert!(a.passed(), "{:#?}", a.failures);
+        assert_eq!(a.clean, b.clean);
+        assert_eq!(a.degraded, b.degraded);
+    }
+
+    #[test]
+    fn per_run_seeds_decorrelate() {
+        let seeds: Vec<u64> = (0..100).map(|i| per_run_seed(5, i)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len());
+    }
+
+    #[test]
+    fn verdict_failure_rules_match_the_contract() {
+        let harness_bug = RunVerdict::Violated {
+            violations: vec![Violation::BackendDivergence {
+                observable: "rounds",
+                reference: "7".into(),
+                other: "8".into(),
+            }],
+        };
+        let degradation = RunVerdict::Violated {
+            violations: vec![Violation::MissedTermination {
+                budget: 13,
+                undecided: vec![],
+            }],
+        };
+        for budget in BudgetRegime::ALL {
+            assert!(harness_bug.is_failure(budget), "{budget}");
+            assert!(RunVerdict::Panicked {
+                message: "x".into()
+            }
+            .is_failure(budget));
+            assert!(!RunVerdict::Clean.is_failure(budget));
+        }
+        assert!(degradation.is_failure(BudgetRegime::InBudget));
+        assert!(degradation.is_failure(BudgetRegime::AtBudget));
+        assert!(!degradation.is_failure(BudgetRegime::OverBudget));
+    }
+}

@@ -1,0 +1,296 @@
+//! The pluggable invariant-oracle suite.
+//!
+//! Each oracle inspects one diagnosed run (plus, when the campaign executes
+//! a schedule on both backends, the second run) and reports the breaches it
+//! owns. The property oracles project out of the runner's own diagnosis
+//! ([`DegradedOutcome::diagnose`](opr_types::DegradedOutcome::diagnose)
+//! already judges the healthy correct processes); the cross-backend oracle
+//! compares the two executions observable-by-observable and demands
+//! bit-equality.
+
+use crate::schedule::ChaosSchedule;
+use opr_transport::BackendKind;
+use opr_types::{PropertyViolation, Violation};
+use opr_workload::DiagnosedRun;
+
+/// What a campaign hands every oracle for one executed schedule.
+pub struct OracleInput<'a> {
+    /// The schedule that ran.
+    pub schedule: &'a ChaosSchedule,
+    /// The reference execution's diagnosis.
+    pub reference: &'a DiagnosedRun,
+    /// Which backend produced the reference.
+    pub reference_backend: BackendKind,
+    /// The second execution (when the campaign runs both backends).
+    pub other: Option<(BackendKind, &'a DiagnosedRun)>,
+}
+
+/// One paper invariant, checkable against an executed schedule.
+pub trait Oracle {
+    /// A short stable name for reports.
+    fn name(&self) -> &'static str;
+    /// The violations of this oracle's invariant, empty when it holds.
+    fn check(&self, input: &OracleInput<'_>) -> Vec<Violation>;
+}
+
+/// The stable kind tag of a violation (matching
+/// [`DegradedOutcome::digest`](opr_types::DegradedOutcome::digest)).
+pub fn violation_kind(v: &Violation) -> &'static str {
+    match v {
+        Violation::Property(PropertyViolation::Validity { .. }) => "validity",
+        Violation::Property(PropertyViolation::Termination { .. }) => "termination",
+        Violation::Property(PropertyViolation::Uniqueness { .. }) => "uniqueness",
+        Violation::Property(PropertyViolation::OrderPreservation { .. }) => "order",
+        Violation::NamespaceExceeded { .. } => "namespace",
+        Violation::StepCountMismatch { .. } => "steps",
+        Violation::MissedTermination { .. } => "missed-termination",
+        Violation::CorrectMalformed(_) => "correct-malformed",
+        Violation::BackendDivergence { .. } => "backend-divergence",
+    }
+}
+
+/// Projects the reference diagnosis onto the kinds an oracle owns.
+fn project(input: &OracleInput<'_>, kinds: &[&str]) -> Vec<Violation> {
+    input
+        .reference
+        .degraded
+        .violations
+        .iter()
+        .filter(|v| kinds.contains(&violation_kind(v)))
+        .cloned()
+        .collect()
+}
+
+/// No two healthy correct processes decide the same name.
+pub struct UniquenessOracle;
+
+impl Oracle for UniquenessOracle {
+    fn name(&self) -> &'static str {
+        "uniqueness"
+    }
+    fn check(&self, input: &OracleInput<'_>) -> Vec<Violation> {
+        project(input, &["uniqueness"])
+    }
+}
+
+/// Names of healthy correct processes are ordered like their original ids.
+pub struct OrderPreservationOracle;
+
+impl Oracle for OrderPreservationOracle {
+    fn name(&self) -> &'static str {
+        "order-preservation"
+    }
+    fn check(&self, input: &OracleInput<'_>) -> Vec<Violation> {
+        project(input, &["order"])
+    }
+}
+
+/// Every decided name lies in the algorithm's namespace (`N + t − 1`, `N`
+/// or `N²`); validity breaches ride along (a name outside the permitted
+/// range is the same contract).
+pub struct NamespaceOracle;
+
+impl Oracle for NamespaceOracle {
+    fn name(&self) -> &'static str {
+        "namespace"
+    }
+    fn check(&self, input: &OracleInput<'_>) -> Vec<Violation> {
+        project(input, &["namespace", "validity"])
+    }
+}
+
+/// The run took the algorithm's exact step count.
+pub struct StepCountOracle;
+
+impl Oracle for StepCountOracle {
+    fn name(&self) -> &'static str {
+        "step-count"
+    }
+    fn check(&self, input: &OracleInput<'_>) -> Vec<Violation> {
+        project(input, &["steps"])
+    }
+}
+
+/// Every healthy correct process decided within the round budget.
+pub struct TerminationOracle;
+
+impl Oracle for TerminationOracle {
+    fn name(&self) -> &'static str {
+        "termination"
+    }
+    fn check(&self, input: &OracleInput<'_>) -> Vec<Violation> {
+        project(input, &["termination", "missed-termination"])
+    }
+}
+
+/// No *correct* process produced a transport-rejected send (Byzantine
+/// processes may; a correct one doing so is a protocol or harness bug in
+/// any budget regime).
+pub struct MalformedOracle;
+
+impl Oracle for MalformedOracle {
+    fn name(&self) -> &'static str {
+        "correct-malformed"
+    }
+    fn check(&self, input: &OracleInput<'_>) -> Vec<Violation> {
+        project(input, &["correct-malformed"])
+    }
+}
+
+/// The two backends produced bit-equal observables: outcome, rounds,
+/// message/bit metrics, the malformed-send ledger and the diagnosis itself.
+pub struct CrossBackendOracle;
+
+impl Oracle for CrossBackendOracle {
+    fn name(&self) -> &'static str {
+        "cross-backend"
+    }
+    fn check(&self, input: &OracleInput<'_>) -> Vec<Violation> {
+        let Some((_, other)) = input.other else {
+            return Vec::new();
+        };
+        let a = input.reference;
+        let mut out = Vec::new();
+        let mut diverge = |observable: &'static str, left: String, right: String| {
+            if left != right {
+                out.push(Violation::BackendDivergence {
+                    observable,
+                    reference: left,
+                    other: right,
+                });
+            }
+        };
+        diverge(
+            "outcome",
+            format!("{:?}", a.full_outcome),
+            format!("{:?}", other.full_outcome),
+        );
+        diverge("rounds", a.rounds.to_string(), other.rounds.to_string());
+        diverge(
+            "messages",
+            a.metrics.messages_total().to_string(),
+            other.metrics.messages_total().to_string(),
+        );
+        diverge(
+            "bits",
+            a.metrics.bits_correct().to_string(),
+            other.metrics.bits_correct().to_string(),
+        );
+        diverge(
+            "max-message-bits",
+            a.metrics.max_message_bits().to_string(),
+            other.metrics.max_message_bits().to_string(),
+        );
+        diverge(
+            "malformed",
+            format!("{:?}", a.malformed),
+            format!("{:?}", other.malformed),
+        );
+        diverge(
+            "diagnosis",
+            format!("{:?}", a.degraded.violations),
+            format!("{:?}", other.degraded.violations),
+        );
+        out
+    }
+}
+
+/// The full standard suite, in reporting order: the four renaming
+/// properties, the step count, correct-process hygiene, and cross-backend
+/// bit-equality.
+pub fn standard_suite() -> Vec<Box<dyn Oracle>> {
+    vec![
+        Box::new(UniquenessOracle),
+        Box::new(OrderPreservationOracle),
+        Box::new(NamespaceOracle),
+        Box::new(TerminationOracle),
+        Box::new(StepCountOracle),
+        Box::new(MalformedOracle),
+        Box::new(CrossBackendOracle),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate_schedule;
+    use crate::schedule::BudgetRegime;
+
+    fn input_for<'a>(
+        schedule: &'a ChaosSchedule,
+        reference: &'a DiagnosedRun,
+        other: Option<&'a DiagnosedRun>,
+    ) -> OracleInput<'a> {
+        OracleInput {
+            schedule,
+            reference,
+            reference_backend: BackendKind::Sim,
+            other: other.map(|o| (BackendKind::Threaded, o)),
+        }
+    }
+
+    #[test]
+    fn clean_run_satisfies_every_oracle() {
+        let schedule = generate_schedule(3, BudgetRegime::AtBudget);
+        let sim = schedule.run_on(BackendKind::Sim).unwrap();
+        let thr = schedule.run_on(BackendKind::Threaded).unwrap();
+        let input = input_for(&schedule, &sim, Some(&thr));
+        for oracle in standard_suite() {
+            let violations = oracle.check(&input);
+            assert!(violations.is_empty(), "{}: {violations:?}", oracle.name());
+        }
+    }
+
+    #[test]
+    fn cross_backend_oracle_flags_divergence() {
+        let schedule = generate_schedule(3, BudgetRegime::AtBudget);
+        let sim = schedule.run_on(BackendKind::Sim).unwrap();
+        let mut forged = sim.clone();
+        forged.rounds += 1;
+        let input = input_for(&schedule, &sim, Some(&forged));
+        let violations = CrossBackendOracle.check(&input);
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            Violation::BackendDivergence {
+                observable: "rounds",
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn oracles_project_the_runner_diagnosis() {
+        // An over-budget schedule that misses termination must surface via
+        // the termination oracle and no other property oracle.
+        let schedule = ChaosSchedule {
+            regime: opr_types::Regime::LogTime,
+            n: 7,
+            t: 2,
+            id_dist: opr_workload::IdDistribution::EvenSpaced,
+            id_seed: 4,
+            adversary: opr_adversary::AdversarySpec::Silent,
+            byzantine: 3,
+            run_seed: 2,
+            events: Vec::new(),
+            payload_cap: None,
+        };
+        let sim = schedule.run_on(BackendKind::Sim).unwrap();
+        let input = input_for(&schedule, &sim, None);
+        if sim.degraded.is_clean() {
+            // 3 silent processes may still allow termination; nothing to do.
+            return;
+        }
+        let term = TerminationOracle.check(&input);
+        let uniq = UniquenessOracle.check(&input);
+        assert!(!term.is_empty());
+        assert!(uniq.is_empty());
+    }
+
+    #[test]
+    fn suite_names_are_distinct() {
+        let mut names: Vec<&str> = standard_suite().iter().map(|o| o.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 7);
+    }
+}

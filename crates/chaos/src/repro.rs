@@ -1,0 +1,332 @@
+//! Replayable repro files (`chaos-repro.json`).
+//!
+//! A repro file is self-contained: the campaign seed it came from, the
+//! failing schedule in full, the backend choice and the verdict digest the
+//! failure showed. Replaying re-executes the schedule deterministically and
+//! re-judges it with the same oracle suite — the digest must reproduce.
+
+use crate::engine::{judge_schedule, BackendChoice, RunVerdict};
+use crate::json::Json;
+use crate::oracle::Oracle;
+use crate::schedule::{BudgetRegime, ChaosSchedule};
+use opr_adversary::AdversarySpec;
+use opr_transport::FaultEvent;
+use opr_types::Regime;
+use opr_workload::IdDistribution;
+use std::fmt;
+
+/// Format version written into every file (bump on breaking changes).
+pub const REPRO_VERSION: u64 = 1;
+
+/// A replayable failure record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Repro {
+    /// The campaign seed the failure was found under.
+    pub campaign_seed: u64,
+    /// The index of the failing run within that campaign.
+    pub run_index: usize,
+    /// The budget regime the run was judged under.
+    pub budget: BudgetRegime,
+    /// Which backend(s) showed the failure.
+    pub backend: BackendChoice,
+    /// The verdict digest at capture time (e.g. `"uniqueness"`, `"panic"`).
+    pub digest: String,
+    /// The (possibly shrunk) schedule.
+    pub schedule: ChaosSchedule,
+}
+
+/// Why a repro file could not be decoded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReproError(String);
+
+impl fmt::Display for ReproError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "repro file: {}", self.0)
+    }
+}
+
+impl std::error::Error for ReproError {}
+
+fn bad(msg: impl Into<String>) -> ReproError {
+    ReproError(msg.into())
+}
+
+impl Repro {
+    /// Renders the repro as pretty-printed JSON (the `chaos-repro.json`
+    /// payload).
+    pub fn to_json(&self) -> String {
+        Json::Obj(vec![
+            ("version".into(), Json::UInt(REPRO_VERSION)),
+            ("campaign_seed".into(), Json::UInt(self.campaign_seed)),
+            ("run_index".into(), Json::UInt(self.run_index as u64)),
+            ("budget".into(), Json::Str(self.budget.label().into())),
+            ("backend".into(), Json::Str(self.backend.label().into())),
+            ("digest".into(), Json::Str(self.digest.clone())),
+            ("schedule".into(), schedule_to_json(&self.schedule)),
+        ])
+        .render()
+    }
+
+    /// Decodes a repro file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReproError`] on malformed JSON, an unknown version, or
+    /// unknown labels.
+    pub fn from_json(text: &str) -> Result<Repro, ReproError> {
+        let doc = Json::parse(text).map_err(|e| bad(e.to_string()))?;
+        let version = field_u64(&doc, "version")?;
+        if version != REPRO_VERSION {
+            return Err(bad(format!(
+                "unsupported version {version} (this build reads {REPRO_VERSION})"
+            )));
+        }
+        Ok(Repro {
+            campaign_seed: field_u64(&doc, "campaign_seed")?,
+            run_index: field_u64(&doc, "run_index")? as usize,
+            budget: BudgetRegime::parse(field_str(&doc, "budget")?)
+                .ok_or_else(|| bad("unknown budget label"))?,
+            backend: BackendChoice::parse(field_str(&doc, "backend")?)
+                .ok_or_else(|| bad("unknown backend label"))?,
+            digest: field_str(&doc, "digest")?.to_string(),
+            schedule: schedule_from_json(
+                doc.get("schedule").ok_or_else(|| bad("missing schedule"))?,
+            )?,
+        })
+    }
+
+    /// Re-executes the schedule with the recorded backend choice and
+    /// re-judges it. Deterministic: the same file always yields the same
+    /// verdict, and a valid repro reproduces its recorded digest.
+    pub fn replay(&self, oracles: &[Box<dyn Oracle>]) -> RunVerdict {
+        judge_schedule(&self.schedule, self.backend, oracles)
+    }
+}
+
+fn field_u64(doc: &Json, key: &str) -> Result<u64, ReproError> {
+    doc.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| bad(format!("missing or non-integer field '{key}'")))
+}
+
+fn field_str<'a>(doc: &'a Json, key: &str) -> Result<&'a str, ReproError> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad(format!("missing or non-string field '{key}'")))
+}
+
+fn field_usize(doc: &Json, key: &str) -> Result<usize, ReproError> {
+    doc.get(key)
+        .and_then(Json::as_usize)
+        .ok_or_else(|| bad(format!("missing or non-integer field '{key}'")))
+}
+
+/// Stable regime labels for the file format.
+fn regime_label(regime: Regime) -> &'static str {
+    match regime {
+        Regime::LogTime => "log-time",
+        Regime::ConstantTime => "constant-time",
+        Regime::TwoStep => "two-step",
+    }
+}
+
+fn parse_regime(label: &str) -> Option<Regime> {
+    Regime::ALL.into_iter().find(|&r| regime_label(r) == label)
+}
+
+fn parse_adversary(label: &str) -> Option<AdversarySpec> {
+    AdversarySpec::ALG1
+        .into_iter()
+        .chain(AdversarySpec::TWO_STEP)
+        .find(|spec| spec.label() == label)
+}
+
+fn parse_id_dist(label: &str) -> Option<IdDistribution> {
+    IdDistribution::ALL
+        .into_iter()
+        .find(|dist| dist.label() == label)
+}
+
+/// Encodes a schedule as a JSON object (used by the repro format and the
+/// chaos binary's failure dumps).
+pub fn schedule_to_json(schedule: &ChaosSchedule) -> Json {
+    Json::Obj(vec![
+        (
+            "regime".into(),
+            Json::Str(regime_label(schedule.regime).into()),
+        ),
+        ("n".into(), Json::UInt(schedule.n as u64)),
+        ("t".into(), Json::UInt(schedule.t as u64)),
+        ("id_dist".into(), Json::Str(schedule.id_dist.label().into())),
+        ("id_seed".into(), Json::UInt(schedule.id_seed)),
+        (
+            "adversary".into(),
+            Json::Str(schedule.adversary.label().into()),
+        ),
+        ("byzantine".into(), Json::UInt(schedule.byzantine as u64)),
+        ("run_seed".into(), Json::UInt(schedule.run_seed)),
+        (
+            "payload_cap".into(),
+            match schedule.payload_cap {
+                Some(cap) => Json::UInt(cap),
+                None => Json::Null,
+            },
+        ),
+        (
+            "events".into(),
+            Json::Arr(schedule.events.iter().map(event_to_json).collect()),
+        ),
+    ])
+}
+
+/// Decodes a schedule object.
+///
+/// # Errors
+///
+/// Returns [`ReproError`] on missing fields or unknown labels.
+pub fn schedule_from_json(doc: &Json) -> Result<ChaosSchedule, ReproError> {
+    let events = doc
+        .get("events")
+        .and_then(Json::as_array)
+        .ok_or_else(|| bad("missing events array"))?
+        .iter()
+        .map(event_from_json)
+        .collect::<Result<Vec<FaultEvent>, ReproError>>()?;
+    let payload_cap = match doc.get("payload_cap") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(v.as_u64().ok_or_else(|| bad("non-integer payload_cap"))?),
+    };
+    Ok(ChaosSchedule {
+        regime: parse_regime(field_str(doc, "regime")?)
+            .ok_or_else(|| bad("unknown regime label"))?,
+        n: field_usize(doc, "n")?,
+        t: field_usize(doc, "t")?,
+        id_dist: parse_id_dist(field_str(doc, "id_dist")?)
+            .ok_or_else(|| bad("unknown id_dist label"))?,
+        id_seed: field_u64(doc, "id_seed")?,
+        adversary: parse_adversary(field_str(doc, "adversary")?)
+            .ok_or_else(|| bad("unknown adversary label"))?,
+        byzantine: field_usize(doc, "byzantine")?,
+        run_seed: field_u64(doc, "run_seed")?,
+        events,
+        payload_cap,
+    })
+}
+
+fn event_to_json(event: &FaultEvent) -> Json {
+    match *event {
+        FaultEvent::Drop {
+            sender,
+            link,
+            round,
+        } => Json::Obj(vec![
+            ("kind".into(), Json::Str("drop".into())),
+            ("sender".into(), Json::UInt(sender as u64)),
+            ("link".into(), Json::UInt(link as u64)),
+            ("round".into(), Json::UInt(round as u64)),
+        ]),
+        FaultEvent::SilenceLink { sender, link, from } => Json::Obj(vec![
+            ("kind".into(), Json::Str("silence-link".into())),
+            ("sender".into(), Json::UInt(sender as u64)),
+            ("link".into(), Json::UInt(link as u64)),
+            ("from".into(), Json::UInt(from as u64)),
+        ]),
+        FaultEvent::Crash { sender, from } => Json::Obj(vec![
+            ("kind".into(), Json::Str("crash".into())),
+            ("sender".into(), Json::UInt(sender as u64)),
+            ("from".into(), Json::UInt(from as u64)),
+        ]),
+    }
+}
+
+fn event_from_json(doc: &Json) -> Result<FaultEvent, ReproError> {
+    let round_field = |key: &str| -> Result<u32, ReproError> {
+        u32::try_from(field_u64(doc, key)?).map_err(|_| bad(format!("field '{key}' out of range")))
+    };
+    match field_str(doc, "kind")? {
+        "drop" => Ok(FaultEvent::Drop {
+            sender: field_usize(doc, "sender")?,
+            link: field_usize(doc, "link")?,
+            round: round_field("round")?,
+        }),
+        "silence-link" => Ok(FaultEvent::SilenceLink {
+            sender: field_usize(doc, "sender")?,
+            link: field_usize(doc, "link")?,
+            from: round_field("from")?,
+        }),
+        "crash" => Ok(FaultEvent::Crash {
+            sender: field_usize(doc, "sender")?,
+            from: round_field("from")?,
+        }),
+        other => Err(bad(format!("unknown event kind '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate_schedule;
+    use crate::oracle::standard_suite;
+
+    fn sample_repro(seed: u64) -> Repro {
+        Repro {
+            campaign_seed: seed,
+            run_index: 17,
+            budget: BudgetRegime::OverBudget,
+            backend: BackendChoice::Both,
+            digest: "missed-termination".into(),
+            schedule: generate_schedule(seed, BudgetRegime::OverBudget),
+        }
+    }
+
+    #[test]
+    fn repro_round_trips_through_json() {
+        for seed in [0u64, 9, u64::MAX] {
+            let repro = sample_repro(seed);
+            let text = repro.to_json();
+            assert_eq!(Repro::from_json(&text).unwrap(), repro, "{text}");
+        }
+    }
+
+    #[test]
+    fn schedules_with_every_event_kind_round_trip() {
+        let mut schedule = generate_schedule(1, BudgetRegime::AtBudget);
+        schedule.events = opr_transport::FaultPlan::new()
+            .drop_message(0, opr_types::LinkId::new(2), opr_types::Round::new(3))
+            .silence_link_from(1, opr_types::LinkId::new(1), opr_types::Round::new(2))
+            .crash_from(2, opr_types::Round::new(1))
+            .events();
+        schedule.payload_cap = Some(1 << 20);
+        let json = schedule_to_json(&schedule);
+        assert_eq!(schedule_from_json(&json).unwrap(), schedule);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let repro = Repro {
+            digest: String::new(),
+            ..sample_repro(23)
+        };
+        let oracles = standard_suite();
+        let first = repro.replay(&oracles);
+        let second = repro.replay(&oracles);
+        assert_eq!(first.digest(), second.digest());
+    }
+
+    #[test]
+    fn bad_files_are_rejected_with_reasons() {
+        for (text, needle) in [
+            ("{", "json error"),
+            (r#"{"version": 99}"#, "version"),
+            (
+                r#"{"version": 1, "campaign_seed": 0, "run_index": 0,
+                   "budget": "sideways", "backend": "sim", "digest": "x",
+                   "schedule": {}}"#,
+                "budget",
+            ),
+        ] {
+            let err = Repro::from_json(text).unwrap_err();
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! One fully-determined chaos run: the schedule and its execution bridge.
+
+use opr_adversary::AdversarySpec;
+use opr_core::fault_placement;
+use opr_transport::{BackendKind, FaultEvent, FaultPlan};
+use opr_types::{OriginalId, Regime, RenamingError, SystemConfig};
+use opr_workload::{DiagnosedRun, IdDistribution, RenamingRun};
+use std::fmt;
+
+/// Where a schedule's effective fault load sits relative to the bound `t`.
+///
+/// The *effective* load counts Byzantine processes plus correct processes
+/// whose outgoing links the transport fault plan disturbs (to every
+/// receiver the two are indistinguishable).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum BudgetRegime {
+    /// Strictly fewer than `t` effective faults — the comfortable interior
+    /// of the paper's envelope.
+    InBudget,
+    /// Exactly `t` effective faults — the envelope's boundary, where every
+    /// theorem still holds with zero slack.
+    AtBudget,
+    /// More than `t` effective faults — outside the envelope. The paper
+    /// promises nothing; the implementation promises a structured diagnosis
+    /// instead of a panic.
+    OverBudget,
+}
+
+impl BudgetRegime {
+    /// All regimes, in escalating order.
+    pub const ALL: [BudgetRegime; 3] = [
+        BudgetRegime::InBudget,
+        BudgetRegime::AtBudget,
+        BudgetRegime::OverBudget,
+    ];
+
+    /// A short stable label (`"in"`, `"at"`, `"over"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            BudgetRegime::InBudget => "in",
+            BudgetRegime::AtBudget => "at",
+            BudgetRegime::OverBudget => "over",
+        }
+    }
+
+    /// Parses a [`BudgetRegime::label`].
+    pub fn parse(label: &str) -> Option<BudgetRegime> {
+        BudgetRegime::ALL
+            .iter()
+            .copied()
+            .find(|b| b.label() == label)
+    }
+}
+
+impl fmt::Display for BudgetRegime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Everything needed to reproduce one chaos run bit-for-bit: the system
+/// shape, the workload, the Byzantine adversary, the transport fault
+/// schedule and the seed. Schedules serialize to `chaos-repro.json` (see
+/// [`crate::repro`]) and are the unit the shrinker minimizes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChaosSchedule {
+    /// Which algorithm/regime runs.
+    pub regime: Regime,
+    /// System size `N`.
+    pub n: usize,
+    /// Fault bound `t`.
+    pub t: usize,
+    /// Original-id layout of the correct processes.
+    pub id_dist: IdDistribution,
+    /// Seed for id generation.
+    pub id_seed: u64,
+    /// Byzantine strategy of the faulty actors.
+    pub adversary: AdversarySpec,
+    /// How many actors run the adversary.
+    pub byzantine: usize,
+    /// Run seed: topology labels, Byzantine placement, randomized
+    /// strategies. Placement is `fault_placement(n, byzantine, run_seed)`.
+    pub run_seed: u64,
+    /// Transport fault schedule, as canonical events.
+    pub events: Vec<FaultEvent>,
+    /// Optional transport payload cap in bits.
+    pub payload_cap: Option<u64>,
+}
+
+impl ChaosSchedule {
+    /// The system configuration (`N`, `t`) this schedule runs on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RenamingError::Config`] for an invalid `(n, t)` pair.
+    pub fn cfg(&self) -> Result<SystemConfig, RenamingError> {
+        Ok(SystemConfig::new(self.n, self.t)?)
+    }
+
+    /// The transport fault plan assembled from [`ChaosSchedule::events`].
+    pub fn fault_plan(&self) -> FaultPlan {
+        FaultPlan::from_events(self.events.iter().copied())
+    }
+
+    /// The Byzantine placement mask this schedule's run will use
+    /// (`true` = faulty index).
+    pub fn placement(&self) -> Vec<bool> {
+        fault_placement(self.n, self.byzantine, self.run_seed)
+    }
+
+    /// The correct processes' original ids (always `n − byzantine` of them).
+    pub fn correct_ids(&self) -> Vec<OriginalId> {
+        self.id_dist.generate(self.n - self.byzantine, self.id_seed)
+    }
+
+    /// The effective fault load: Byzantine actors plus *correct* processes
+    /// whose outgoing links the fault plan disturbs. Fault events aimed at
+    /// Byzantine indices do not count twice.
+    pub fn effective_faults(&self) -> usize {
+        let mask = self.placement();
+        let disturbed_correct = self
+            .fault_plan()
+            .disturbed_senders()
+            .into_iter()
+            .filter(|&s| s < self.n && !mask[s])
+            .count();
+        self.byzantine + disturbed_correct
+    }
+
+    /// Which budget regime the schedule actually lands in (the generator
+    /// aims for one, but shrinking can move a schedule downward).
+    pub fn budget_regime(&self) -> BudgetRegime {
+        let effective = self.effective_faults();
+        if effective < self.t {
+            BudgetRegime::InBudget
+        } else if effective == self.t {
+            BudgetRegime::AtBudget
+        } else {
+            BudgetRegime::OverBudget
+        }
+    }
+
+    /// Executes the schedule on `backend` and diagnoses the result.
+    /// Over-budget schedules degrade into reports rather than erroring.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RenamingError`] only for setups the runner cannot start
+    /// (invalid configuration, bad id set) — a generator or repro-file bug,
+    /// never a legitimate chaos outcome.
+    pub fn run_on(&self, backend: BackendKind) -> Result<DiagnosedRun, RenamingError> {
+        let cfg = self.cfg()?;
+        let mut run = RenamingRun::builder(cfg, self.regime)
+            .correct_ids(self.correct_ids())
+            .adversary(self.adversary, self.byzantine)
+            .seed(self.run_seed)
+            .backend(backend)
+            .faults(self.fault_plan())
+            .allow_fault_overrun();
+        if let Some(cap) = self.payload_cap {
+            run = run.payload_cap(cap);
+        }
+        run.run_diagnosed()
+    }
+
+    /// A one-line human summary for logs and failure reports.
+    pub fn describe(&self) -> String {
+        format!(
+            "{:?} n={} t={} ids={}#{} adversary={}×{} seed={} events={} cap={:?} [{}]",
+            self.regime,
+            self.n,
+            self.t,
+            self.id_dist.label(),
+            self.id_seed,
+            self.adversary.label(),
+            self.byzantine,
+            self.run_seed,
+            self.events.len(),
+            self.payload_cap,
+            self.budget_regime()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opr_types::Round;
+
+    fn base() -> ChaosSchedule {
+        ChaosSchedule {
+            regime: Regime::LogTime,
+            n: 7,
+            t: 2,
+            id_dist: IdDistribution::EvenSpaced,
+            id_seed: 4,
+            adversary: AdversarySpec::EchoSplit,
+            byzantine: 1,
+            run_seed: 11,
+            events: Vec::new(),
+            payload_cap: None,
+        }
+    }
+
+    #[test]
+    fn budget_regime_counts_effective_faults() {
+        let mut s = base();
+        assert_eq!(s.effective_faults(), 1);
+        assert_eq!(s.budget_regime(), BudgetRegime::InBudget);
+
+        // Disturb one correct process: at budget.
+        let mask = s.placement();
+        let victim = mask.iter().position(|&f| !f).unwrap();
+        s.events = FaultPlan::new().crash_from(victim, Round::FIRST).events();
+        assert_eq!(s.effective_faults(), 2);
+        assert_eq!(s.budget_regime(), BudgetRegime::AtBudget);
+
+        // Disturbing a *Byzantine* index adds nothing.
+        let byz = mask.iter().position(|&f| f).unwrap();
+        let plan = s.fault_plan().crash_from(byz, Round::FIRST);
+        s.events = plan.events();
+        assert_eq!(s.effective_faults(), 2);
+    }
+
+    #[test]
+    fn runs_identically_on_both_backends() {
+        let s = base();
+        let sim = s.run_on(BackendKind::Sim).unwrap();
+        let thr = s.run_on(BackendKind::Threaded).unwrap();
+        assert!(sim.degraded.is_clean(), "{:?}", sim.degraded.violations);
+        assert_eq!(sim.full_outcome, thr.full_outcome);
+        assert_eq!(sim.rounds, thr.rounds);
+        assert_eq!(sim.malformed, thr.malformed);
+    }
+
+    #[test]
+    fn budget_labels_parse_back() {
+        for b in BudgetRegime::ALL {
+            assert_eq!(BudgetRegime::parse(b.label()), Some(b));
+        }
+        assert_eq!(BudgetRegime::parse("sideways"), None);
+    }
+}

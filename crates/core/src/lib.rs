@@ -59,7 +59,8 @@ pub use probe::{Alg1Probe, TwoStepProbe, VotingSnapshot};
 pub use ranks::RankVector;
 pub use renaming::{Alg1Tweaks, OrderPreservingRenaming};
 pub use runner::{
-    run_alg1, run_two_step, run_two_step_clamped, run_two_step_with, AdversaryEnv, Alg1Options,
-    RunResult, TwoStepOptions,
+    fault_placement, run_alg1, run_alg1_observed, run_two_step, run_two_step_clamped,
+    run_two_step_observed, run_two_step_with, AdversaryEnv, Alg1Options, ObservedRun, RunResult,
+    TwoStepOptions,
 };
 pub use two_step::TwoStepRenaming;

@@ -11,7 +11,9 @@ use crate::renaming::OrderPreservingRenaming;
 use crate::two_step::TwoStepRenaming;
 use opr_sim::{Actor, Inbox, Outbox, RunMetrics, Topology, WireSize};
 use opr_transport::{BackendKind, FaultPlan, Job};
-use opr_types::{NewName, OriginalId, Regime, RenamingError, RenamingOutcome, Round, SystemConfig};
+use opr_types::{
+    MalformedSend, NewName, OriginalId, Regime, RenamingError, RenamingOutcome, Round, SystemConfig,
+};
 use std::collections::BTreeSet;
 use std::fmt::Debug;
 use std::marker::PhantomData;
@@ -87,6 +89,15 @@ pub struct Alg1Options {
     /// Transport-level faults applied below the actors (drops and
     /// delay-to-silence schedules on chosen links).
     pub faults: FaultPlan,
+    /// Skip the `faulty_count ≤ t` check — for over-budget chaos campaigns
+    /// that deliberately exceed the fault bound to observe degradation.
+    /// Strict entry points will then typically fail with
+    /// [`RenamingError::MissedTermination`]; the `*_observed` entry points
+    /// report what happened instead.
+    pub allow_fault_overrun: bool,
+    /// When `Some(cap)`, sends wider than `cap` bits are rejected at the
+    /// transport and recorded as [`MalformedSend`]s.
+    pub payload_cap: Option<u64>,
 }
 
 /// Options for [`run_two_step_with`].
@@ -101,6 +112,12 @@ pub struct TwoStepOptions {
     pub backend: BackendKind,
     /// Transport-level faults applied below the actors.
     pub faults: FaultPlan,
+    /// Skip the `faulty_count ≤ t` check (see
+    /// [`Alg1Options::allow_fault_overrun`]).
+    pub allow_fault_overrun: bool,
+    /// When `Some(cap)`, sends wider than `cap` bits are rejected at the
+    /// transport and recorded as [`MalformedSend`]s.
+    pub payload_cap: Option<u64>,
 }
 
 impl Default for TwoStepOptions {
@@ -110,6 +127,8 @@ impl Default for TwoStepOptions {
             clamp_offsets: true,
             backend: BackendKind::default(),
             faults: FaultPlan::default(),
+            allow_fault_overrun: false,
+            payload_cap: None,
         }
     }
 }
@@ -125,6 +144,70 @@ pub struct RunResult<P> {
     pub rounds: u32,
     /// Aggregated invariant probes.
     pub probe: P,
+}
+
+/// Everything observed in one run, *without* judging it — missed
+/// termination and malformed traffic are reported, not turned into errors.
+/// This is the entry point for chaos campaigns: the caller (an oracle
+/// suite) decides whether what happened was acceptable for the fault load
+/// it injected. [`ObservedRun::strict`] recovers the classic judging
+/// behaviour.
+#[derive(Clone, Debug)]
+pub struct ObservedRun<P> {
+    /// Names decided by the correct processes (undecided ⇒ absent).
+    pub outcome: RenamingOutcome,
+    /// Network metrics (rounds, messages, bits).
+    pub metrics: RunMetrics,
+    /// Rounds executed.
+    pub rounds: u32,
+    /// The step budget the run was given.
+    pub step_budget: u32,
+    /// Whether every correct process decided within the budget.
+    pub completed: bool,
+    /// Sends the transport rejected, in `(round, sender, occurrence)` order.
+    pub malformed: Vec<MalformedSend>,
+    /// Which actor indices were Byzantine (`true` = faulty).
+    pub faulty_mask: Vec<bool>,
+    /// Aggregated invariant probes.
+    pub probe: P,
+}
+
+impl<P> ObservedRun<P> {
+    /// The malformed sends attributable to *correct* processes — always a
+    /// protocol or harness bug, never legitimate degradation.
+    pub fn correct_malformed(&self) -> Vec<MalformedSend> {
+        self.malformed
+            .iter()
+            .filter(|m| !self.faulty_mask[m.sender.index()])
+            .copied()
+            .collect()
+    }
+
+    /// Converts the observation into the strict judgement the classic entry
+    /// points give: malformed traffic from a correct process or a missed
+    /// termination becomes an `Err`.
+    ///
+    /// # Errors
+    ///
+    /// [`RenamingError::CorrectMalformed`] if a correct process sent
+    /// malformed traffic; [`RenamingError::MissedTermination`] if any
+    /// correct process failed to decide within the step budget.
+    pub fn strict(self) -> Result<RunResult<P>, RenamingError> {
+        if let Some(&m) = self.correct_malformed().first() {
+            return Err(RenamingError::CorrectMalformed(m));
+        }
+        if !self.completed {
+            return Err(RenamingError::MissedTermination {
+                budget: self.step_budget,
+            });
+        }
+        Ok(RunResult {
+            outcome: self.outcome,
+            metrics: self.metrics,
+            rounds: self.rounds,
+            probe: self.probe,
+        })
+    }
 }
 
 /// An actor that never sends and never decides — the default Byzantine
@@ -161,8 +244,9 @@ fn validate(
     cfg: SystemConfig,
     correct_ids: &[OriginalId],
     faulty_count: usize,
+    allow_fault_overrun: bool,
 ) -> Result<(), RenamingError> {
-    if faulty_count > cfg.t() {
+    if !allow_fault_overrun && faulty_count > cfg.t() {
         return Err(RenamingError::TooManyFaultyActors {
             got: faulty_count,
             bound: cfg.t(),
@@ -182,8 +266,10 @@ fn validate(
 }
 
 /// Deterministic placement of faulty actors: a seeded permutation of the
-/// actor indices, faulty first.
-fn placement(n: usize, faulty_count: usize, seed: u64) -> Vec<bool> {
+/// actor indices, faulty first. Public so chaos generators can predict
+/// which indices a given `(n, faulty_count, seed)` run treats as Byzantine
+/// and aim transport faults at known-correct processes.
+pub fn fault_placement(n: usize, faulty_count: usize, seed: u64) -> Vec<bool> {
     // splitmix64-style mixing; self-contained so placement is stable across
     // rand versions.
     let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
@@ -206,27 +292,41 @@ fn placement(n: usize, faulty_count: usize, seed: u64) -> Vec<bool> {
     faulty
 }
 
-#[allow(clippy::too_many_arguments)]
+/// Substrate- and transport-level knobs shared by every runner entry point.
+struct RunKnobs {
+    seed: u64,
+    total_steps: u32,
+    backend: BackendKind,
+    faults: FaultPlan,
+    allow_fault_overrun: bool,
+    payload_cap: Option<u64>,
+}
+
 fn generic_run<M, F, C, P>(
     cfg: SystemConfig,
     correct_ids: &[OriginalId],
     faulty_count: usize,
-    total_steps: u32,
-    seed: u64,
-    backend: BackendKind,
-    faults: FaultPlan,
+    knobs: RunKnobs,
     mut make_adversary: F,
     mut make_correct: C,
     collect_probe: impl FnOnce() -> P,
-) -> Result<RunResult<P>, RenamingError>
+) -> Result<ObservedRun<P>, RenamingError>
 where
     M: Clone + Debug + WireSize + Send + 'static,
     F: FnMut(&AdversaryEnv) -> Option<Box<dyn Actor<Msg = M, Output = NewName>>>,
     C: FnMut(OriginalId) -> Box<dyn Actor<Msg = M, Output = NewName>>,
 {
-    validate(cfg, correct_ids, faulty_count)?;
+    let RunKnobs {
+        seed,
+        total_steps,
+        backend,
+        faults,
+        allow_fault_overrun,
+        payload_cap,
+    } = knobs;
+    validate(cfg, correct_ids, faulty_count, allow_fault_overrun)?;
     let n = cfg.n();
-    let faulty_mask = placement(n, faulty_count, seed);
+    let faulty_mask = fault_placement(n, faulty_count, seed);
     let topology = Topology::seeded(n, seed);
     // Pre-compute the correct placements so adversaries can aim.
     let mut sorted_ids: Vec<OriginalId> = correct_ids.to_vec();
@@ -265,22 +365,24 @@ where
             correct_mask.push(true);
         }
     }
-    let job = Job::with_faulty(actors, correct_mask, topology, total_steps).faults(faults);
-    let report = backend.execute(job);
-    if !report.completed {
-        return Err(RenamingError::MissedTermination {
-            budget: total_steps,
-        });
+    let mut job = Job::with_faulty(actors, correct_mask, topology, total_steps).faults(faults);
+    if let Some(cap) = payload_cap {
+        job = job.payload_cap(cap);
     }
+    let report = backend.execute(job);
     let outcome = RenamingOutcome::new(
         correct_positions
             .iter()
             .map(|&(index, id)| (id, report.outputs[index])),
     );
-    Ok(RunResult {
+    Ok(ObservedRun {
         outcome,
         metrics: report.metrics,
         rounds: report.rounds_executed,
+        step_budget: total_steps,
+        completed: report.completed,
+        malformed: report.malformed,
+        faulty_mask,
         probe: collect_probe(),
     })
 }
@@ -306,6 +408,30 @@ pub fn run_alg1<F>(
 where
     F: FnMut(&AdversaryEnv) -> Option<Box<dyn Actor<Msg = Alg1Msg, Output = NewName>>>,
 {
+    run_alg1_observed(cfg, regime, correct_ids, faulty_count, adversary, opts)?.strict()
+}
+
+/// [`run_alg1`] without the strict judgement: missed terminations and
+/// malformed sends are *reported* in the [`ObservedRun`] instead of becoming
+/// errors. Combined with [`Alg1Options::allow_fault_overrun`], this is how
+/// chaos campaigns observe degradation beyond the fault bound.
+///
+/// # Errors
+///
+/// Returns [`RenamingError`] only for invalid configurations, id sets or
+/// (unless overrun is allowed) fault counts — never for what happened
+/// during the run itself.
+pub fn run_alg1_observed<F>(
+    cfg: SystemConfig,
+    regime: Regime,
+    correct_ids: &[OriginalId],
+    faulty_count: usize,
+    adversary: F,
+    opts: Alg1Options,
+) -> Result<ObservedRun<Alg1Probe>, RenamingError>
+where
+    F: FnMut(&AdversaryEnv) -> Option<Box<dyn Actor<Msg = Alg1Msg, Output = NewName>>>,
+{
     if !opts.allow_regime_violation {
         cfg.require(regime)?;
     }
@@ -316,14 +442,18 @@ where
         + opts.tweaks.extra_voting_steps;
     let total_steps = 4 + voting;
     let probes = std::cell::RefCell::new(Vec::new());
-    let result = generic_run(
+    generic_run(
         cfg,
         correct_ids,
         faulty_count,
-        total_steps,
-        opts.seed,
-        opts.backend,
-        opts.faults,
+        RunKnobs {
+            seed: opts.seed,
+            total_steps,
+            backend: opts.backend,
+            faults: opts.faults,
+            allow_fault_overrun: opts.allow_fault_overrun,
+            payload_cap: opts.payload_cap,
+        },
         adversary,
         |id| {
             let mut actor = OrderPreservingRenaming::new_unchecked(cfg, regime, id, opts.tweaks);
@@ -339,8 +469,7 @@ where
                 .map(|p| p.lock().unwrap().clone())
                 .collect(),
         },
-    )?;
-    Ok(result)
+    )
 }
 
 /// Runs Algorithm 4 (2-step renaming) with `faulty_count` Byzantine actors
@@ -417,16 +546,40 @@ pub fn run_two_step_with<F>(
 where
     F: FnMut(&AdversaryEnv) -> Option<Box<dyn Actor<Msg = TwoStepMsg, Output = NewName>>>,
 {
+    run_two_step_observed(cfg, correct_ids, faulty_count, adversary, opts)?.strict()
+}
+
+/// [`run_two_step_with`] without the strict judgement; see
+/// [`run_alg1_observed`] for the contract.
+///
+/// # Errors
+///
+/// Returns [`RenamingError`] only for invalid configurations, id sets or
+/// (unless overrun is allowed) fault counts.
+pub fn run_two_step_observed<F>(
+    cfg: SystemConfig,
+    correct_ids: &[OriginalId],
+    faulty_count: usize,
+    adversary: F,
+    opts: TwoStepOptions,
+) -> Result<ObservedRun<TwoStepProbe>, RenamingError>
+where
+    F: FnMut(&AdversaryEnv) -> Option<Box<dyn Actor<Msg = TwoStepMsg, Output = NewName>>>,
+{
     cfg.require(Regime::TwoStep)?;
     let probes = std::cell::RefCell::new(Vec::new());
-    let result = generic_run(
+    generic_run(
         cfg,
         correct_ids,
         faulty_count,
-        2,
-        opts.seed,
-        opts.backend,
-        opts.faults,
+        RunKnobs {
+            seed: opts.seed,
+            total_steps: 2,
+            backend: opts.backend,
+            faults: opts.faults,
+            allow_fault_overrun: opts.allow_fault_overrun,
+            payload_cap: opts.payload_cap,
+        },
         adversary,
         |id| {
             let mut actor = TwoStepRenaming::with_clamp(cfg, id, opts.clamp_offsets)
@@ -443,8 +596,7 @@ where
                 .map(|p| p.lock().unwrap().clone())
                 .collect(),
         },
-    )?;
-    Ok(result)
+    )
 }
 
 #[cfg(test)]
@@ -541,14 +693,82 @@ mod tests {
 
     #[test]
     fn placement_is_deterministic_and_spread() {
-        let a = placement(10, 3, 42);
-        let b = placement(10, 3, 42);
+        let a = fault_placement(10, 3, 42);
+        let b = fault_placement(10, 3, 42);
         assert_eq!(a, b);
         assert_eq!(a.iter().filter(|&&f| f).count(), 3);
-        let c = placement(10, 3, 43);
+        let c = fault_placement(10, 3, 43);
         // Different seeds usually place differently (not guaranteed for
         // every pair, but 42 vs 43 differ).
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn observed_run_reports_instead_of_erroring() {
+        // Crash every process's transport from round 1: nobody hears
+        // anything, so nobody can decide — the strict path errors, the
+        // observed path reports.
+        let cfg = SystemConfig::new(7, 2).unwrap();
+        let correct = ids(&[1, 2, 3, 4, 5]);
+        let mut faults = FaultPlan::new();
+        for p in 0..7 {
+            faults = faults.crash_from(p, Round::FIRST);
+        }
+        let opts = |faults: FaultPlan| Alg1Options {
+            faults,
+            ..Alg1Options::default()
+        };
+        let err = run_alg1(
+            cfg,
+            Regime::LogTime,
+            &correct,
+            2,
+            |_| None,
+            opts(faults.clone()),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RenamingError::MissedTermination { .. }));
+        let observed =
+            run_alg1_observed(cfg, Regime::LogTime, &correct, 2, |_| None, opts(faults)).unwrap();
+        assert!(!observed.completed);
+        assert_eq!(observed.rounds, observed.step_budget);
+        assert!(observed
+            .outcome
+            .decisions()
+            .values()
+            .all(|name| name.is_none()));
+        assert_eq!(observed.faulty_mask.iter().filter(|&&f| f).count(), 2);
+    }
+
+    #[test]
+    fn fault_overrun_is_rejected_unless_allowed() {
+        let cfg = SystemConfig::new(7, 2).unwrap();
+        let correct = ids(&[1, 2, 3, 4]);
+        let err = run_alg1_observed(
+            cfg,
+            Regime::LogTime,
+            &correct,
+            3,
+            |_| None,
+            Alg1Options::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RenamingError::TooManyFaultyActors { .. }));
+        let observed = run_alg1_observed(
+            cfg,
+            Regime::LogTime,
+            &correct,
+            3,
+            |_| None,
+            Alg1Options {
+                allow_fault_overrun: true,
+                ..Alg1Options::default()
+            },
+        )
+        .unwrap();
+        // 3 silent faulty out of N=7 exceeds t=2; whatever happened, the
+        // run must report rather than panic or error.
+        assert_eq!(observed.faulty_mask.iter().filter(|&&f| f).count(), 3);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::metrics::{RoundMetrics, RunMetrics};
 use crate::topology::Topology;
 use crate::trace::{Trace, TraceEvent};
 use crate::wire::WireSize;
-use opr_types::{ProcessIndex, Round};
+use opr_types::{MalformedKind, MalformedSend, ProcessIndex, Round};
 use std::fmt::Debug;
 
 /// Result of [`Network::run`].
@@ -30,6 +30,8 @@ pub struct Network<M, O> {
     next_round: Round,
     trace: Option<Trace>,
     delivery_filter: Option<DeliveryFilter>,
+    payload_cap: Option<u64>,
+    malformed: Vec<MalformedSend>,
 }
 
 /// A transport-level delivery predicate: given the round, the sending
@@ -79,7 +81,25 @@ where
             next_round: Round::FIRST,
             trace: None,
             delivery_filter: None,
+            payload_cap: None,
+            malformed: Vec::new(),
         }
+    }
+
+    /// Installs a per-message payload cap in bits. Larger messages are
+    /// recorded as [`MalformedSend`]s and dropped instead of routed.
+    pub fn set_payload_cap(&mut self, cap: Option<u64>) {
+        self.payload_cap = cap;
+    }
+
+    /// Every send the transport rejected so far (out-of-range or duplicate
+    /// link labels, oversized payloads), in `(round, sender, occurrence)`
+    /// order. Rejection is not an engine failure: the message is dropped —
+    /// indistinguishable from a link fault to the receiver — and the caller
+    /// decides whether the sender was within its rights (Byzantine) or
+    /// buggy (correct).
+    pub fn malformed_sends(&self) -> &[MalformedSend] {
+        &self.malformed
     }
 
     /// Installs a transport-level [`DeliveryFilter`]. Messages the filter
@@ -117,6 +137,17 @@ where
             let sender = ProcessIndex::new(s);
             let is_correct = self.correct[s];
             let mut deliver_one = |link: opr_types::LinkId, msg: M, net: &mut Self| {
+                if let Some(cap) = net.payload_cap {
+                    let bits = msg.wire_bits();
+                    if bits > cap {
+                        net.malformed.push(MalformedSend {
+                            sender,
+                            round,
+                            kind: MalformedKind::OversizedPayload { bits, cap },
+                        });
+                        return;
+                    }
+                }
                 if let Some(filter) = net.delivery_filter.as_mut() {
                     if !filter(round, sender, link) {
                         return;
@@ -156,11 +187,27 @@ where
                 Outbox::Multicast(entries) => {
                     let mut seen = vec![false; n];
                     for (link, msg) in entries {
-                        assert!(link.label() <= n, "link {link:?} out of range for N={n}");
-                        assert!(
-                            !std::mem::replace(&mut seen[link.index()], true),
-                            "one message per link per round: duplicate {link:?}"
-                        );
+                        if link.label() > n {
+                            self.malformed.push(MalformedSend {
+                                sender,
+                                round,
+                                kind: MalformedKind::LinkOutOfRange {
+                                    label: link.label(),
+                                    n,
+                                },
+                            });
+                            continue;
+                        }
+                        if std::mem::replace(&mut seen[link.index()], true) {
+                            self.malformed.push(MalformedSend {
+                                sender,
+                                round,
+                                kind: MalformedKind::DuplicateLink {
+                                    label: link.label(),
+                                },
+                            });
+                            continue;
+                        }
                         deliver_one(link, msg, self);
                     }
                 }
@@ -387,8 +434,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "duplicate")]
-    fn duplicate_link_in_multicast_is_rejected() {
+    fn duplicate_link_in_multicast_is_recorded_and_dropped() {
         struct Dup;
         impl Actor for Dup {
             type Msg = Num;
@@ -410,6 +456,66 @@ mod tests {
         ];
         let mut net = Network::new(actors, Topology::canonical(2));
         net.step();
+        // The first message on the link went through; the duplicate was
+        // recorded and dropped, not panicked on.
+        assert_eq!(net.output_of(1), Some(1));
+        let malformed = net.malformed_sends();
+        assert_eq!(malformed.len(), 1);
+        assert!(matches!(
+            malformed[0].kind,
+            opr_types::MalformedKind::DuplicateLink { label: 1 }
+        ));
+        assert_eq!(malformed[0].sender, ProcessIndex::new(0));
+    }
+
+    #[test]
+    fn out_of_range_link_is_recorded_and_dropped() {
+        struct Wild;
+        impl Actor for Wild {
+            type Msg = Num;
+            type Output = u64;
+            fn send(&mut self, _round: Round) -> Outbox<Num> {
+                Outbox::Multicast(vec![(LinkId::new(9), Num(1)), (LinkId::new(1), Num(2))])
+            }
+            fn deliver(&mut self, _round: Round, _inbox: Inbox<Num>) {}
+            fn output(&self) -> Option<u64> {
+                None
+            }
+        }
+        let actors: Vec<Box<dyn Actor<Msg = Num, Output = u64>>> = vec![
+            Box::new(Wild),
+            Box::new(Summer {
+                value: 0,
+                sum: None,
+            }),
+        ];
+        let mut net = Network::new(actors, Topology::canonical(2));
+        net.step();
+        assert_eq!(net.output_of(1), Some(2), "in-range message still routed");
+        assert!(matches!(
+            net.malformed_sends(),
+            [MalformedSend {
+                kind: opr_types::MalformedKind::LinkOutOfRange { label: 9, n: 2 },
+                ..
+            }]
+        ));
+    }
+
+    #[test]
+    fn payload_cap_rejects_oversized_messages() {
+        let mut net = Network::new(summers(&[1, 2]), Topology::canonical(2));
+        net.set_payload_cap(Some(32));
+        let report = net.run(2);
+        // Every 64-bit message got rejected: nobody hears anything, sums are
+        // zero, and each sender is flagged once per attempted delivery.
+        assert!(report.completed);
+        assert_eq!(net.output_of(0), Some(0));
+        assert_eq!(net.metrics().messages_correct(), 0);
+        assert_eq!(net.malformed_sends().len(), 4);
+        assert!(net.malformed_sends().iter().all(|m| matches!(
+            m.kind,
+            opr_types::MalformedKind::OversizedPayload { bits: 64, cap: 32 }
+        )));
     }
 
     #[test]

@@ -18,6 +18,49 @@
 use opr_types::{LinkId, ProcessIndex, Round};
 use std::collections::{BTreeMap, BTreeSet};
 
+/// One scheduled transport fault, the unit a [`FaultPlan`] is built from —
+/// and the unit the chaos shrinker removes or weakens when minimizing a
+/// failing schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultEvent {
+    /// Drop the message `sender` emits on `link` in exactly `round`.
+    Drop {
+        /// The sending process index.
+        sender: usize,
+        /// The 1-based outgoing link label.
+        link: usize,
+        /// The 1-based round.
+        round: u32,
+    },
+    /// Silence `sender`'s `link` from `from` onwards.
+    SilenceLink {
+        /// The sending process index.
+        sender: usize,
+        /// The 1-based outgoing link label.
+        link: usize,
+        /// First silent round (1-based).
+        from: u32,
+    },
+    /// Silence every outgoing link of `sender` from `from` onwards.
+    Crash {
+        /// The crashing process index.
+        sender: usize,
+        /// First silent round (1-based).
+        from: u32,
+    },
+}
+
+impl FaultEvent {
+    /// The process whose outgoing traffic this event disturbs.
+    pub fn sender(&self) -> usize {
+        match *self {
+            FaultEvent::Drop { sender, .. }
+            | FaultEvent::SilenceLink { sender, .. }
+            | FaultEvent::Crash { sender, .. } => sender,
+        }
+    }
+}
+
 /// A deterministic schedule of transport faults.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FaultPlan {
@@ -69,6 +112,59 @@ impl FaultPlan {
     /// Whether the plan schedules no faults at all.
     pub fn is_empty(&self) -> bool {
         self.drops.is_empty() && self.link_silences.is_empty() && self.process_silences.is_empty()
+    }
+
+    /// The plan as a canonical, ordered list of [`FaultEvent`]s — drops,
+    /// then link silences, then crashes, each in key order.
+    /// `FaultPlan::from_events(plan.events()) == plan` always holds.
+    pub fn events(&self) -> Vec<FaultEvent> {
+        let mut events: Vec<FaultEvent> = Vec::new();
+        events.extend(
+            self.drops
+                .iter()
+                .map(|&(sender, link, round)| FaultEvent::Drop {
+                    sender,
+                    link,
+                    round,
+                }),
+        );
+        events.extend(
+            self.link_silences
+                .iter()
+                .map(|(&(sender, link), &from)| FaultEvent::SilenceLink { sender, link, from }),
+        );
+        events.extend(
+            self.process_silences
+                .iter()
+                .map(|(&sender, &from)| FaultEvent::Crash { sender, from }),
+        );
+        events
+    }
+
+    /// Rebuilds a plan from events (the inverse of [`FaultPlan::events`],
+    /// up to earliest-onset merging of duplicate silences).
+    pub fn from_events<I: IntoIterator<Item = FaultEvent>>(events: I) -> Self {
+        events
+            .into_iter()
+            .fold(FaultPlan::new(), |plan, event| match event {
+                FaultEvent::Drop {
+                    sender,
+                    link,
+                    round,
+                } => plan.drop_message(sender, LinkId::new(link), Round::new(round)),
+                FaultEvent::SilenceLink { sender, link, from } => {
+                    plan.silence_link_from(sender, LinkId::new(link), Round::new(from))
+                }
+                FaultEvent::Crash { sender, from } => plan.crash_from(sender, Round::new(from)),
+            })
+    }
+
+    /// The set of processes whose outgoing traffic the plan disturbs. In
+    /// oracle accounting these count toward the fault budget alongside the
+    /// Byzantine processes: a correct process with a faulted link is, to its
+    /// receivers, indistinguishable from a faulty one.
+    pub fn disturbed_senders(&self) -> BTreeSet<usize> {
+        self.events().iter().map(FaultEvent::sender).collect()
     }
 
     /// Whether a message sent by `sender` on `link` in `round` traverses

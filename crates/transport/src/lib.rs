@@ -63,7 +63,7 @@ pub mod sim_backend;
 pub mod substrate;
 pub mod threaded;
 
-pub use faults::FaultPlan;
+pub use faults::{FaultEvent, FaultPlan};
 pub use sim_backend::SimBackend;
 pub use substrate::{BackendKind, ExecutionReport, Job, Substrate};
 pub use threaded::ThreadedBackend;

@@ -22,11 +22,13 @@ where
             max_rounds,
             faults,
             trace_capacity,
+            payload_cap,
         } = job;
         let mut net = Network::with_faults(actors, correct, topology);
         if let Some(capacity) = trace_capacity {
             net.enable_trace(capacity);
         }
+        net.set_payload_cap(payload_cap);
         if !faults.is_empty() {
             net.set_delivery_filter(Box::new(move |round, sender, link| {
                 faults.delivers(round, sender, link)
@@ -39,6 +41,7 @@ where
             outputs: net.outputs(),
             metrics: net.metrics().clone(),
             trace: net.trace().cloned(),
+            malformed: net.malformed_sends().to_vec(),
         }
     }
 }

@@ -3,6 +3,7 @@
 use crate::faults::FaultPlan;
 use crate::{SimBackend, ThreadedBackend};
 use opr_sim::{Actor, RunMetrics, Topology, Trace, WireSize};
+use opr_types::MalformedSend;
 use std::fmt;
 use std::fmt::Debug;
 
@@ -23,6 +24,9 @@ pub struct Job<M, O> {
     pub faults: FaultPlan,
     /// When `Some(cap)`, record up to `cap` delivery events.
     pub trace_capacity: Option<usize>,
+    /// When `Some(cap)`, sends wider than `cap` bits are rejected and
+    /// recorded as malformed instead of delivered.
+    pub payload_cap: Option<u64>,
 }
 
 impl<M, O> Job<M, O> {
@@ -65,6 +69,7 @@ impl<M, O> Job<M, O> {
             max_rounds,
             faults: FaultPlan::default(),
             trace_capacity: None,
+            payload_cap: None,
         }
     }
 
@@ -77,6 +82,13 @@ impl<M, O> Job<M, O> {
     /// Enables delivery tracing with the given event capacity.
     pub fn trace(mut self, capacity: usize) -> Self {
         self.trace_capacity = Some(capacity);
+        self
+    }
+
+    /// Caps message payloads at `cap` wire bits; wider sends are recorded
+    /// as [`MalformedSend`]s and dropped instead of delivered.
+    pub fn payload_cap(mut self, cap: u64) -> Self {
+        self.payload_cap = Some(cap);
         self
     }
 }
@@ -95,6 +107,10 @@ pub struct ExecutionReport<O> {
     pub metrics: RunMetrics,
     /// The delivery trace, if the job requested one.
     pub trace: Option<Trace>,
+    /// Sends the transport rejected (out-of-range or duplicate link labels,
+    /// oversized payloads), in `(round, sender, occurrence)` order — the
+    /// same order on every backend.
+    pub malformed: Vec<MalformedSend>,
 }
 
 /// A lock-step execution substrate: consumes a [`Job`], runs it round by

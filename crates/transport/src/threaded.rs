@@ -26,14 +26,16 @@
 //!
 //! # Panics
 //!
-//! A panic inside an actor (e.g. a duplicate multicast link) is caught on
-//! its thread, the run is stopped at the next round boundary, and the first
-//! panic payload is re-raised on the caller's thread. Work other threads
-//! did in the partially-executed round is discarded with the run.
+//! A panic inside an actor is caught on its thread, the run is stopped at
+//! the next round boundary, and the first panic payload is re-raised on the
+//! caller's thread. Work other threads did in the partially-executed round
+//! is discarded with the run. Malformed *sends* (out-of-range or duplicate
+//! link labels, oversized payloads) are not panics: they are recorded as
+//! [`MalformedSend`]s and dropped, exactly as in the reference backend.
 
 use crate::substrate::{ExecutionReport, Job, Substrate};
 use opr_sim::{Actor, Inbox, Outbox, RoundMetrics, RunMetrics, Trace, TraceEvent, WireSize};
-use opr_types::{LinkId, ProcessIndex, Round};
+use opr_types::{LinkId, MalformedKind, MalformedSend, ProcessIndex, Round};
 use std::fmt::Debug;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
@@ -62,6 +64,7 @@ struct ThreadReport<O> {
     output: Option<O>,
     per_round: Vec<RoundMetrics>,
     trace_events: Vec<(u32, u32, TraceEvent)>,
+    malformed: Vec<MalformedSend>,
 }
 
 impl<M, O> Substrate<M, O> for ThreadedBackend
@@ -77,6 +80,7 @@ where
             max_rounds,
             faults,
             trace_capacity,
+            payload_cap,
         } = job;
         let n = actors.len();
         assert!(n >= 1, "threaded backend needs at least one process");
@@ -112,7 +116,17 @@ where
             let handle = std::thread::Builder::new()
                 .name(format!("opr-proc-{me}"))
                 .spawn(move || {
-                    process_thread(me, actor, rx, txs, shared, topology, faults, trace_enabled)
+                    process_thread(
+                        me,
+                        actor,
+                        rx,
+                        txs,
+                        shared,
+                        topology,
+                        faults,
+                        trace_enabled,
+                        payload_cap,
+                    )
                 })
                 .expect("spawn process thread");
             handles.push(handle);
@@ -123,6 +137,7 @@ where
         let mut outputs = Vec::with_capacity(n);
         let mut per_thread_metrics = Vec::with_capacity(n);
         let mut trace_events = Vec::new();
+        let mut malformed = Vec::new();
         for (me, handle) in handles.into_iter().enumerate() {
             let report: ThreadReport<O> = handle.join().expect("process thread must not die");
             outputs.push(report.output);
@@ -133,7 +148,12 @@ where
                     .into_iter()
                     .map(|(round, seq, ev)| (round, me, seq, ev)),
             );
+            malformed.extend(report.malformed);
         }
+        // Each thread records its own malformed sends in round/occurrence
+        // order; the stable sort interleaves threads into the reference
+        // backend's (round, sender, occurrence) order.
+        malformed.sort_by_key(|m: &MalformedSend| (m.round.number(), m.sender.index()));
 
         if shared.panicked.load(Ordering::SeqCst) {
             let msg = shared
@@ -181,6 +201,7 @@ where
             outputs,
             metrics,
             trace,
+            malformed,
         }
     }
 }
@@ -195,6 +216,7 @@ fn process_thread<M, O>(
     topology: Arc<opr_sim::Topology>,
     faults: Arc<crate::FaultPlan>,
     trace_enabled: bool,
+    payload_cap: Option<u64>,
 ) -> ThreadReport<O>
 where
     M: Clone + Debug + WireSize,
@@ -205,6 +227,7 @@ where
     let mut round = Round::FIRST;
     let mut per_round: Vec<RoundMetrics> = Vec::new();
     let mut trace_events: Vec<(u32, u32, TraceEvent)> = Vec::new();
+    let mut malformed: Vec<MalformedSend> = Vec::new();
     // Set when this actor panicked: the thread keeps participating in the
     // barrier protocol (so nobody deadlocks) but stops touching the actor.
     let mut poisoned = false;
@@ -236,7 +259,18 @@ where
             let result = catch_unwind(AssertUnwindSafe(|| {
                 let outbox = actor.send(round);
                 let mut seq = 0u32;
-                let mut deliver_one = |link: LinkId, msg: M| {
+                let mut deliver_one = |link: LinkId, msg: M, malformed: &mut Vec<MalformedSend>| {
+                    if let Some(cap) = payload_cap {
+                        let bits = msg.wire_bits();
+                        if bits > cap {
+                            malformed.push(MalformedSend {
+                                sender,
+                                round,
+                                kind: MalformedKind::OversizedPayload { bits, cap },
+                            });
+                            return;
+                        }
+                    }
                     if !faults.delivers(round, sender, link) {
                         return;
                     }
@@ -275,18 +309,34 @@ where
                     Outbox::Silent => {}
                     Outbox::Broadcast(msg) => {
                         for l in 1..=n {
-                            deliver_one(LinkId::new(l), msg.clone());
+                            deliver_one(LinkId::new(l), msg.clone(), &mut malformed);
                         }
                     }
                     Outbox::Multicast(entries) => {
                         let mut seen = vec![false; n];
                         for (link, msg) in entries {
-                            assert!(link.label() <= n, "link {link:?} out of range for N={n}");
-                            assert!(
-                                !std::mem::replace(&mut seen[link.index()], true),
-                                "one message per link per round: duplicate {link:?}"
-                            );
-                            deliver_one(link, msg);
+                            if link.label() > n {
+                                malformed.push(MalformedSend {
+                                    sender,
+                                    round,
+                                    kind: MalformedKind::LinkOutOfRange {
+                                        label: link.label(),
+                                        n,
+                                    },
+                                });
+                                continue;
+                            }
+                            if std::mem::replace(&mut seen[link.index()], true) {
+                                malformed.push(MalformedSend {
+                                    sender,
+                                    round,
+                                    kind: MalformedKind::DuplicateLink {
+                                        label: link.label(),
+                                    },
+                                });
+                                continue;
+                            }
+                            deliver_one(link, msg, &mut malformed);
                         }
                     }
                 }
@@ -331,6 +381,7 @@ where
         output,
         per_round,
         trace_events,
+        malformed,
     }
 }
 
@@ -478,14 +529,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "duplicate")]
+    #[should_panic(expected = "deliberate actor failure")]
     fn actor_panics_propagate_to_the_caller() {
-        struct Dup;
-        impl Actor for Dup {
+        struct Bomb;
+        impl Actor for Bomb {
             type Msg = Num;
             type Output = u64;
             fn send(&mut self, _round: Round) -> Outbox<Num> {
-                Outbox::Multicast(vec![(LinkId::new(1), Num(1)), (LinkId::new(1), Num(2))])
+                panic!("deliberate actor failure");
             }
             fn deliver(&mut self, _round: Round, _inbox: Inbox<Num>) {}
             fn output(&self) -> Option<u64> {
@@ -493,12 +544,58 @@ mod tests {
             }
         }
         let actors: Vec<Box<dyn Actor<Msg = Num, Output = u64>>> = vec![
-            Box::new(Dup),
+            Box::new(Bomb),
             Box::new(Summer {
                 value: 0,
                 sum: None,
             }),
         ];
         let _ = ThreadedBackend.execute(Job::new(actors, Topology::canonical(2), 3));
+    }
+
+    /// Sends one duplicate and one out-of-range link label every round.
+    struct Sloppy;
+    impl Actor for Sloppy {
+        type Msg = Num;
+        type Output = u64;
+        fn send(&mut self, _round: Round) -> Outbox<Num> {
+            Outbox::Multicast(vec![
+                (LinkId::new(1), Num(1)),
+                (LinkId::new(1), Num(2)),
+                (LinkId::new(99), Num(3)),
+            ])
+        }
+        fn deliver(&mut self, _round: Round, _inbox: Inbox<Num>) {}
+        fn output(&self) -> Option<u64> {
+            None
+        }
+    }
+
+    #[test]
+    fn malformed_sends_match_reference_backend_exactly() {
+        let build = |_| {
+            let mut actors = summers(&[10, 20, 30]);
+            actors.push(Box::new(Sloppy));
+            let correct = vec![true, true, true, false];
+            Job::with_faulty(actors, correct, Topology::seeded(4, 7), 3).payload_cap(64)
+        };
+        let sim = BackendKind::Sim.execute(build(()));
+        let threaded = BackendKind::Threaded.execute(build(()));
+        assert!(!sim.malformed.is_empty());
+        assert_eq!(sim.malformed, threaded.malformed);
+        assert_eq!(sim.outputs, threaded.outputs);
+        assert_eq!(sim.metrics, threaded.metrics);
+    }
+
+    #[test]
+    fn payload_cap_matches_reference_backend() {
+        // A 64-bit message against a 32-bit cap: every send is rejected on
+        // both backends, in the same order.
+        let build = |_| Job::new(summers(&[1, 2]), Topology::canonical(2), 2).payload_cap(32);
+        let sim = BackendKind::Sim.execute(build(()));
+        let threaded = BackendKind::Threaded.execute(build(()));
+        assert_eq!(sim.malformed.len(), 4);
+        assert_eq!(sim.malformed, threaded.malformed);
+        assert_eq!(sim.outputs, threaded.outputs);
     }
 }

@@ -84,6 +84,10 @@ pub enum RenamingError {
         /// The round budget that was exhausted.
         budget: u32,
     },
+    /// A correct process produced a send the transport had to reject — a
+    /// protocol or harness bug (Byzantine processes may send malformed
+    /// traffic; correct ones never do).
+    CorrectMalformed(crate::degraded::MalformedSend),
 }
 
 impl fmt::Display for RenamingError {
@@ -104,6 +108,9 @@ impl fmt::Display for RenamingError {
                     f,
                     "a correct process produced no output within {budget} rounds"
                 )
+            }
+            RenamingError::CorrectMalformed(m) => {
+                write!(f, "a correct process sent malformed traffic: {m}")
             }
         }
     }

@@ -31,6 +31,7 @@
 //! ```
 
 pub mod config;
+pub mod degraded;
 pub mod error;
 pub mod ids;
 pub mod math;
@@ -38,6 +39,7 @@ pub mod outcome;
 pub mod rank;
 
 pub use config::{Regime, SystemConfig};
+pub use degraded::{DegradedOutcome, MalformedKind, MalformedSend, Violation};
 pub use error::{ConfigError, RenamingError};
 pub use ids::{LinkId, NewName, OriginalId, ProcessIndex, Round};
 pub use outcome::{PropertyViolation, RenamingOutcome};

@@ -2,11 +2,17 @@
 
 use opr_adversary::AdversarySpec;
 use opr_baselines::{ChtRenaming, ConsensusRenaming, CrashAaRenaming, TranslatedRenaming};
-use opr_core::runner::{run_alg1, run_two_step_with, Alg1Options, TwoStepOptions};
+use opr_core::runner::{
+    run_alg1, run_alg1_observed, run_two_step_observed, run_two_step_with, Alg1Options,
+    TwoStepOptions,
+};
 use opr_core::{Alg1Probe, TwoStepProbe};
-use opr_sim::{Actor, Inbox, Outbox, Topology, WireSize};
-use opr_transport::{BackendKind, Job};
-use opr_types::{NewName, OriginalId, Regime, RenamingError, RenamingOutcome, Round, SystemConfig};
+use opr_sim::{Actor, Inbox, Outbox, RunMetrics, Topology, WireSize};
+use opr_transport::{BackendKind, FaultPlan, Job};
+use opr_types::{
+    DegradedOutcome, MalformedSend, NewName, OriginalId, Regime, RenamingError, RenamingOutcome,
+    Round, SystemConfig,
+};
 use std::fmt;
 use std::fmt::Debug;
 
@@ -542,6 +548,45 @@ pub struct RenamingRun {
     seed: u64,
     extra_voting_steps: u32,
     backend: BackendKind,
+    faults: FaultPlan,
+    allow_fault_overrun: bool,
+    payload_cap: Option<u64>,
+}
+
+/// The structured result of [`RenamingRun::run_diagnosed`]: what happened,
+/// judged against the paper's invariants over the *healthy* correct
+/// processes, with everything a chaos oracle or cross-backend comparison
+/// needs alongside.
+#[derive(Clone, Debug)]
+pub struct DiagnosedRun {
+    /// The diagnosis over the healthy correct processes — correct actors
+    /// whose outgoing links the fault plan does not disturb. A correct
+    /// process silenced by the transport is, to every receiver,
+    /// indistinguishable from a faulty one, so it is excluded from the
+    /// judged set exactly as if it had been placed Byzantine.
+    pub degraded: DegradedOutcome,
+    /// Decisions of *all* correct processes, transport-disturbed included.
+    pub full_outcome: RenamingOutcome,
+    /// Network metrics (identical across backends for the same run).
+    pub metrics: RunMetrics,
+    /// Rounds executed.
+    pub rounds: u32,
+    /// Sends the transport rejected, in `(round, sender, occurrence)` order.
+    pub malformed: Vec<MalformedSend>,
+    /// Which actor indices were Byzantine (`true` = faulty).
+    pub faulty_mask: Vec<bool>,
+    /// Original ids of correct processes excluded from the judged set
+    /// because the fault plan disturbs their outgoing links.
+    pub excluded: Vec<OriginalId>,
+}
+
+impl DiagnosedRun {
+    /// The effective fault load: Byzantine actors plus correct processes
+    /// whose outgoing links the fault plan disturbs. This is the number the
+    /// chaos budget regimes compare against `t`.
+    pub fn effective_faults(&self) -> usize {
+        self.faulty_mask.iter().filter(|&&f| f).count() + self.excluded.len()
+    }
 }
 
 /// The result of a [`RenamingRun`].
@@ -569,6 +614,9 @@ impl RenamingRun {
             seed: 0,
             extra_voting_steps: 0,
             backend: BackendKind::default(),
+            faults: FaultPlan::default(),
+            allow_fault_overrun: false,
+            payload_cap: None,
         }
     }
 
@@ -609,6 +657,29 @@ impl RenamingRun {
         self
     }
 
+    /// Attaches a transport-level fault plan (drops, link silences,
+    /// crash-style process silences) applied below the adversary layer.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Allows more Byzantine actors than the fault bound `t` — the chaos
+    /// campaign's over-budget regime. Use with [`RenamingRun::run_diagnosed`];
+    /// the strict [`RenamingRun::run`] will then typically report a missed
+    /// termination.
+    pub fn allow_fault_overrun(mut self) -> Self {
+        self.allow_fault_overrun = true;
+        self
+    }
+
+    /// Caps message payloads at `cap` wire bits; wider sends are recorded
+    /// as malformed and dropped at the transport.
+    pub fn payload_cap(mut self, cap: u64) -> Self {
+        self.payload_cap = Some(cap);
+        self
+    }
+
     /// Executes the run.
     ///
     /// # Errors
@@ -633,7 +704,9 @@ impl RenamingRun {
                             ..opr_core::Alg1Tweaks::default()
                         },
                         backend: self.backend,
-                        ..Alg1Options::default()
+                        faults: self.faults.clone(),
+                        allow_fault_overrun: self.allow_fault_overrun,
+                        payload_cap: self.payload_cap,
                     },
                 )?;
                 let algorithm = if self.regime == Regime::LogTime {
@@ -667,6 +740,9 @@ impl RenamingRun {
                     TwoStepOptions {
                         seed: self.seed,
                         backend: self.backend,
+                        faults: self.faults.clone(),
+                        allow_fault_overrun: self.allow_fault_overrun,
+                        payload_cap: self.payload_cap,
                         ..TwoStepOptions::default()
                     },
                 )?;
@@ -687,6 +763,125 @@ impl RenamingRun {
                 })
             }
         }
+    }
+
+    /// Executes the run and *diagnoses* it instead of judging it: missed
+    /// terminations, property violations and malformed sends become entries
+    /// in a [`DegradedOutcome`] rather than errors. Correct processes whose
+    /// outgoing links the fault plan disturbs are excluded from the judged
+    /// set (they are indistinguishable from faulty processes to everyone
+    /// else); their decisions remain visible in
+    /// [`DiagnosedRun::full_outcome`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RenamingError`] only for setups the runner cannot even
+    /// start: invalid configurations, bad id sets, or (unless
+    /// [`RenamingRun::allow_fault_overrun`] was called) too many faulty
+    /// actors.
+    pub fn run_diagnosed(self) -> Result<DiagnosedRun, RenamingError> {
+        let bound = self.cfg.namespace_bound(self.regime);
+        let expected_rounds = self.cfg.total_steps(self.regime) + self.extra_voting_steps;
+        let spec = self.adversary;
+        // Erase the probe type so both algorithm families share the
+        // diagnosis below.
+        let (outcome, metrics, rounds, step_budget, malformed, faulty_mask, correct_malformed) =
+            match self.regime {
+                Regime::LogTime | Regime::ConstantTime => {
+                    let o = run_alg1_observed(
+                        self.cfg,
+                        self.regime,
+                        &self.ids,
+                        self.faulty,
+                        |env| spec.build_alg1(env),
+                        Alg1Options {
+                            seed: self.seed,
+                            allow_regime_violation: false,
+                            tweaks: opr_core::Alg1Tweaks {
+                                extra_voting_steps: self.extra_voting_steps,
+                                ..opr_core::Alg1Tweaks::default()
+                            },
+                            backend: self.backend,
+                            faults: self.faults.clone(),
+                            allow_fault_overrun: self.allow_fault_overrun,
+                            payload_cap: self.payload_cap,
+                        },
+                    )?;
+                    let cm = o.correct_malformed();
+                    (
+                        o.outcome,
+                        o.metrics,
+                        o.rounds,
+                        o.step_budget,
+                        o.malformed,
+                        o.faulty_mask,
+                        cm,
+                    )
+                }
+                Regime::TwoStep => {
+                    let o = run_two_step_observed(
+                        self.cfg,
+                        &self.ids,
+                        self.faulty,
+                        |env| spec.build_two_step(env),
+                        TwoStepOptions {
+                            seed: self.seed,
+                            backend: self.backend,
+                            faults: self.faults.clone(),
+                            allow_fault_overrun: self.allow_fault_overrun,
+                            payload_cap: self.payload_cap,
+                            ..TwoStepOptions::default()
+                        },
+                    )?;
+                    let cm = o.correct_malformed();
+                    (
+                        o.outcome,
+                        o.metrics,
+                        o.rounds,
+                        o.step_budget,
+                        o.malformed,
+                        o.faulty_mask,
+                        cm,
+                    )
+                }
+            };
+        // Judged set: correct actors without transport faults on their
+        // outgoing links. Ids were assigned to non-Byzantine indices in
+        // caller order, so walk the mask to recover index → id.
+        let disturbed = self.faults.disturbed_senders();
+        let mut id_iter = self.ids.iter().copied();
+        let mut excluded = Vec::new();
+        let mut judged: Vec<(OriginalId, Option<NewName>)> = Vec::new();
+        for (index, &is_faulty) in faulty_mask.iter().enumerate() {
+            if is_faulty {
+                continue;
+            }
+            let id = id_iter.next().expect("id count checked by the runner");
+            if disturbed.contains(&index) {
+                excluded.push(id);
+            } else {
+                judged.push((id, outcome.name_of(id)));
+            }
+        }
+        let judged_completed = judged.iter().all(|(_, name)| name.is_some());
+        let degraded = DegradedOutcome::diagnose(
+            RenamingOutcome::new(judged),
+            rounds,
+            judged_completed,
+            step_budget,
+            expected_rounds,
+            bound,
+            &correct_malformed,
+        );
+        Ok(DiagnosedRun {
+            degraded,
+            full_outcome: outcome,
+            metrics,
+            rounds,
+            malformed,
+            faulty_mask,
+            excluded,
+        })
     }
 }
 
@@ -795,6 +990,68 @@ mod tests {
             err,
             opr_types::RenamingError::Config(opr_types::ConfigError::RegimeViolated { .. })
         ));
+    }
+
+    #[test]
+    fn diagnosed_clean_run_reports_clean() {
+        let cfg = SystemConfig::new(7, 2).unwrap();
+        let ids = IdDistribution::EvenSpaced.generate(5, 4);
+        let d = RenamingRun::builder(cfg, Regime::LogTime)
+            .correct_ids(ids)
+            .adversary(AdversarySpec::EchoSplit, 2)
+            .seed(9)
+            .run_diagnosed()
+            .unwrap();
+        assert!(d.degraded.is_clean(), "{:?}", d.degraded.violations);
+        assert!(d.excluded.is_empty());
+        assert_eq!(d.effective_faults(), 2);
+        assert!(d.malformed.is_empty());
+    }
+
+    #[test]
+    fn diagnosed_run_excludes_transport_disturbed_processes() {
+        // One Byzantine actor plus one correct process crashed by the
+        // transport from round 1: the crashed process leaves the judged set
+        // (budget 2 = t), and the remaining healthy processes must still
+        // rename cleanly.
+        let cfg = SystemConfig::new(7, 2).unwrap();
+        let ids = IdDistribution::EvenSpaced.generate(6, 4);
+        let seed = 11;
+        let mask = opr_core::fault_placement(cfg.n(), 1, seed);
+        let victim = mask
+            .iter()
+            .position(|&f| !f)
+            .expect("some process is correct");
+        let d = RenamingRun::builder(cfg, Regime::LogTime)
+            .correct_ids(ids)
+            .adversary(AdversarySpec::Silent, 1)
+            .seed(seed)
+            .faults(FaultPlan::new().crash_from(victim, Round::FIRST))
+            .run_diagnosed()
+            .unwrap();
+        assert_eq!(d.excluded.len(), 1);
+        assert_eq!(d.effective_faults(), 2);
+        assert!(d.degraded.is_clean(), "{:?}", d.degraded.violations);
+        assert_eq!(d.degraded.outcome.len(), 5);
+    }
+
+    #[test]
+    fn diagnosed_over_budget_degrades_without_error() {
+        // 3 silent Byzantine actors against t = 2: over budget. The run must
+        // come back as a diagnosis, whatever the protocol managed to do.
+        let cfg = SystemConfig::new(7, 2).unwrap();
+        let ids = IdDistribution::EvenSpaced.generate(4, 4);
+        let d = RenamingRun::builder(cfg, Regime::LogTime)
+            .correct_ids(ids)
+            .adversary(AdversarySpec::Silent, 3)
+            .seed(2)
+            .allow_fault_overrun()
+            .run_diagnosed()
+            .unwrap();
+        assert_eq!(d.effective_faults(), 3);
+        // Clean or violated, both are legitimate over budget — the contract
+        // is a structured report, which `digest` summarizes either way.
+        assert!(!d.degraded.digest().is_empty());
     }
 
     #[test]

@@ -27,6 +27,14 @@ test:
 equivalence:
     cargo test -q --test backend_equivalence
 
+# Bounded chaos smoke campaign (fixed seed, both backends) — the CI gate.
+chaos:
+    cargo run --release -p opr-bench --bin chaos -- --seed 42 --runs 200 --budget mixed --backend both
+
+# Long randomized chaos soak (override with `just chaos-soak SEED=7 RUNS=50000`).
+chaos-soak SEED="1" RUNS="20000":
+    cargo run --release -p opr-bench --bin chaos -- --seed {{SEED}} --runs {{RUNS}} --budget mixed --backend both
+
 # Regenerate every experiment table (add `--backend threaded` to switch substrate).
 tables *ARGS:
     cargo run --release -p opr-bench --bin tables -- {{ARGS}}

@@ -147,7 +147,48 @@ pub mod seq {
 
         /// A uniformly random element, `None` on an empty slice.
         fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// A random element with probability proportional to its weight,
+        /// mirroring upstream's `choose_weighted`: `weight` maps each
+        /// element to a non-negative `f64`.
+        ///
+        /// # Errors
+        ///
+        /// [`WeightError`] if the slice is empty, a weight is negative or
+        /// non-finite, or all weights are zero.
+        fn choose_weighted<R, F>(&self, rng: &mut R, weight: F) -> Result<&Self::Item, WeightError>
+        where
+            R: RngCore,
+            F: FnMut(&Self::Item) -> f64;
+
+        /// `amount` distinct elements sampled without replacement, in
+        /// selection order (a partial Fisher–Yates over indices, as
+        /// upstream). Returns all elements when `amount ≥ len`.
+        fn choose_multiple<R: RngCore>(&self, rng: &mut R, amount: usize) -> Vec<&Self::Item>;
     }
+
+    /// Why weighted choice failed.
+    #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+    pub enum WeightError {
+        /// The slice was empty.
+        Empty,
+        /// A weight was negative, NaN or infinite.
+        InvalidWeight,
+        /// Every weight was zero.
+        AllZero,
+    }
+
+    impl core::fmt::Display for WeightError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            match self {
+                WeightError::Empty => f.write_str("cannot choose from an empty slice"),
+                WeightError::InvalidWeight => f.write_str("weights must be finite and >= 0"),
+                WeightError::AllZero => f.write_str("at least one weight must be positive"),
+            }
+        }
+    }
+
+    impl std::error::Error for WeightError {}
 
     impl<T> SliceRandom for [T] {
         type Item = T;
@@ -165,6 +206,49 @@ pub mod seq {
             } else {
                 Some(&self[rng.gen_range(0..self.len())])
             }
+        }
+
+        fn choose_weighted<R, F>(&self, rng: &mut R, mut weight: F) -> Result<&T, WeightError>
+        where
+            R: RngCore,
+            F: FnMut(&T) -> f64,
+        {
+            if self.is_empty() {
+                return Err(WeightError::Empty);
+            }
+            let weights: Vec<f64> = self.iter().map(&mut weight).collect();
+            if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+                return Err(WeightError::InvalidWeight);
+            }
+            let total: f64 = weights.iter().sum();
+            if total <= 0.0 {
+                return Err(WeightError::AllZero);
+            }
+            let mut target = rng.gen_range(0.0..total);
+            for (item, w) in self.iter().zip(&weights) {
+                if target < *w {
+                    return Ok(item);
+                }
+                target -= w;
+            }
+            // Float summation slack: the last positively-weighted element.
+            Ok(self
+                .iter()
+                .zip(&weights)
+                .rev()
+                .find(|(_, &w)| w > 0.0)
+                .map(|(item, _)| item)
+                .expect("total > 0 implies a positive weight"))
+        }
+
+        fn choose_multiple<R: RngCore>(&self, rng: &mut R, amount: usize) -> Vec<&T> {
+            let amount = amount.min(self.len());
+            let mut indices: Vec<usize> = (0..self.len()).collect();
+            for i in 0..amount {
+                let j = rng.gen_range(i..indices.len());
+                indices.swap(i, j);
+            }
+            indices[..amount].iter().map(|&i| &self[i]).collect()
         }
     }
 }
@@ -206,6 +290,72 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
         assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn choose_weighted_respects_weights() {
+        use super::seq::WeightError;
+        let mut rng = StdRng::seed_from_u64(5);
+        let items = ["rare", "common"];
+        let mut counts = [0usize; 2];
+        for _ in 0..2000 {
+            let picked = items.choose_weighted(&mut rng, |&s| if s == "rare" { 1.0 } else { 9.0 });
+            counts[if *picked.unwrap() == "rare" { 0 } else { 1 }] += 1;
+        }
+        // Expected 10% / 90%: allow a generous band.
+        assert!(
+            counts[0] > 50 && counts[0] < 400,
+            "rare picked {}",
+            counts[0]
+        );
+        // Zero-weight elements are never selected.
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..500 {
+            let picked = *items
+                .choose_weighted(&mut rng, |&s| if s == "rare" { 0.0 } else { 1.0 })
+                .unwrap();
+            assert_eq!(picked, "common");
+        }
+        // Error cases.
+        let empty: [&str; 0] = [];
+        assert_eq!(
+            empty.choose_weighted(&mut rng, |_| 1.0).unwrap_err(),
+            WeightError::Empty
+        );
+        assert_eq!(
+            items.choose_weighted(&mut rng, |_| -1.0).unwrap_err(),
+            WeightError::InvalidWeight
+        );
+        assert_eq!(
+            items.choose_weighted(&mut rng, |_| 0.0).unwrap_err(),
+            WeightError::AllZero
+        );
+    }
+
+    #[test]
+    fn choose_multiple_samples_distinct_elements() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let pool: Vec<u32> = (0..20).collect();
+        for amount in [0usize, 1, 7, 20, 25] {
+            let picked = pool.choose_multiple(&mut rng, amount);
+            assert_eq!(picked.len(), amount.min(20));
+            let mut values: Vec<u32> = picked.into_iter().copied().collect();
+            values.sort_unstable();
+            values.dedup();
+            assert_eq!(values.len(), amount.min(20), "distinct");
+        }
+        // Deterministic for a fixed seed.
+        let a: Vec<u32> = pool
+            .choose_multiple(&mut StdRng::seed_from_u64(1), 5)
+            .into_iter()
+            .copied()
+            .collect();
+        let b: Vec<u32> = pool
+            .choose_multiple(&mut StdRng::seed_from_u64(1), 5)
+            .into_iter()
+            .copied()
+            .collect();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //! * [`adversary`] — the Byzantine strategy library.
 //! * [`baselines`] — comparator algorithms from the related work.
 //! * [`workload`] — experiment harness, sweeps, table rendering.
+//! * [`chaos`] — randomized fault-schedule campaigns: seeded schedule
+//!   generation, paper-invariant oracles, counterexample shrinking and
+//!   replayable repro files.
 //!
 //! # Quickstart
 //!
@@ -45,6 +48,7 @@
 pub use opr_aa as aa;
 pub use opr_adversary as adversary;
 pub use opr_baselines as baselines;
+pub use opr_chaos as chaos;
 pub use opr_consensus as consensus;
 pub use opr_core as core;
 pub use opr_rbcast as rbcast;
@@ -56,12 +60,12 @@ pub use opr_workload as workload;
 /// Commonly-used items in one import.
 pub mod prelude {
     pub use opr_adversary::AdversarySpec;
-    pub use opr_transport::BackendKind;
+    pub use opr_transport::{BackendKind, FaultPlan};
     pub use opr_types::{
         ConfigError, LinkId, NewName, OriginalId, ProcessIndex, Rank, Regime, RenamingError,
         RenamingOutcome, Round, SystemConfig,
     };
     pub use opr_workload::{
-        Algorithm, ExperimentTable, IdDistribution, RenamingRun, RunOutput, RunStats,
+        Algorithm, DiagnosedRun, ExperimentTable, IdDistribution, RenamingRun, RunOutput, RunStats,
     };
 }

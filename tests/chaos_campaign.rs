@@ -1,0 +1,147 @@
+//! End-to-end chaos campaign guarantees (the acceptance gates of the chaos
+//! engine):
+//!
+//! * in-budget schedules uphold every paper invariant on both backends,
+//! * over-budget schedules degrade gracefully — structured diagnoses, no
+//!   panics, never an undiagnosed wrong answer,
+//! * a failing schedule shrinks to a minimal reproducer that round-trips
+//!   through `chaos-repro.json` and replays deterministically.
+
+use opr::chaos::engine::{judge_schedule, per_run_seed, run_campaign};
+use opr::chaos::{
+    generate_schedule, standard_suite, BackendChoice, BudgetRegime, CampaignConfig, Repro,
+};
+
+/// Two digests name the same failure when they share a violation kind.
+fn digests_overlap(a: &str, b: &str) -> bool {
+    a.split('+').any(|kind| b.split('+').any(|k| k == kind))
+}
+
+/// The headline guarantee: a large seeded campaign of schedules whose
+/// effective fault load stays within the algorithm's bound `t` produces
+/// zero violations — on the reference simulator and the threaded backend,
+/// bit-identically.
+#[test]
+fn in_budget_campaign_is_clean_on_both_backends() {
+    let config = CampaignConfig {
+        seed: 0xC4A05,
+        runs: 1000,
+        budget: Some(BudgetRegime::InBudget),
+        backend: BackendChoice::Both,
+    };
+    let report = run_campaign(&config, &standard_suite());
+    assert!(report.passed(), "{report}");
+    assert_eq!(report.total, 1000);
+    assert_eq!(report.clean, 1000, "{report}");
+    assert!(report.failures.is_empty());
+}
+
+/// At-budget (exactly `t` effective faults) is the paper's worst legal
+/// case and must be just as clean.
+#[test]
+fn at_budget_campaign_is_clean_on_both_backends() {
+    let config = CampaignConfig {
+        seed: 0xA7B0D6,
+        runs: 300,
+        budget: Some(BudgetRegime::AtBudget),
+        backend: BackendChoice::Both,
+    };
+    let report = run_campaign(&config, &standard_suite());
+    assert!(report.passed(), "{report}");
+    assert_eq!(report.clean, report.total, "{report}");
+}
+
+/// Graceful degradation: past the fault bound the algorithms owe no
+/// guarantees, but the harness still owes structure — every over-budget
+/// run ends in a diagnosis (clean or degraded), never a panic, never an
+/// undiagnosed wrong answer, and never a backend divergence.
+#[test]
+fn over_budget_campaign_degrades_without_panicking() {
+    let config = CampaignConfig {
+        seed: 0x0EB,
+        runs: 300,
+        budget: Some(BudgetRegime::OverBudget),
+        backend: BackendChoice::Both,
+    };
+    let report = run_campaign(&config, &standard_suite());
+    assert!(report.passed(), "{report}");
+    assert!(report.failures.is_empty(), "{report}");
+    assert!(
+        report.degraded > 0,
+        "an over-budget campaign of this size must degrade at least once: {report}"
+    );
+}
+
+/// The full failure pipeline on an injected violation: an over-budget
+/// schedule judged under at-budget rules fails legitimately; the shrinker
+/// must minimize it, the repro format must round-trip it bit-exactly, and
+/// the replay must reproduce the digest.
+#[test]
+fn injected_failure_shrinks_and_round_trips_through_repro() {
+    let oracles = standard_suite();
+    let backend = BackendChoice::Sim;
+    let injected_budget = BudgetRegime::AtBudget;
+    let campaign_seed = 11u64;
+    let (index, schedule, digest) = (0..500usize)
+        .find_map(|index| {
+            let schedule =
+                generate_schedule(per_run_seed(campaign_seed, index), BudgetRegime::OverBudget);
+            let verdict = judge_schedule(&schedule, backend, &oracles);
+            verdict
+                .is_failure(injected_budget)
+                .then(|| (index, schedule, verdict.digest()))
+        })
+        .expect("over-budget schedules must violate at-budget expectations");
+
+    let result = opr::chaos::shrink(&schedule, |candidate| {
+        let verdict = judge_schedule(candidate, backend, &oracles);
+        verdict.is_failure(injected_budget) && digests_overlap(&verdict.digest(), &digest)
+    });
+    assert!(result.events <= result.original_events);
+    // The shrunk schedule still fails with the same digest...
+    let shrunk_verdict = judge_schedule(&result.schedule, backend, &oracles);
+    assert!(shrunk_verdict.is_failure(injected_budget));
+    assert!(digests_overlap(&shrunk_verdict.digest(), &digest));
+
+    // ...round-trips through the repro file format unchanged...
+    let repro = Repro {
+        campaign_seed,
+        run_index: index,
+        budget: injected_budget,
+        backend,
+        digest: digest.clone(),
+        schedule: result.schedule,
+    };
+    let text = repro.to_json();
+    let reread = Repro::from_json(&text).expect("repro must parse back");
+    assert_eq!(reread, repro, "round-trip must be exact:\n{text}");
+
+    // ...and replays deterministically with the recorded digest.
+    let first = reread.replay(&oracles);
+    let second = reread.replay(&oracles);
+    assert_eq!(
+        first.digest(),
+        second.digest(),
+        "replay must be deterministic"
+    );
+    assert!(digests_overlap(&first.digest(), &repro.digest));
+}
+
+/// Campaigns are a pure function of their seed: the same configuration
+/// twice yields the same counts and the same failure set.
+#[test]
+fn campaigns_are_deterministic_in_their_seed() {
+    let config = CampaignConfig {
+        seed: 99,
+        runs: 120,
+        budget: None,
+        backend: BackendChoice::Both,
+    };
+    let oracles = standard_suite();
+    let a = run_campaign(&config, &oracles);
+    let b = run_campaign(&config, &oracles);
+    assert_eq!(a.total, b.total);
+    assert_eq!(a.clean, b.clean);
+    assert_eq!(a.degraded, b.degraded);
+    assert_eq!(a.failures.len(), b.failures.len());
+}
