@@ -2,8 +2,8 @@
 //! paper-invariant oracles, shrinking and replayable repro files.
 //!
 //! ```text
-//! # A 500-run mixed-budget campaign on both backends:
-//! cargo run --release -p opr-bench --bin chaos -- --seed 42 --runs 500 --budget mixed --backend both
+//! # A 500-run mixed-budget campaign on both backends, 4 executor workers:
+//! cargo run --release -p opr-bench --bin chaos -- --seed 42 --runs 500 --budget mixed --backend both --jobs 4
 //!
 //! # Replay a repro file captured by a failing campaign:
 //! cargo run --release -p opr-bench --bin chaos -- --repro chaos-repro.json
@@ -13,6 +13,9 @@
 //!
 //! # Measure campaign throughput per backend into BENCH_chaos.json:
 //! cargo run --release -p opr-bench --bin chaos -- --bench crates/bench/BENCH_chaos.json
+//!
+//! # Measure serial-vs-parallel executor throughput into BENCH_exec.json:
+//! cargo run --release -p opr-bench --bin chaos -- --bench-exec crates/bench/BENCH_exec.json
 //! ```
 //!
 //! Exit status: 0 when the campaign (or replay, or self-test) passes,
@@ -30,10 +33,11 @@ use opr_chaos::shrink::shrink;
 fn usage() -> ! {
     eprintln!(
         "usage: chaos [--seed S] [--runs K] [--budget in|at|over|mixed] [--backend sim|threaded|both]\n\
-         \x20            [--repro-out <file>]\n\
+         \x20            [--jobs N] [--repro-out <file>]\n\
          \x20      chaos --repro <file>      replay a captured failure\n\
          \x20      chaos --self-test         inject a failure, shrink it, round-trip the repro\n\
-         \x20      chaos --bench <file>      measure runs/sec per backend into <file>"
+         \x20      chaos --bench <file>      measure runs/sec per backend into <file>\n\
+         \x20      chaos --bench-exec <file> measure runs/sec at 1/2/4/8 jobs into <file>"
     );
     std::process::exit(2);
 }
@@ -43,10 +47,12 @@ struct Args {
     runs: usize,
     budget: Option<BudgetRegime>,
     backend: BackendChoice,
+    jobs: usize,
     repro: Option<String>,
     repro_out: String,
     self_test: bool,
     bench: Option<String>,
+    bench_exec: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -55,10 +61,12 @@ fn parse_args() -> Args {
         runs: 200,
         budget: None,
         backend: BackendChoice::Both,
+        jobs: 1,
         repro: None,
         repro_out: "chaos-repro.json".to_string(),
         self_test: false,
         bench: None,
+        bench_exec: None,
     };
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut it = raw.iter();
@@ -89,10 +97,17 @@ fn parse_args() -> Args {
                     .and_then(|v| BackendChoice::parse(v))
                     .unwrap_or_else(|| usage())
             }
+            "--jobs" => {
+                args.jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--repro" => args.repro = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--repro-out" => args.repro_out = it.next().cloned().unwrap_or_else(|| usage()),
             "--self-test" => args.self_test = true,
             "--bench" => args.bench = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--bench-exec" => args.bench_exec = Some(it.next().cloned().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
@@ -108,6 +123,8 @@ fn main() {
         self_test(&args, &oracles)
     } else if let Some(path) = &args.bench {
         bench(&args, path, &oracles)
+    } else if let Some(path) = &args.bench_exec {
+        bench_exec(&args, path, &oracles)
     } else {
         campaign(&args, &oracles)
     };
@@ -120,11 +137,12 @@ fn campaign(args: &Args, oracles: &[Box<dyn opr_chaos::Oracle>]) -> i32 {
         runs: args.runs,
         budget: args.budget,
         backend: args.backend,
+        jobs: args.jobs,
     };
     let budget_label = args.budget.map(|b| b.label()).unwrap_or("mixed");
     eprintln!(
-        "chaos: seed={} runs={} budget={} backend={}",
-        args.seed, args.runs, budget_label, args.backend
+        "chaos: seed={} runs={} budget={} backend={} jobs={}",
+        args.seed, args.runs, budget_label, args.backend, args.jobs
     );
     let report = run_campaign(&config, oracles);
     eprintln!("chaos: {report}");
@@ -269,6 +287,76 @@ fn self_test(args: &Args, oracles: &[Box<dyn opr_chaos::Oracle>]) -> i32 {
     1
 }
 
+/// Runs the CI smoke workload (the campaign `--seed/--runs/--backend`
+/// describe) at 1/2/4/8 executor workers and records serial-vs-parallel
+/// runs/sec — the cross-run throughput trajectory. Every campaign must
+/// produce identical counts (the determinism-equivalence law); differing
+/// counts fail the bench.
+fn bench_exec(args: &Args, path: &str, oracles: &[Box<dyn opr_chaos::Oracle>]) -> i32 {
+    // Speedup is bounded by the machine's core budget: record it per row
+    // so a 1.0× on a single-core box reads as "saturated", not "broken".
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut rows = Vec::new();
+    let mut serial_runs_per_sec = 0.0f64;
+    let mut serial_counts = (0usize, 0usize);
+    for jobs in [1usize, 2, 4, 8] {
+        let report = run_campaign(
+            &CampaignConfig {
+                seed: args.seed,
+                runs: args.runs,
+                budget: args.budget,
+                backend: args.backend,
+                jobs,
+            },
+            oracles,
+        );
+        eprintln!("chaos: jobs={jobs}: {report}");
+        if !report.passed() {
+            eprintln!("chaos: bench-exec campaign failed at jobs={jobs}; not writing {path}");
+            return 1;
+        }
+        if jobs == 1 {
+            serial_runs_per_sec = report.runs_per_sec();
+            serial_counts = (report.clean, report.degraded);
+        } else if (report.clean, report.degraded) != serial_counts {
+            eprintln!(
+                "chaos: bench-exec determinism breach at jobs={jobs}: {}/{} clean/degraded vs serial {}/{}",
+                report.clean, report.degraded, serial_counts.0, serial_counts.1
+            );
+            return 1;
+        }
+        let speedup = if serial_runs_per_sec > 0.0 {
+            report.runs_per_sec() / serial_runs_per_sec
+        } else {
+            0.0
+        };
+        rows.push(format!(
+            "  {{\"group\": \"exec-pool\", \"name\": \"{}/runs{}/jobs{}\", \"jobs\": {}, \"cpus\": {}, \"runs\": {}, \"clean\": {}, \"degraded\": {}, \"runs_per_sec\": {:.1}, \"speedup_vs_serial\": {:.2}}}",
+            args.backend,
+            args.runs,
+            jobs,
+            jobs,
+            cpus,
+            report.total,
+            report.clean,
+            report.degraded,
+            report.runs_per_sec(),
+            speedup
+        ));
+    }
+    let body = format!("[\n{}\n]\n", rows.join(",\n"));
+    match std::fs::write(path, body) {
+        Ok(()) => {
+            eprintln!("chaos: wrote {path}");
+            0
+        }
+        Err(e) => {
+            eprintln!("chaos: could not write {path}: {e}");
+            1
+        }
+    }
+}
+
 fn bench(args: &Args, path: &str, oracles: &[Box<dyn opr_chaos::Oracle>]) -> i32 {
     let mut rows = Vec::new();
     for backend in [BackendChoice::Sim, BackendChoice::Threaded] {
@@ -278,6 +366,7 @@ fn bench(args: &Args, path: &str, oracles: &[Box<dyn opr_chaos::Oracle>]) -> i32
                 runs: args.runs,
                 budget: None,
                 backend,
+                jobs: args.jobs,
             },
             oracles,
         );

@@ -4,17 +4,20 @@
 //! ```text
 //! cargo run -p opr-bench --bin sweep -- --alg alg1-log --t 1..5 --seeds 10
 //! cargo run -p opr-bench --bin sweep -- --alg alg4-2step --t 1..4 --adversary fake-flood
-//! cargo run -p opr-bench --bin sweep -- --alg b2-consensus --t 1..6 --n-extra 4
+//! cargo run -p opr-bench --bin sweep -- --alg b2-consensus --t 1..6 --n-extra 4 --jobs 4
 //! ```
 //!
 //! `N` defaults to each implementation's minimal legal value for the given
 //! `t` (plus `--n-extra`). Output columns: algorithm, adversary, N, t, seed,
-//! rounds, messages, bits, max-message-bits, max-name, violations.
+//! rounds, messages, bits, max-message-bits, max-name, violations. `--jobs`
+//! spreads the grid over executor workers; rows print in grid order either
+//! way, so the CSV is byte-identical at any worker count.
 
 use opr_adversary::AdversarySpec;
+use opr_exec::RunPool;
 use opr_transport::BackendKind;
 use opr_types::SystemConfig;
-use opr_workload::{Algorithm, IdDistribution};
+use opr_workload::{run_grid, Algorithm, GridPoint, IdDistribution};
 
 fn parse_range(s: &str) -> Option<(usize, usize)> {
     if let Some((a, b)) = s.split_once("..") {
@@ -39,7 +42,7 @@ fn adversary_by_label(label: &str) -> Option<AdversarySpec> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sweep --alg <label> [--t A..B] [--seeds K] [--adversary <label>] [--n-extra E] [--backend sim|threaded]\n\
+        "usage: sweep --alg <label> [--t A..B] [--seeds K] [--adversary <label>] [--n-extra E] [--backend sim|threaded] [--jobs N]\n\
          algorithms: {}\n\
          adversaries: {}",
         Algorithm::ALL.map(|a| a.label()).join(", "),
@@ -61,6 +64,7 @@ fn main() {
     let mut adversary: Option<AdversarySpec> = None;
     let mut n_extra = 0usize;
     let mut backend = BackendKind::default();
+    let mut jobs = 1usize;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -90,6 +94,12 @@ fn main() {
                     .and_then(|v| BackendKind::parse(v))
                     .unwrap_or_else(|| usage())
             }
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             _ => usage(),
         }
     }
@@ -100,7 +110,10 @@ fn main() {
         AdversarySpec::Silent
     });
 
-    println!("algorithm,adversary,N,t,seed,rounds,messages,bits,max-msg-bits,max-name,violations");
+    // Build the whole grid in row order, execute it on the pool (results
+    // come back reassembled in the same order), then print serially.
+    let mut cells: Vec<(usize, usize, u64)> = Vec::new();
+    let mut points: Vec<GridPoint> = Vec::new();
     for t in t_range.0..t_range.1 {
         let n = alg.minimal_n(t) + n_extra;
         let Ok(cfg) = SystemConfig::new(n, t) else {
@@ -108,23 +121,37 @@ fn main() {
         };
         for seed in 0..seeds {
             let ids = IdDistribution::SparseRandom.generate(n - t, seed * 7 + 1);
-            match alg.run_on(backend, cfg, &ids, t, spec, seed) {
-                Ok(stats) => println!(
-                    "{},{},{},{},{},{},{},{},{},{},{}",
-                    alg.label(),
-                    stats.adversary,
-                    n,
-                    t,
-                    seed,
-                    stats.rounds,
-                    stats.messages,
-                    stats.bits,
-                    stats.max_message_bits,
-                    stats.max_name.unwrap_or(-1),
-                    stats.violations,
-                ),
-                Err(e) => eprintln!("# {} N={n} t={t} seed={seed}: {e}", alg.label()),
-            }
+            cells.push((n, t, seed));
+            points.push(GridPoint {
+                algorithm: alg,
+                cfg,
+                correct_ids: ids,
+                faulty: t,
+                adversary: spec,
+                seed,
+                backend,
+            });
+        }
+    }
+    println!("algorithm,adversary,N,t,seed,rounds,messages,bits,max-msg-bits,max-name,violations");
+    let results = run_grid(&RunPool::new(jobs), points);
+    for (&(n, t, seed), result) in cells.iter().zip(results) {
+        match result {
+            Ok(stats) => println!(
+                "{},{},{},{},{},{},{},{},{},{},{}",
+                alg.label(),
+                stats.adversary,
+                n,
+                t,
+                seed,
+                stats.rounds,
+                stats.messages,
+                stats.bits,
+                stats.max_message_bits,
+                stats.max_name.unwrap_or(-1),
+                stats.violations,
+            ),
+            Err(e) => eprintln!("# {} N={n} t={t} seed={seed}: {e}", alg.label()),
         }
     }
 }

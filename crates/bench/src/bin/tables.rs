@@ -7,12 +7,16 @@
 //! cargo run -p opr-bench --bin tables -- t1 f3   # a subset
 //! cargo run -p opr-bench --bin tables -- --csv   # CSV instead of markdown
 //! cargo run -p opr-bench --bin tables -- --backend threaded t1
+//! cargo run -p opr-bench --bin tables -- --jobs 4
 //! ```
 //!
 //! `--backend` selects the execution substrate every experiment runs on
 //! (default `sim`); results are identical on either, only the execution
-//! strategy changes.
+//! strategy changes. `--jobs` generates the requested experiments on
+//! executor workers — tables still print in request order, byte-identical
+//! to a serial run.
 
+use opr_exec::RunPool;
 use opr_transport::BackendKind;
 use opr_workload::experiments;
 use opr_workload::ExperimentTable;
@@ -52,6 +56,16 @@ fn main() {
             }
         }
     }
+    let mut jobs = 1usize;
+    if let Some(pos) = args.iter().position(|a| a == "--jobs") {
+        match args.get(pos + 1).and_then(|v| v.parse().ok()) {
+            Some(n) => jobs = n,
+            None => {
+                eprintln!("--jobs takes a worker count");
+                std::process::exit(2);
+            }
+        }
+    }
     let mut skip_next = false;
     let requested: Vec<&str> = args
         .iter()
@@ -60,7 +74,7 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if *a == "--backend" {
+            if *a == "--backend" || *a == "--jobs" {
                 skip_next = true;
                 return false;
             }
@@ -68,26 +82,39 @@ fn main() {
         })
         .map(String::as_str)
         .collect();
-    let ids: Vec<&str> = if requested.is_empty() {
-        ALL_IDS.to_vec()
+    let ids: Vec<String> = if requested.is_empty() {
+        ALL_IDS.iter().map(|id| id.to_string()).collect()
     } else {
-        requested
+        requested.iter().map(|id| id.to_lowercase()).collect()
     };
-    for id in ids {
-        match generate(&id.to_lowercase()) {
-            Some(table) => {
-                if csv {
-                    println!("# {} — {}", table.id, table.title);
-                    println!("{}", table.to_csv());
-                } else {
-                    println!("{}", table.to_markdown());
-                }
-                println!();
-            }
-            None => {
-                eprintln!("unknown experiment id {id:?}; known: {ALL_IDS:?}");
-                std::process::exit(2);
-            }
+    for id in &ids {
+        if !ALL_IDS.contains(&id.as_str()) {
+            eprintln!("unknown experiment id {id:?}; known: {ALL_IDS:?}");
+            std::process::exit(2);
         }
+    }
+    // Experiments are independent deterministic runs: generate on the pool,
+    // print in request order (the pool reassembles results in submission
+    // order, so output is byte-identical to a serial run).
+    let pool = RunPool::new(jobs);
+    let tasks: Vec<_> = ids
+        .iter()
+        .map(|id| {
+            let id = id.clone();
+            move || generate(&id).expect("ids validated above")
+        })
+        .collect();
+    for table in pool
+        .run_batch(tasks)
+        .into_iter()
+        .map(|result| result.unwrap_or_else(|panic| std::panic::panic_any(panic.message)))
+    {
+        if csv {
+            println!("# {} — {}", table.id, table.title);
+            println!("{}", table.to_csv());
+        } else {
+            println!("{}", table.to_markdown());
+        }
+        println!();
     }
 }

@@ -3,8 +3,13 @@
 //!
 //! A campaign is deterministic in its seed: run `i` executes
 //! `generate_schedule(per_run_seed(seed, i), budget_i)` where `budget_i` is
-//! the configured regime (or cycles in/at/over when mixed). The pass rule
-//! is the crate's core contract:
+//! the configured regime (or cycles in/at/over when mixed). Execution fans
+//! out over a [`RunPool`](opr_exec::RunPool) when [`CampaignConfig::jobs`]
+//! exceeds 1 — schedules are generated in index order, executed on workers,
+//! reassembled in submission order and judged serially, so the report is a
+//! pure function of the configuration at any worker count (the contract
+//! `tests/exec_equivalence.rs` pins bit-for-bit). The pass rule is the
+//! crate's core contract:
 //!
 //! * **in-budget / at-budget** — the paper's theorems apply; any oracle
 //!   violation is a failure.
@@ -16,8 +21,10 @@
 use crate::generator::generate_schedule;
 use crate::oracle::{violation_kind, Oracle, OracleInput};
 use crate::schedule::{BudgetRegime, ChaosSchedule};
+use opr_exec::RunPool;
 use opr_transport::BackendKind;
 use opr_types::Violation;
+use opr_workload::DiagnosedRun;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
@@ -85,10 +92,14 @@ pub struct CampaignConfig {
     pub budget: Option<BudgetRegime>,
     /// Which backend(s) execute each schedule.
     pub backend: BackendChoice,
+    /// Worker threads executing schedules (`≤ 1` = serial). Judging is
+    /// always serial, so the report is a pure function of the other fields
+    /// regardless of this value.
+    pub jobs: usize,
 }
 
 /// How one executed schedule was judged.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum RunVerdict {
     /// Every oracle held.
     Clean,
@@ -155,7 +166,7 @@ fn tolerable_over_budget(v: &Violation) -> bool {
 }
 
 /// One failing run, with everything needed to shrink and replay it.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Failure {
     /// Index of the run within the campaign.
     pub index: usize,
@@ -226,30 +237,68 @@ pub fn per_run_seed(campaign_seed: u64, index: usize) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Executes `schedule` on the chosen backend(s), contains panics, and runs
-/// the oracle suite over the result.
-pub fn judge_schedule(
+/// The executed-but-not-yet-judged form of one schedule: the diagnosed
+/// reference run plus the optional second backend's run. Splitting
+/// execution from judging lets campaigns execute on pool workers (pure
+/// data in, pure data out) while the oracle suite — whose trait objects
+/// are not `Send` — judges serially on the collector.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExecutedRun {
+    /// The run on the reference backend.
+    pub reference: DiagnosedRun,
+    /// The run on the second backend, when the choice compares two.
+    pub other: Option<(BackendKind, DiagnosedRun)>,
+}
+
+/// One campaign slot after execution: the schedule's provenance and either
+/// its executed runs or the verdict that pre-empted them (panic or setup
+/// refusal).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExecutedSchedule {
+    /// Index of the run within the campaign.
+    pub index: usize,
+    /// The per-run generator seed.
+    pub seed: u64,
+    /// The budget regime the run will be judged under.
+    pub budget: BudgetRegime,
+    /// The generated schedule.
+    pub schedule: ChaosSchedule,
+    /// The execution result.
+    pub executed: Result<ExecutedRun, RunVerdict>,
+}
+
+/// Executes `schedule` on the chosen backend(s) with panics contained.
+///
+/// # Errors
+///
+/// `Err` carries the verdict that pre-empted execution:
+/// [`RunVerdict::Panicked`] or [`RunVerdict::SetupError`].
+pub fn execute_schedule(
     schedule: &ChaosSchedule,
     backend: BackendChoice,
-    oracles: &[Box<dyn Oracle>],
-) -> RunVerdict {
+) -> Result<ExecutedRun, RunVerdict> {
     let (reference_backend, other_backend) = backend.backends();
-    let reference = match execute_contained(schedule, reference_backend) {
-        Ok(run) => run,
-        Err(verdict) => return verdict,
-    };
+    let reference = execute_contained(schedule, reference_backend)?;
     let other = match other_backend {
         None => None,
-        Some(kind) => match execute_contained(schedule, kind) {
-            Ok(run) => Some((kind, run)),
-            Err(verdict) => return verdict,
-        },
+        Some(kind) => Some((kind, execute_contained(schedule, kind)?)),
     };
+    Ok(ExecutedRun { reference, other })
+}
+
+/// Runs the oracle suite over an executed schedule.
+pub fn judge_executed(
+    schedule: &ChaosSchedule,
+    backend: BackendChoice,
+    run: &ExecutedRun,
+    oracles: &[Box<dyn Oracle>],
+) -> RunVerdict {
+    let (reference_backend, _) = backend.backends();
     let input = OracleInput {
         schedule,
-        reference: &reference,
+        reference: &run.reference,
         reference_backend,
-        other: other.as_ref().map(|(kind, run)| (*kind, run)),
+        other: run.other.as_ref().map(|(kind, run)| (*kind, run)),
     };
     let violations: Vec<Violation> = oracles
         .iter()
@@ -262,10 +311,23 @@ pub fn judge_schedule(
     }
 }
 
+/// Executes `schedule` on the chosen backend(s), contains panics, and runs
+/// the oracle suite over the result.
+pub fn judge_schedule(
+    schedule: &ChaosSchedule,
+    backend: BackendChoice,
+    oracles: &[Box<dyn Oracle>],
+) -> RunVerdict {
+    match execute_schedule(schedule, backend) {
+        Ok(run) => judge_executed(schedule, backend, &run, oracles),
+        Err(verdict) => verdict,
+    }
+}
+
 fn execute_contained(
     schedule: &ChaosSchedule,
     backend: BackendKind,
-) -> Result<opr_workload::DiagnosedRun, RunVerdict> {
+) -> Result<DiagnosedRun, RunVerdict> {
     match catch_unwind(AssertUnwindSafe(|| schedule.run_on(backend))) {
         Ok(Ok(run)) => Ok(run),
         Ok(Err(e)) => Err(RunVerdict::SetupError {
@@ -287,10 +349,70 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Generates and executes every schedule of a campaign, fanning execution
+/// out over `pool` and reassembling in index order. Schedules are generated
+/// serially in index order, so the returned sequence — provenance, schedule
+/// and executed runs alike — is identical at any worker count.
+pub fn execute_campaign_on(pool: &RunPool, config: &CampaignConfig) -> Vec<ExecutedSchedule> {
+    let backend = config.backend;
+    let prepared: Vec<(usize, u64, BudgetRegime, ChaosSchedule)> = (0..config.runs)
+        .map(|index| {
+            let budget = config
+                .budget
+                .unwrap_or(BudgetRegime::ALL[index % BudgetRegime::ALL.len()]);
+            let seed = per_run_seed(config.seed, index);
+            (index, seed, budget, generate_schedule(seed, budget))
+        })
+        .collect();
+    let tasks: Vec<_> = prepared
+        .iter()
+        .map(|(_, _, _, schedule)| {
+            let schedule = schedule.clone();
+            move || execute_schedule(&schedule, backend)
+        })
+        .collect();
+    let results = pool.run_batch(tasks);
+    prepared
+        .into_iter()
+        .zip(results)
+        .map(
+            |((index, seed, budget, schedule), result)| ExecutedSchedule {
+                index,
+                seed,
+                budget,
+                schedule,
+                // execute_schedule contains panics itself; a pool-level panic
+                // would be a harness bug, recorded as such rather than unwound.
+                executed: result.unwrap_or_else(|panic| {
+                    Err(RunVerdict::Panicked {
+                        message: panic.message,
+                    })
+                }),
+            },
+        )
+        .collect()
+}
+
+/// [`execute_campaign_on`] with a pool sized by [`CampaignConfig::jobs`].
+pub fn execute_campaign(config: &CampaignConfig) -> Vec<ExecutedSchedule> {
+    execute_campaign_on(&RunPool::new(config.jobs), config)
+}
+
 /// Runs a full campaign and applies the per-regime pass rule to every
 /// verdict. The oracle digest of an over-budget degraded run is preserved
-/// in the `degraded` count; failures carry their whole schedule.
+/// in the `degraded` count; failures carry their whole schedule. Execution
+/// parallelism ([`CampaignConfig::jobs`]) cannot change anything but
+/// `elapsed`: runs are judged in index order from reassembled results.
 pub fn run_campaign(config: &CampaignConfig, oracles: &[Box<dyn Oracle>]) -> CampaignReport {
+    run_campaign_on(&RunPool::new(config.jobs), config, oracles)
+}
+
+/// [`run_campaign`] on a caller-owned pool (reused across campaigns).
+pub fn run_campaign_on(
+    pool: &RunPool,
+    config: &CampaignConfig,
+    oracles: &[Box<dyn Oracle>],
+) -> CampaignReport {
     let start = Instant::now();
     let mut report = CampaignReport {
         total: config.runs,
@@ -299,13 +421,18 @@ pub fn run_campaign(config: &CampaignConfig, oracles: &[Box<dyn Oracle>]) -> Cam
         failures: Vec::new(),
         elapsed: Duration::ZERO,
     };
-    for index in 0..config.runs {
-        let budget = config
-            .budget
-            .unwrap_or(BudgetRegime::ALL[index % BudgetRegime::ALL.len()]);
-        let seed = per_run_seed(config.seed, index);
-        let schedule = generate_schedule(seed, budget);
-        let mut verdict = judge_schedule(&schedule, config.backend, oracles);
+    for slot in execute_campaign_on(pool, config) {
+        let ExecutedSchedule {
+            index,
+            seed,
+            budget,
+            schedule,
+            executed,
+        } = slot;
+        let mut verdict = match executed {
+            Ok(run) => judge_executed(&schedule, config.backend, &run, oracles),
+            Err(verdict) => verdict,
+        };
         // Over-budget oracle violations that the regime excuses become the
         // structured "degraded but diagnosed" outcome.
         if let RunVerdict::Violated { .. } = &verdict {
@@ -344,6 +471,7 @@ mod tests {
                 runs: 30,
                 budget: Some(BudgetRegime::InBudget),
                 backend: BackendChoice::Sim,
+                jobs: 1,
             },
             &standard_suite(),
         );
@@ -360,6 +488,7 @@ mod tests {
                 runs: 30,
                 budget: Some(BudgetRegime::OverBudget),
                 backend: BackendChoice::Sim,
+                jobs: 1,
             },
             &standard_suite(),
         );
@@ -380,12 +509,44 @@ mod tests {
             runs: 12,
             budget: None,
             backend: BackendChoice::Sim,
+            jobs: 1,
         };
         let a = run_campaign(&cfg, &standard_suite());
         let b = run_campaign(&cfg, &standard_suite());
         assert!(a.passed(), "{:#?}", a.failures);
         assert_eq!(a.clean, b.clean);
         assert_eq!(a.degraded, b.degraded);
+    }
+
+    #[test]
+    fn execute_campaign_is_identical_at_any_worker_count() {
+        let config = |jobs| CampaignConfig {
+            seed: 0x5EED,
+            runs: 18,
+            budget: None,
+            backend: BackendChoice::Sim,
+            jobs,
+        };
+        let serial = execute_campaign(&config(1));
+        for jobs in [2, 4] {
+            assert_eq!(serial, execute_campaign(&config(jobs)), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn campaign_reports_agree_across_worker_counts() {
+        let config = |jobs| CampaignConfig {
+            seed: 21,
+            runs: 15,
+            budget: None,
+            backend: BackendChoice::Sim,
+            jobs,
+        };
+        let a = run_campaign(&config(1), &standard_suite());
+        let b = run_campaign(&config(4), &standard_suite());
+        assert_eq!(a.clean, b.clean);
+        assert_eq!(a.degraded, b.degraded);
+        assert_eq!(a.failures, b.failures);
     }
 
     #[test]

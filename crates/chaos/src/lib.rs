@@ -44,7 +44,10 @@ pub mod repro;
 pub mod schedule;
 pub mod shrink;
 
-pub use engine::{BackendChoice, CampaignConfig, CampaignReport, Failure, RunVerdict};
+pub use engine::{
+    BackendChoice, CampaignConfig, CampaignReport, ExecutedRun, ExecutedSchedule, Failure,
+    RunVerdict,
+};
 pub use generator::generate_schedule;
 pub use oracle::{standard_suite, Oracle, OracleInput};
 pub use repro::Repro;

@@ -149,6 +149,30 @@ impl ChaosSchedule {
     /// (invalid configuration, bad id set) — a generator or repro-file bug,
     /// never a legitimate chaos outcome.
     pub fn run_on(&self, backend: BackendKind) -> Result<DiagnosedRun, RenamingError> {
+        self.run_on_with_trace(backend, None)
+    }
+
+    /// [`ChaosSchedule::run_on`] with delivery tracing enabled: the
+    /// diagnosis comes back with up to `capacity` events in
+    /// [`DiagnosedRun::trace`]. Used by the buffer-reuse regression gate to
+    /// pin the exact delivery stream of a replayed repro.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ChaosSchedule::run_on`].
+    pub fn run_traced(
+        &self,
+        backend: BackendKind,
+        capacity: usize,
+    ) -> Result<DiagnosedRun, RenamingError> {
+        self.run_on_with_trace(backend, Some(capacity))
+    }
+
+    fn run_on_with_trace(
+        &self,
+        backend: BackendKind,
+        trace_capacity: Option<usize>,
+    ) -> Result<DiagnosedRun, RenamingError> {
         let cfg = self.cfg()?;
         let mut run = RenamingRun::builder(cfg, self.regime)
             .correct_ids(self.correct_ids())
@@ -159,6 +183,9 @@ impl ChaosSchedule {
             .allow_fault_overrun();
         if let Some(cap) = self.payload_cap {
             run = run.payload_cap(cap);
+        }
+        if let Some(capacity) = trace_capacity {
+            run = run.trace(capacity);
         }
         run.run_diagnosed()
     }

@@ -9,7 +9,7 @@ use crate::messages::{Alg1Msg, TwoStepMsg};
 use crate::probe::{shared_probe, shared_two_step_probe, Alg1Probe, TwoStepProbe};
 use crate::renaming::OrderPreservingRenaming;
 use crate::two_step::TwoStepRenaming;
-use opr_sim::{Actor, Inbox, Outbox, RunMetrics, Topology, WireSize};
+use opr_sim::{Actor, Inbox, Outbox, RunMetrics, Topology, Trace, WireSize};
 use opr_transport::{BackendKind, FaultPlan, Job};
 use opr_types::{
     MalformedSend, NewName, OriginalId, Regime, RenamingError, RenamingOutcome, Round, SystemConfig,
@@ -98,6 +98,9 @@ pub struct Alg1Options {
     /// When `Some(cap)`, sends wider than `cap` bits are rejected at the
     /// transport and recorded as [`MalformedSend`]s.
     pub payload_cap: Option<u64>,
+    /// When `Some(capacity)`, record up to `capacity` delivery events and
+    /// return them in [`ObservedRun::trace`].
+    pub trace_capacity: Option<usize>,
 }
 
 /// Options for [`run_two_step_with`].
@@ -118,6 +121,9 @@ pub struct TwoStepOptions {
     /// When `Some(cap)`, sends wider than `cap` bits are rejected at the
     /// transport and recorded as [`MalformedSend`]s.
     pub payload_cap: Option<u64>,
+    /// When `Some(capacity)`, record up to `capacity` delivery events and
+    /// return them in [`ObservedRun::trace`].
+    pub trace_capacity: Option<usize>,
 }
 
 impl Default for TwoStepOptions {
@@ -129,6 +135,7 @@ impl Default for TwoStepOptions {
             faults: FaultPlan::default(),
             allow_fault_overrun: false,
             payload_cap: None,
+            trace_capacity: None,
         }
     }
 }
@@ -168,6 +175,8 @@ pub struct ObservedRun<P> {
     pub malformed: Vec<MalformedSend>,
     /// Which actor indices were Byzantine (`true` = faulty).
     pub faulty_mask: Vec<bool>,
+    /// Delivery events, present iff a `trace_capacity` was requested.
+    pub trace: Option<Trace>,
     /// Aggregated invariant probes.
     pub probe: P,
 }
@@ -300,6 +309,7 @@ struct RunKnobs {
     faults: FaultPlan,
     allow_fault_overrun: bool,
     payload_cap: Option<u64>,
+    trace_capacity: Option<usize>,
 }
 
 fn generic_run<M, F, C, P>(
@@ -323,6 +333,7 @@ where
         faults,
         allow_fault_overrun,
         payload_cap,
+        trace_capacity,
     } = knobs;
     validate(cfg, correct_ids, faulty_count, allow_fault_overrun)?;
     let n = cfg.n();
@@ -369,6 +380,9 @@ where
     if let Some(cap) = payload_cap {
         job = job.payload_cap(cap);
     }
+    if let Some(capacity) = trace_capacity {
+        job = job.trace(capacity);
+    }
     let report = backend.execute(job);
     let outcome = RenamingOutcome::new(
         correct_positions
@@ -383,6 +397,7 @@ where
         completed: report.completed,
         malformed: report.malformed,
         faulty_mask,
+        trace: report.trace,
         probe: collect_probe(),
     })
 }
@@ -453,6 +468,7 @@ where
             faults: opts.faults,
             allow_fault_overrun: opts.allow_fault_overrun,
             payload_cap: opts.payload_cap,
+            trace_capacity: opts.trace_capacity,
         },
         adversary,
         |id| {
@@ -579,6 +595,7 @@ where
             faults: opts.faults,
             allow_fault_overrun: opts.allow_fault_overrun,
             payload_cap: opts.payload_cap,
+            trace_capacity: opts.trace_capacity,
         },
         adversary,
         |id| {

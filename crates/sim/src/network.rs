@@ -32,6 +32,14 @@ pub struct Network<M, O> {
     delivery_filter: Option<DeliveryFilter>,
     payload_cap: Option<u64>,
     malformed: Vec<MalformedSend>,
+    // Per-round arenas, keyed to the process count and reused across
+    // rounds instead of reallocated: the outbox collection, the outer
+    // inbox spine, and the multicast duplicate-link bitmap. The inner
+    // inbox `Vec`s are *not* reusable — `Inbox::new` consumes them by
+    // contract — so only the outer buffers live here.
+    outbox_arena: Vec<Outbox<M>>,
+    inbox_arena: Vec<Vec<(opr_types::LinkId, M)>>,
+    seen_arena: Vec<bool>,
 }
 
 /// A transport-level delivery predicate: given the round, the sending
@@ -73,6 +81,7 @@ where
             "actor count must match topology"
         );
         assert_eq!(actors.len(), correct.len(), "mask must cover every actor");
+        let n = actors.len();
         Network {
             actors,
             correct,
@@ -83,6 +92,9 @@ where
             delivery_filter: None,
             payload_cap: None,
             malformed: Vec::new(),
+            outbox_arena: Vec::with_capacity(n),
+            inbox_arena: (0..n).map(|_| Vec::new()).collect(),
+            seen_arena: vec![false; n],
         }
     }
 
@@ -124,16 +136,20 @@ where
         let round = self.next_round;
         let n = self.actors.len();
 
-        // Phase 1: collect every actor's outbox for this round.
-        let mut outboxes = Vec::with_capacity(n);
+        // Phase 1: collect every actor's outbox into the reusable arena.
+        // The arenas are taken out of `self` for the duration of the round
+        // so the routing closure below can still borrow `self` mutably.
+        let mut outboxes = std::mem::take(&mut self.outbox_arena);
+        debug_assert!(outboxes.is_empty(), "arena returned dirty last round");
         for actor in &mut self.actors {
             outboxes.push(actor.send(round));
         }
 
         // Phase 2: route. `inboxes[r]` accumulates (label, message) pairs.
-        let mut inboxes: Vec<Vec<(opr_types::LinkId, M)>> = vec![Vec::new(); n];
+        let mut inboxes = std::mem::take(&mut self.inbox_arena);
+        debug_assert_eq!(inboxes.len(), n, "inbox spine sized to process count");
         let mut round_metrics = RoundMetrics::default();
-        for (s, outbox) in outboxes.into_iter().enumerate() {
+        for (s, outbox) in outboxes.drain(..).enumerate() {
             let sender = ProcessIndex::new(s);
             let is_correct = self.correct[s];
             let mut deliver_one = |link: opr_types::LinkId, msg: M, net: &mut Self| {
@@ -185,7 +201,9 @@ where
                     }
                 }
                 Outbox::Multicast(entries) => {
-                    let mut seen = vec![false; n];
+                    let mut seen = std::mem::take(&mut self.seen_arena);
+                    seen.clear();
+                    seen.resize(n, false);
                     for (link, msg) in entries {
                         if link.label() > n {
                             self.malformed.push(MalformedSend {
@@ -210,16 +228,22 @@ where
                         }
                         deliver_one(link, msg, self);
                     }
+                    self.seen_arena = seen;
                 }
             }
         }
         self.metrics.push_round(round_metrics);
 
-        // Phase 3: deliver. Sort by label for determinism.
-        for (r, mut entries) in inboxes.into_iter().enumerate() {
+        // Phase 3: deliver. Sort by label for determinism. `Inbox::new`
+        // consumes each inner `Vec`, so `mem::take` hands it over and
+        // leaves a fresh (non-allocating) empty slot in the arena.
+        for (r, slot) in inboxes.iter_mut().enumerate() {
+            let mut entries = std::mem::take(slot);
             entries.sort_by_key(|(l, _)| *l);
             self.actors[r].deliver(round, Inbox::new(entries));
         }
+        self.outbox_arena = outboxes;
+        self.inbox_arena = inboxes;
         self.next_round = round.next();
     }
 

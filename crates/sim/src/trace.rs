@@ -33,7 +33,7 @@ impl fmt::Display for TraceEvent {
 }
 
 /// A capacity-bounded event buffer.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Trace {
     events: Vec<TraceEvent>,
     capacity: usize,

@@ -32,5 +32,5 @@ pub mod run;
 pub mod table;
 
 pub use id_dist::IdDistribution;
-pub use run::{Algorithm, DiagnosedRun, RenamingRun, RunOutput, RunStats};
+pub use run::{run_grid, Algorithm, DiagnosedRun, GridPoint, RenamingRun, RunOutput, RunStats};
 pub use table::ExperimentTable;

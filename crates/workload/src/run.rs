@@ -7,7 +7,7 @@ use opr_core::runner::{
     TwoStepOptions,
 };
 use opr_core::{Alg1Probe, TwoStepProbe};
-use opr_sim::{Actor, Inbox, Outbox, RunMetrics, Topology, WireSize};
+use opr_sim::{Actor, Inbox, Outbox, RunMetrics, Topology, Trace, WireSize};
 use opr_transport::{BackendKind, FaultPlan, Job};
 use opr_types::{
     DegradedOutcome, MalformedSend, NewName, OriginalId, Regime, RenamingError, RenamingOutcome,
@@ -471,7 +471,7 @@ fn run_baseline_with_topology<M: Clone + Debug + WireSize + Send + 'static>(
 }
 
 /// Measurements of one run, uniform across implementations.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RunStats {
     /// Which implementation ran.
     pub algorithm: Algorithm,
@@ -551,13 +551,14 @@ pub struct RenamingRun {
     faults: FaultPlan,
     allow_fault_overrun: bool,
     payload_cap: Option<u64>,
+    trace_capacity: Option<usize>,
 }
 
 /// The structured result of [`RenamingRun::run_diagnosed`]: what happened,
 /// judged against the paper's invariants over the *healthy* correct
 /// processes, with everything a chaos oracle or cross-backend comparison
 /// needs alongside.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DiagnosedRun {
     /// The diagnosis over the healthy correct processes — correct actors
     /// whose outgoing links the fault plan does not disturb. A correct
@@ -578,6 +579,8 @@ pub struct DiagnosedRun {
     /// Original ids of correct processes excluded from the judged set
     /// because the fault plan disturbs their outgoing links.
     pub excluded: Vec<OriginalId>,
+    /// Delivery events, present iff [`RenamingRun::trace`] requested them.
+    pub trace: Option<Trace>,
 }
 
 impl DiagnosedRun {
@@ -617,6 +620,7 @@ impl RenamingRun {
             faults: FaultPlan::default(),
             allow_fault_overrun: false,
             payload_cap: None,
+            trace_capacity: None,
         }
     }
 
@@ -680,6 +684,13 @@ impl RenamingRun {
         self
     }
 
+    /// Records up to `capacity` delivery events, returned in
+    /// [`DiagnosedRun::trace`] (only `run_diagnosed` surfaces them).
+    pub fn trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
+        self
+    }
+
     /// Executes the run.
     ///
     /// # Errors
@@ -707,6 +718,7 @@ impl RenamingRun {
                         faults: self.faults.clone(),
                         allow_fault_overrun: self.allow_fault_overrun,
                         payload_cap: self.payload_cap,
+                        trace_capacity: None,
                     },
                 )?;
                 let algorithm = if self.regime == Regime::LogTime {
@@ -785,66 +797,78 @@ impl RenamingRun {
         let spec = self.adversary;
         // Erase the probe type so both algorithm families share the
         // diagnosis below.
-        let (outcome, metrics, rounds, step_budget, malformed, faulty_mask, correct_malformed) =
-            match self.regime {
-                Regime::LogTime | Regime::ConstantTime => {
-                    let o = run_alg1_observed(
-                        self.cfg,
-                        self.regime,
-                        &self.ids,
-                        self.faulty,
-                        |env| spec.build_alg1(env),
-                        Alg1Options {
-                            seed: self.seed,
-                            allow_regime_violation: false,
-                            tweaks: opr_core::Alg1Tweaks {
-                                extra_voting_steps: self.extra_voting_steps,
-                                ..opr_core::Alg1Tweaks::default()
-                            },
-                            backend: self.backend,
-                            faults: self.faults.clone(),
-                            allow_fault_overrun: self.allow_fault_overrun,
-                            payload_cap: self.payload_cap,
+        let (
+            outcome,
+            metrics,
+            rounds,
+            step_budget,
+            malformed,
+            faulty_mask,
+            trace,
+            correct_malformed,
+        ) = match self.regime {
+            Regime::LogTime | Regime::ConstantTime => {
+                let o = run_alg1_observed(
+                    self.cfg,
+                    self.regime,
+                    &self.ids,
+                    self.faulty,
+                    |env| spec.build_alg1(env),
+                    Alg1Options {
+                        seed: self.seed,
+                        allow_regime_violation: false,
+                        tweaks: opr_core::Alg1Tweaks {
+                            extra_voting_steps: self.extra_voting_steps,
+                            ..opr_core::Alg1Tweaks::default()
                         },
-                    )?;
-                    let cm = o.correct_malformed();
-                    (
-                        o.outcome,
-                        o.metrics,
-                        o.rounds,
-                        o.step_budget,
-                        o.malformed,
-                        o.faulty_mask,
-                        cm,
-                    )
-                }
-                Regime::TwoStep => {
-                    let o = run_two_step_observed(
-                        self.cfg,
-                        &self.ids,
-                        self.faulty,
-                        |env| spec.build_two_step(env),
-                        TwoStepOptions {
-                            seed: self.seed,
-                            backend: self.backend,
-                            faults: self.faults.clone(),
-                            allow_fault_overrun: self.allow_fault_overrun,
-                            payload_cap: self.payload_cap,
-                            ..TwoStepOptions::default()
-                        },
-                    )?;
-                    let cm = o.correct_malformed();
-                    (
-                        o.outcome,
-                        o.metrics,
-                        o.rounds,
-                        o.step_budget,
-                        o.malformed,
-                        o.faulty_mask,
-                        cm,
-                    )
-                }
-            };
+                        backend: self.backend,
+                        faults: self.faults.clone(),
+                        allow_fault_overrun: self.allow_fault_overrun,
+                        payload_cap: self.payload_cap,
+                        trace_capacity: self.trace_capacity,
+                    },
+                )?;
+                let cm = o.correct_malformed();
+                (
+                    o.outcome,
+                    o.metrics,
+                    o.rounds,
+                    o.step_budget,
+                    o.malformed,
+                    o.faulty_mask,
+                    o.trace,
+                    cm,
+                )
+            }
+            Regime::TwoStep => {
+                let o = run_two_step_observed(
+                    self.cfg,
+                    &self.ids,
+                    self.faulty,
+                    |env| spec.build_two_step(env),
+                    TwoStepOptions {
+                        seed: self.seed,
+                        backend: self.backend,
+                        faults: self.faults.clone(),
+                        allow_fault_overrun: self.allow_fault_overrun,
+                        payload_cap: self.payload_cap,
+                        trace_capacity: self.trace_capacity,
+                        ..TwoStepOptions::default()
+                    },
+                )?;
+                let cm = o.correct_malformed();
+                (
+                    o.outcome,
+                    o.metrics,
+                    o.rounds,
+                    o.step_budget,
+                    o.malformed,
+                    o.faulty_mask,
+                    o.trace,
+                    cm,
+                )
+            }
+        };
         // Judged set: correct actors without transport faults on their
         // outgoing links. Ids were assigned to non-Byzantine indices in
         // caller order, so walk the mask to recover index → id.
@@ -881,8 +905,67 @@ impl RenamingRun {
             malformed,
             faulty_mask,
             excluded,
+            trace,
         })
     }
+}
+
+/// One cell of an experiment grid: everything [`Algorithm::run_on`] needs,
+/// owned, so the cell can be shipped to a pool worker.
+#[derive(Clone, Debug)]
+pub struct GridPoint {
+    /// Which implementation to run.
+    pub algorithm: Algorithm,
+    /// The system configuration.
+    pub cfg: SystemConfig,
+    /// The correct processes' original ids.
+    pub correct_ids: Vec<OriginalId>,
+    /// How many Byzantine actors to place.
+    pub faulty: usize,
+    /// The Byzantine strategy (paper algorithms; baselines use their
+    /// canonical adversary).
+    pub adversary: AdversarySpec,
+    /// The run seed.
+    pub seed: u64,
+    /// The execution substrate.
+    pub backend: BackendKind,
+}
+
+impl GridPoint {
+    /// Executes this cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RenamingError`] from the underlying runner.
+    pub fn run(&self) -> Result<RunStats, RenamingError> {
+        self.algorithm.run_on(
+            self.backend,
+            self.cfg,
+            &self.correct_ids,
+            self.faulty,
+            self.adversary,
+            self.seed,
+        )
+    }
+}
+
+/// Executes an experiment grid on `pool`, returning results in grid order —
+/// exactly the sequence a serial loop over [`GridPoint::run`] would produce
+/// (cells are independent deterministic runs, and the pool reassembles in
+/// submission order). A cell that panics re-panics here, matching serial
+/// semantics.
+pub fn run_grid(
+    pool: &opr_exec::RunPool,
+    points: Vec<GridPoint>,
+) -> Vec<Result<RunStats, RenamingError>> {
+    let tasks: Vec<_> = points
+        .into_iter()
+        .map(|point| move || point.run())
+        .collect();
+    pool.run_batch(tasks)
+        .into_iter()
+        .map(|result| result.unwrap_or_else(|panic| std::panic::panic_any(panic.message)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -1052,6 +1135,46 @@ mod tests {
         // Clean or violated, both are legitimate over budget — the contract
         // is a structured report, which `digest` summarizes either way.
         assert!(!d.degraded.digest().is_empty());
+    }
+
+    #[test]
+    fn run_grid_is_observably_serial_at_any_worker_count() {
+        let cfg = SystemConfig::new(7, 2).unwrap();
+        let points: Vec<GridPoint> = (0..6u64)
+            .map(|seed| GridPoint {
+                algorithm: Algorithm::Alg1LogTime,
+                cfg,
+                correct_ids: IdDistribution::SparseRandom.generate(5, seed * 7 + 1),
+                faulty: 2,
+                adversary: AdversarySpec::EchoSplit,
+                seed,
+                backend: BackendKind::default(),
+            })
+            .collect();
+        let serial: Vec<_> = points.iter().map(GridPoint::run).collect();
+        let pooled = run_grid(&opr_exec::RunPool::new(4), points);
+        assert_eq!(serial, pooled);
+    }
+
+    #[test]
+    fn diagnosed_run_surfaces_a_trace_on_request() {
+        let cfg = SystemConfig::new(7, 2).unwrap();
+        let ids = IdDistribution::EvenSpaced.generate(5, 4);
+        let build = || {
+            RenamingRun::builder(cfg, Regime::LogTime)
+                .correct_ids(ids.clone())
+                .adversary(AdversarySpec::EchoSplit, 2)
+                .seed(9)
+        };
+        let untraced = build().run_diagnosed().unwrap();
+        assert!(untraced.trace.is_none());
+        let traced = build().trace(100_000).run_diagnosed().unwrap();
+        let trace = traced.trace.as_ref().expect("trace requested");
+        assert!(!trace.events().is_empty());
+        assert_eq!(trace.dropped(), 0);
+        // Tracing observes the run without perturbing it.
+        assert_eq!(untraced.degraded, traced.degraded);
+        assert_eq!(untraced.metrics, traced.metrics);
     }
 
     #[test]

@@ -27,13 +27,21 @@ test:
 equivalence:
     cargo test -q --test backend_equivalence
 
+# Serial-vs-parallel determinism gate (jobs=1 ≡ jobs=4, both backends).
+exec-equivalence:
+    cargo test -q --test exec_equivalence
+
 # Bounded chaos smoke campaign (fixed seed, both backends) — the CI gate.
 chaos:
-    cargo run --release -p opr-bench --bin chaos -- --seed 42 --runs 200 --budget mixed --backend both
+    cargo run --release -p opr-bench --bin chaos -- --seed 42 --runs 200 --budget mixed --backend both --jobs 4
 
-# Long randomized chaos soak (override with `just chaos-soak SEED=7 RUNS=50000`).
-chaos-soak SEED="1" RUNS="20000":
-    cargo run --release -p opr-bench --bin chaos -- --seed {{SEED}} --runs {{RUNS}} --budget mixed --backend both
+# Long randomized chaos soak (override with `just chaos-soak SEED=7 RUNS=50000 JOBS=8`).
+chaos-soak SEED="1" RUNS="20000" JOBS="4":
+    cargo run --release -p opr-bench --bin chaos -- --seed {{SEED}} --runs {{RUNS}} --budget mixed --backend both --jobs {{JOBS}}
+
+# Serial-vs-parallel executor throughput (writes crates/bench/BENCH_exec.json).
+bench-exec:
+    cargo run --release -p opr-bench --bin chaos -- --bench-exec crates/bench/BENCH_exec.json --seed 42 --runs 200 --budget mixed --backend both
 
 # Regenerate every experiment table (add `--backend threaded` to switch substrate).
 tables *ARGS:

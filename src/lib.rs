@@ -22,6 +22,11 @@
 //! * [`chaos`] — randomized fault-schedule campaigns: seeded schedule
 //!   generation, paper-invariant oracles, counterexample shrinking and
 //!   replayable repro files.
+//! * [`exec`] — run-level parallel execution: a std-only [`RunPool`]
+//!   (fixed workers + `mpsc` queue) that reassembles batch results in
+//!   submission order so multi-run drivers stay observably serial.
+//!
+//! [`RunPool`]: exec::RunPool
 //!
 //! # Quickstart
 //!
@@ -51,6 +56,7 @@ pub use opr_baselines as baselines;
 pub use opr_chaos as chaos;
 pub use opr_consensus as consensus;
 pub use opr_core as core;
+pub use opr_exec as exec;
 pub use opr_rbcast as rbcast;
 pub use opr_sim as sim;
 pub use opr_transport as transport;
@@ -60,6 +66,7 @@ pub use opr_workload as workload;
 /// Commonly-used items in one import.
 pub mod prelude {
     pub use opr_adversary::AdversarySpec;
+    pub use opr_exec::RunPool;
     pub use opr_transport::{BackendKind, FaultPlan};
     pub use opr_types::{
         ConfigError, LinkId, NewName, OriginalId, ProcessIndex, Rank, Regime, RenamingError,

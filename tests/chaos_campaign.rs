@@ -28,6 +28,7 @@ fn in_budget_campaign_is_clean_on_both_backends() {
         runs: 1000,
         budget: Some(BudgetRegime::InBudget),
         backend: BackendChoice::Both,
+        jobs: 4,
     };
     let report = run_campaign(&config, &standard_suite());
     assert!(report.passed(), "{report}");
@@ -45,6 +46,7 @@ fn at_budget_campaign_is_clean_on_both_backends() {
         runs: 300,
         budget: Some(BudgetRegime::AtBudget),
         backend: BackendChoice::Both,
+        jobs: 4,
     };
     let report = run_campaign(&config, &standard_suite());
     assert!(report.passed(), "{report}");
@@ -62,6 +64,7 @@ fn over_budget_campaign_degrades_without_panicking() {
         runs: 300,
         budget: Some(BudgetRegime::OverBudget),
         backend: BackendChoice::Both,
+        jobs: 4,
     };
     let report = run_campaign(&config, &standard_suite());
     assert!(report.passed(), "{report}");
@@ -136,6 +139,7 @@ fn campaigns_are_deterministic_in_their_seed() {
         runs: 120,
         budget: None,
         backend: BackendChoice::Both,
+        jobs: 4,
     };
     let oracles = standard_suite();
     let a = run_campaign(&config, &oracles);

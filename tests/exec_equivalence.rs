@@ -1,0 +1,93 @@
+//! The determinism-equivalence gate for parallel campaign execution.
+//!
+//! Every chaos run is a deterministic, share-nothing function of its
+//! schedule, so farming runs out to a `RunPool` must be unobservable: a
+//! campaign executed with `jobs = 4` must produce a **bit-identical**
+//! sequence — same `DiagnosedRun`s, same outcomes, same metrics, in the
+//! same submission order — as the serial run of the same seed and budget,
+//! on both execution backends. This gate is what licenses `--jobs N` on
+//! the chaos, sweep and tables binaries: parallelism is an execution
+//! strategy, never an observable.
+
+use opr::chaos::engine::{execute_campaign, run_campaign};
+use opr::chaos::{standard_suite, BackendChoice, BudgetRegime, CampaignConfig};
+use proptest::prelude::*;
+use proptest::sample::select;
+
+/// The worker count the CI smoke step exercises.
+const PARALLEL_JOBS: usize = 4;
+
+fn config(
+    seed: u64,
+    runs: usize,
+    budget: Option<BudgetRegime>,
+    backend: BackendChoice,
+    jobs: usize,
+) -> CampaignConfig {
+    CampaignConfig {
+        seed,
+        runs,
+        budget,
+        backend,
+        jobs,
+    }
+}
+
+/// Every budget regime, plus `None` (cycle through all three per run).
+fn budgets() -> impl Strategy<Value = Option<BudgetRegime>> {
+    select(vec![
+        None,
+        Some(BudgetRegime::InBudget),
+        Some(BudgetRegime::AtBudget),
+        Some(BudgetRegime::OverBudget),
+    ])
+}
+
+/// `Both` executes the simulator *and* the threaded backend per schedule,
+/// so these two choices cover every backend.
+fn backends() -> impl Strategy<Value = BackendChoice> {
+    select(vec![BackendChoice::Sim, BackendChoice::Both])
+}
+
+proptest! {
+    // Each case runs the campaign once serially and once on four workers
+    // (and `Both` doubles the per-schedule cost), so keep the case count
+    // CI-sized; the seed space still varies freely across cases.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The executed sequence — schedule, seed, budget and the full
+    /// `DiagnosedRun` (outcome, metrics, diagnosis) per index — is
+    /// bit-identical at any worker count.
+    #[test]
+    fn parallel_execution_is_bit_identical_to_serial(
+        seed in 0u64..u64::MAX,
+        runs in 4usize..10,
+        budget in budgets(),
+        backend in backends(),
+    ) {
+        let serial = execute_campaign(&config(seed, runs, budget, backend, 1));
+        let parallel =
+            execute_campaign(&config(seed, runs, budget, backend, PARALLEL_JOBS));
+        prop_assert_eq!(serial, parallel);
+    }
+
+    /// The judged report is a pure function of the campaign config:
+    /// clean/degraded tallies and the exact failure list are independent
+    /// of `jobs`.
+    #[test]
+    fn campaign_reports_are_a_pure_function_of_the_config(
+        seed in 0u64..u64::MAX,
+        runs in 6usize..12,
+        budget in budgets(),
+        backend in backends(),
+    ) {
+        let oracles = standard_suite();
+        let serial = run_campaign(&config(seed, runs, budget, backend, 1), &oracles);
+        let parallel =
+            run_campaign(&config(seed, runs, budget, backend, PARALLEL_JOBS), &oracles);
+        prop_assert_eq!(serial.total, parallel.total);
+        prop_assert_eq!(serial.clean, parallel.clean);
+        prop_assert_eq!(serial.degraded, parallel.degraded);
+        prop_assert_eq!(serial.failures, parallel.failures);
+    }
+}
