@@ -16,9 +16,8 @@ use std::collections::BTreeSet;
 /// colluding actors compute the same fake set.
 pub fn fake_ids(env: &AdversaryEnv<'_>, count: usize) -> Vec<OriginalId> {
     let correct: Vec<u64> = env.correct_ids.iter().map(|id| id.raw()).collect();
-    let taken: BTreeSet<u64> = correct.iter().copied().collect();
     let mut fakes = Vec::with_capacity(count);
-    let mut used = taken.clone();
+    let mut used: BTreeSet<u64> = correct.iter().copied().collect();
 
     // Midpoints of gaps between consecutive correct ids, widest gaps first.
     let mut gaps: Vec<(u64, u64)> = correct.windows(2).map(|w| (w[0], w[1])).collect();

@@ -95,10 +95,12 @@ impl<M: Clone + Send, O: Send> Actor for Replay<M, O> {
     }
 
     fn deliver(&mut self, _round: Round, inbox: Inbox<M>) {
-        for (_, m) in inbox.into_messages() {
-            // Bound the pool so long runs cannot grow without limit.
+        for (_, m) in inbox.messages() {
+            // Bound the pool so long runs cannot grow without limit, and
+            // clone only the messages actually kept — everything past the
+            // cap stays a borrow of the shared payload.
             if self.pool.len() < 4096 {
-                self.pool.push(m);
+                self.pool.push(m.clone());
             }
         }
     }

@@ -114,14 +114,15 @@ impl Actor for ConsensusRenaming {
     fn deliver(&mut self, round: Round, inbox: Inbox<B2Msg>) {
         let r = round.number();
         if r <= 4 {
-            let flood_inbox: Inbox<FloodMsg<OriginalId>> = inbox
-                .into_messages()
-                .filter_map(|(l, m)| match m {
+            // Borrowed view straight over the shared broadcast payloads —
+            // the flood never sees an owned per-receiver inbox.
+            self.flood.deliver(
+                r,
+                inbox.messages().filter_map(|(l, m)| match m {
                     B2Msg::Flood(f) => Some((l, f)),
                     _ => None,
-                })
-                .collect();
-            self.flood.deliver(r, &flood_inbox);
+                }),
+            );
             if r == 4 {
                 let accepted = self
                     .flood
@@ -139,18 +140,17 @@ impl Actor for ConsensusRenaming {
             }
         } else if r <= Self::total_rounds(self.cfg.t()) {
             let inner_round = Round::new(r - 4);
-            let consensus_inbox: Inbox<ConsensusMsg<OriginalId>> = inbox
-                .into_messages()
-                .filter_map(|(l, m)| match m {
-                    B2Msg::Consensus(c) => Some((l, c)),
-                    _ => None,
-                })
-                .collect();
             let consensus = self
                 .consensus
                 .as_mut()
                 .expect("consensus initialized at end of round 4");
-            consensus.deliver(inner_round, consensus_inbox);
+            consensus.deliver_borrowed(
+                inner_round,
+                inbox.messages().filter_map(|(l, m)| match m {
+                    B2Msg::Consensus(c) => Some((l, c)),
+                    _ => None,
+                }),
+            );
             if let Some(decided_set) = consensus.output() {
                 let final_set: BTreeSet<OriginalId> = decided_set;
                 let rank = final_set

@@ -1,0 +1,226 @@
+//! Broadcast fan-out microbenchmark: payload allocations per broadcast
+//! round, before vs after zero-copy sealing.
+//!
+//! ```text
+//! cargo run --release -p opr-bench --bin fanout -- --out crates/bench/BENCH_fanout.json
+//! ```
+//!
+//! Every process broadcasts a realistic `⟨AA, ranks⟩` vote (`Alg1Msg::Votes`
+//! with `N` entries) each round — the steady-state traffic of Algorithm 1's
+//! voting phase. Two delivery modes are compared on the reference sim
+//! engine:
+//!
+//! * `shared` — [`Outbox::Broadcast`]: the engine seals the payload once and
+//!   all `N` inbox slots share the allocation (the post-change path).
+//! * `cloned` — [`Outbox::Multicast`] carrying one owned clone per link:
+//!   the pre-change cost model, where fan-out deep-copied the payload into
+//!   every slot.
+//!
+//! Allocation counting uses a `#[global_allocator]` shim around [`System`]
+//! (no external crates), and differences two run lengths so construction
+//! and first-round arena growth cancel exactly: with `ΔA = allocs(R₂) −
+//! allocs(R₁)`, the steady-state cost is `ΔA / (R₂ − R₁)` per round, divided
+//! by `N` senders to give *allocations per broadcast*. `shared` is flat in
+//! `N`; `cloned` grows linearly.
+
+use opr_core::Alg1Msg;
+use opr_sim::{Actor, Inbox, Network, Outbox, Topology};
+use opr_types::{LinkId, OriginalId, Rank, Round};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Counts every heap allocation (including reallocations) made through the
+/// global allocator. Deallocation is free to stay out of the hot path's way.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// One `Broadcast` per round: sealed once, shared by all slots.
+    Shared,
+    /// One owned clone per link per round: the pre-change cost model.
+    Cloned,
+}
+
+impl Mode {
+    fn label(self) -> &'static str {
+        match self {
+            Mode::Shared => "shared",
+            Mode::Cloned => "cloned",
+        }
+    }
+}
+
+/// Broadcasts an `N`-entry vote every round and folds delivered votes into a
+/// checksum (borrowing from the shared payloads; no per-delivery clone).
+struct FanoutActor {
+    n: usize,
+    mode: Mode,
+    payload: Vec<(OriginalId, Rank)>,
+    checksum: u64,
+}
+
+impl FanoutActor {
+    fn new(n: usize, mode: Mode) -> Self {
+        FanoutActor {
+            n,
+            mode,
+            payload: (0..n as u64)
+                .map(|i| (OriginalId::new(i), Rank::new(i as f64)))
+                .collect(),
+            checksum: 0,
+        }
+    }
+}
+
+impl Actor for FanoutActor {
+    type Msg = Alg1Msg;
+    type Output = u64;
+
+    fn send(&mut self, _round: Round) -> Outbox<Alg1Msg> {
+        match self.mode {
+            Mode::Shared => Outbox::Broadcast(Alg1Msg::Votes(self.payload.clone())),
+            Mode::Cloned => Outbox::Multicast(
+                (1..=self.n)
+                    .map(|l| (LinkId::new(l), Alg1Msg::Votes(self.payload.clone())))
+                    .collect(),
+            ),
+        }
+    }
+
+    fn deliver(&mut self, _round: Round, inbox: Inbox<Alg1Msg>) {
+        for (_, msg) in inbox.messages() {
+            if let Alg1Msg::Votes(entries) = msg {
+                self.checksum += entries.len() as u64;
+            }
+        }
+    }
+
+    fn output(&self) -> Option<u64> {
+        // Never outputs: the run always executes its full round budget.
+        None
+    }
+}
+
+fn build_net(n: usize, mode: Mode) -> Network<Alg1Msg, u64> {
+    let actors: Vec<Box<dyn Actor<Msg = Alg1Msg, Output = u64>>> = (0..n)
+        .map(|_| Box::new(FanoutActor::new(n, mode)) as Box<dyn Actor<Msg = Alg1Msg, Output = u64>>)
+        .collect();
+    Network::new(actors, Topology::seeded(n, 42))
+}
+
+/// Total allocations for a fresh network executing `rounds` rounds.
+fn allocs_for(n: usize, mode: Mode, rounds: u32) -> u64 {
+    let mut net = build_net(n, mode);
+    let before = ALLOCS.load(Ordering::Relaxed);
+    net.run(rounds);
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+struct Row {
+    mode: Mode,
+    n: usize,
+    allocs_per_broadcast: f64,
+    runs_per_sec: f64,
+}
+
+fn measure(n: usize, mode: Mode) -> Row {
+    // Difference two run lengths so construction and first-round arena
+    // growth cancel; what remains is the steady-state per-round cost.
+    let (r1, r2) = (8u32, 40u32);
+    let a1 = allocs_for(n, mode, r1);
+    let a2 = allocs_for(n, mode, r2);
+    let per_round = (a2.saturating_sub(a1)) as f64 / f64::from(r2 - r1);
+    let allocs_per_broadcast = per_round / n as f64;
+
+    // Wall-clock: full construct-and-run cycles per second, work-scaled so
+    // big N doesn't dominate the benchmark's runtime.
+    let iters = (200_000 / (n * n)).clamp(3, 64);
+    let rounds = 32u32;
+    let start = Instant::now();
+    for _ in 0..iters {
+        let mut net = build_net(n, mode);
+        net.run(rounds);
+    }
+    let runs_per_sec = iters as f64 / start.elapsed().as_secs_f64();
+
+    Row {
+        mode,
+        n,
+        allocs_per_broadcast,
+        runs_per_sec,
+    }
+}
+
+fn main() {
+    let mut out_path: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => out_path = it.next(),
+            _ => {
+                eprintln!("usage: fanout [--out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut rows = Vec::new();
+    for n in [16usize, 64, 128] {
+        for mode in [Mode::Cloned, Mode::Shared] {
+            let row = measure(n, mode);
+            eprintln!(
+                "fanout {mode}/n{n}: {allocs:.1} allocs/broadcast-round, {rps:.1} runs/sec",
+                mode = row.mode.label(),
+                n = row.n,
+                allocs = row.allocs_per_broadcast,
+                rps = row.runs_per_sec,
+            );
+            rows.push(row);
+        }
+    }
+
+    let mut json = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "  {{\"group\": \"fanout\", \"name\": \"{mode}/n{n}\", \"mode\": \"{mode}\", \
+             \"n\": {n}, \"payload_entries\": {n}, \
+             \"allocs_per_broadcast_round\": {allocs:.2}, \"runs_per_sec\": {rps:.1}}}{sep}\n",
+            mode = row.mode.label(),
+            n = row.n,
+            allocs = row.allocs_per_broadcast,
+            rps = row.runs_per_sec,
+            sep = if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("]\n");
+
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &json).expect("write benchmark output");
+            eprintln!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+}

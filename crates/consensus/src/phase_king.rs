@@ -99,26 +99,19 @@ impl<V: Ord + Clone + Debug> VectorPhaseKing<V> {
     fn is_exchange_round(round: Round) -> bool {
         round.number() % 2 == 1
     }
-}
 
-impl<V: Ord + Clone + Debug + WireSize + Send> Actor for VectorPhaseKing<V> {
-    type Msg = ConsensusMsg<V>;
-    type Output = BTreeSet<V>;
-
-    fn send(&mut self, round: Round) -> Outbox<ConsensusMsg<V>> {
-        if self.decided.is_some() {
-            return Outbox::Silent;
-        }
-        if Self::is_exchange_round(round) {
-            Outbox::Broadcast(ConsensusMsg::Pref(self.prefs.clone()))
-        } else if Self::phase_of(round) == self.my_index + 1 {
-            Outbox::Broadcast(ConsensusMsg::King(self.prefs.clone()))
-        } else {
-            Outbox::Silent
-        }
-    }
-
-    fn deliver(&mut self, round: Round, inbox: Inbox<ConsensusMsg<V>>) {
+    /// Delivers one round of messages from any borrowed `(link, &msg)` view.
+    ///
+    /// This is the zero-copy twin of the [`Actor::deliver`] impl: embedding
+    /// protocols (e.g. the B2 baseline, whose wire type wraps
+    /// [`ConsensusMsg`]) pass a `filter_map` view straight over their own
+    /// inbox instead of materializing an owned `Inbox<ConsensusMsg<V>>` per
+    /// receiver per round.
+    pub fn deliver_borrowed<'a, I>(&mut self, round: Round, inbox: I)
+    where
+        V: 'a,
+        I: IntoIterator<Item = (opr_types::LinkId, &'a ConsensusMsg<V>)>,
+    {
         if self.decided.is_some() {
             return;
         }
@@ -127,7 +120,7 @@ impl<V: Ord + Clone + Debug + WireSize + Send> Actor for VectorPhaseKing<V> {
             // support count for the king round's threshold test.
             let mut trues: BTreeMap<V, usize> = BTreeMap::new();
             let mut votes: BTreeMap<V, usize> = BTreeMap::new();
-            for (_, msg) in inbox.messages() {
+            for (_, msg) in inbox {
                 if let ConsensusMsg::Pref(map) = msg {
                     for (v, &b) in map {
                         *votes.entry(v.clone()).or_insert(0) += 1;
@@ -156,8 +149,10 @@ impl<V: Ord + Clone + Debug + WireSize + Send> Actor for VectorPhaseKing<V> {
             // impersonation attempt and is ignored.
             let threshold = self.n / 2 + self.t + 1;
             let king_link = self.king_links[Self::phase_of(round) - 1];
-            let king_map: Option<&BTreeMap<V, bool>> =
-                inbox.from_link(king_link).and_then(|msg| match msg {
+            let king_map: Option<&BTreeMap<V, bool>> = inbox
+                .into_iter()
+                .find(|(l, _)| *l == king_link)
+                .and_then(|(_, msg)| match msg {
                     ConsensusMsg::King(m) => Some(m),
                     _ => None,
                 });
@@ -185,6 +180,28 @@ impl<V: Ord + Clone + Debug + WireSize + Send> Actor for VectorPhaseKing<V> {
                 );
             }
         }
+    }
+}
+
+impl<V: Ord + Clone + Debug + WireSize + Send> Actor for VectorPhaseKing<V> {
+    type Msg = ConsensusMsg<V>;
+    type Output = BTreeSet<V>;
+
+    fn send(&mut self, round: Round) -> Outbox<ConsensusMsg<V>> {
+        if self.decided.is_some() {
+            return Outbox::Silent;
+        }
+        if Self::is_exchange_round(round) {
+            Outbox::Broadcast(ConsensusMsg::Pref(self.prefs.clone()))
+        } else if Self::phase_of(round) == self.my_index + 1 {
+            Outbox::Broadcast(ConsensusMsg::King(self.prefs.clone()))
+        } else {
+            Outbox::Silent
+        }
+    }
+
+    fn deliver(&mut self, round: Round, inbox: Inbox<ConsensusMsg<V>>) {
+        self.deliver_borrowed(round, inbox.messages());
     }
 
     fn output(&self) -> Option<BTreeSet<V>> {

@@ -216,15 +216,15 @@ impl Actor for OrderPreservingRenaming {
         if r <= 4 {
             // Id-selection phase: forward flood messages, ignore anything
             // else (a Byzantine process may send Votes early; they are
-            // meaningless before step 5).
-            let flood_inbox: Inbox<opr_rbcast::FloodMsg<OriginalId>> = inbox
-                .into_messages()
-                .filter_map(|(link, msg)| match msg {
+            // meaningless before step 5). The flood borrows straight out of
+            // the shared broadcast payloads — no per-receiver rebuild.
+            self.flood.deliver(
+                r,
+                inbox.messages().filter_map(|(link, msg)| match msg {
                     Alg1Msg::Flood(f) => Some((link, f)),
                     Alg1Msg::Votes(_) => None,
-                })
-                .collect();
-            self.flood.deliver(r, &flood_inbox);
+                }),
+            );
             if r == 4 {
                 let result = self
                     .flood

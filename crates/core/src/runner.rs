@@ -322,7 +322,7 @@ fn generic_run<M, F, C, P>(
     collect_probe: impl FnOnce() -> P,
 ) -> Result<ObservedRun<P>, RenamingError>
 where
-    M: Clone + Debug + WireSize + Send + 'static,
+    M: Clone + Debug + WireSize + Send + Sync + 'static,
     F: FnMut(&AdversaryEnv) -> Option<Box<dyn Actor<Msg = M, Output = NewName>>>,
     C: FnMut(OriginalId) -> Box<dyn Actor<Msg = M, Output = NewName>>,
 {

@@ -122,16 +122,25 @@ impl<V: Ord + Clone + Debug> EchoReadyFlood<V> {
         }
     }
 
-    /// Consumes the inbox of relative step `step ∈ 1..=4`.
+    /// Consumes the messages of relative step `step ∈ 1..=4`.
+    ///
+    /// Takes any `(link, &msg)` iterator — typically
+    /// [`Inbox::messages`](opr_sim::Inbox::messages) or a borrowed
+    /// `filter_map` view over an embedding protocol's own message type — so
+    /// delivery never forces a copy of the shared broadcast payloads.
     ///
     /// # Panics
     ///
     /// Panics on steps outside `1..=4`.
-    pub fn deliver(&mut self, step: u32, inbox: &Inbox<FloodMsg<V>>) {
+    pub fn deliver<'a, I>(&mut self, step: u32, inbox: I)
+    where
+        V: 'a,
+        I: IntoIterator<Item = (LinkId, &'a FloodMsg<V>)>,
+    {
         match step {
             1 => {
                 // Collect one announced value per distinct link.
-                for (_, msg) in inbox.messages() {
+                for (_, msg) in inbox {
                     if let FloodMsg::Init(v) = msg {
                         self.working.insert(v.clone());
                     }
@@ -140,7 +149,7 @@ impl<V: Ord + Clone + Debug> EchoReadyFlood<V> {
             2 => {
                 // Values echoed on ≥ N−t distinct links survive.
                 let mut echo_links: BTreeMap<&V, usize> = BTreeMap::new();
-                for (_, msg) in inbox.messages() {
+                for (_, msg) in inbox {
                     if let FloodMsg::Echo(set) = msg {
                         for v in set {
                             *echo_links.entry(v).or_insert(0) += 1;
@@ -188,8 +197,12 @@ impl<V: Ord + Clone + Debug> EchoReadyFlood<V> {
         }
     }
 
-    fn accumulate_ready(&mut self, inbox: &Inbox<FloodMsg<V>>) {
-        for (link, msg) in inbox.messages() {
+    fn accumulate_ready<'a, I>(&mut self, inbox: I)
+    where
+        V: 'a,
+        I: IntoIterator<Item = (LinkId, &'a FloodMsg<V>)>,
+    {
+        for (link, msg) in inbox {
             if let FloodMsg::Ready(set) = msg {
                 for v in set {
                     self.ready_links.entry(v.clone()).or_default().insert(link);
@@ -237,7 +250,7 @@ impl<V: Ord + Clone + Debug + WireSize + Send> Actor for FloodActor<V> {
 
     fn deliver(&mut self, round: Round, inbox: Inbox<FloodMsg<V>>) {
         if round.number() <= 4 {
-            self.flood.deliver(round.number(), &inbox);
+            self.flood.deliver(round.number(), inbox.messages());
         }
     }
 

@@ -1,5 +1,6 @@
 //! The protocol interface: what a process does each synchronous round.
 
+use crate::sealed::Sealed;
 use opr_types::{LinkId, Round};
 
 /// What a process emits in one round.
@@ -35,15 +36,26 @@ impl<M> Outbox<M> {
 /// The messages delivered to a process at the end of one round, each tagged
 /// with the local label of the link it arrived on.
 ///
+/// Payloads are stored [`Sealed`]: a broadcast delivers the *same*
+/// allocation to every receiver, so holding an inbox costs refcounts, not
+/// copies. The borrowing accessors ([`messages`](Inbox::messages),
+/// [`from_link`](Inbox::from_link),
+/// [`count_links_where`](Inbox::count_links_where)) hand out `&M` straight
+/// from the shared payload; [`into_messages`](Inbox::into_messages) clones
+/// owned copies out only when a consumer really needs ownership.
+///
 /// `Inbox` provides the counting idioms the paper's pseudo-code uses
 /// ("received from at least `N − t` distinct links").
 #[derive(Clone, Debug)]
 pub struct Inbox<M> {
-    entries: Vec<(LinkId, M)>,
+    entries: Vec<(LinkId, Sealed<M>)>,
 }
 
 impl<M> Inbox<M> {
-    /// Builds an inbox from `(link, message)` pairs.
+    /// Builds an inbox from owned `(link, message)` pairs, sealing each
+    /// payload individually. The engines use
+    /// [`from_sealed`](Inbox::from_sealed) instead so broadcast payloads
+    /// stay shared; this constructor is for tests and hand-built inboxes.
     ///
     /// # Panics
     ///
@@ -51,12 +63,33 @@ impl<M> Inbox<M> {
     /// allows one message per link per round, and the network enforces it.
     pub fn new(entries: Vec<(LinkId, M)>) -> Self {
         debug_assert!(
-            {
-                let mut links: Vec<usize> = entries.iter().map(|(l, _)| l.label()).collect();
-                links.sort_unstable();
-                links.windows(2).all(|w| w[0] != w[1])
-            },
+            entries
+                .iter()
+                .enumerate()
+                .all(|(i, (l, _))| entries[i + 1..].iter().all(|(l2, _)| l2 != l)),
             "a link delivered more than one message in a round"
+        );
+        Inbox {
+            entries: entries
+                .into_iter()
+                .map(|(l, m)| (l, Sealed::new(m)))
+                .collect(),
+        }
+    }
+
+    /// Builds an inbox from already-sealed pairs in **ascending label
+    /// order** — the zero-copy path the engines use after their canonical
+    /// per-round sort. Shared broadcast payloads stay shared.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the entries are not strictly ascending
+    /// by label — unsorted input or a link delivering twice.
+    pub fn from_sealed(entries: Vec<(LinkId, Sealed<M>)>) -> Self {
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "a link delivered more than one message in a round \
+             (or entries were not label-sorted)"
         );
         Inbox { entries }
     }
@@ -68,14 +101,27 @@ impl<M> Inbox<M> {
         }
     }
 
-    /// Iterates over `(link, message)` pairs.
+    /// Iterates over `(link, message)` pairs, borrowing payloads from the
+    /// shared allocations.
     pub fn messages(&self) -> impl Iterator<Item = (LinkId, &M)> {
+        self.entries.iter().map(|(l, m)| (*l, m.get()))
+    }
+
+    /// Iterates over the sealed `(link, payload)` pairs — for consumers
+    /// that want to keep sharing the allocation (a refcount bump per kept
+    /// message instead of a clone).
+    pub fn sealed_messages(&self) -> impl Iterator<Item = (LinkId, &Sealed<M>)> {
         self.entries.iter().map(|(l, m)| (*l, m))
     }
 
-    /// Consumes the inbox, yielding owned `(link, message)` pairs.
-    pub fn into_messages(self) -> impl Iterator<Item = (LinkId, M)> {
-        self.entries.into_iter()
+    /// Consumes the inbox, yielding owned `(link, message)` pairs. Payloads
+    /// still shared with other receivers (broadcasts) are cloned out;
+    /// prefer [`messages`](Inbox::messages) and cloning only what you keep.
+    pub fn into_messages(self) -> impl Iterator<Item = (LinkId, M)>
+    where
+        M: Clone,
+    {
+        self.entries.into_iter().map(|(l, m)| (l, m.into_inner()))
     }
 
     /// The number of links that delivered anything.
@@ -103,13 +149,21 @@ impl<M> Inbox<M> {
         self.entries
             .iter()
             .find(|(l, _)| *l == link)
-            .map(|(_, m)| m)
+            .map(|(_, m)| m.get())
     }
 }
 
 impl<M> FromIterator<(LinkId, M)> for Inbox<M> {
     fn from_iter<I: IntoIterator<Item = (LinkId, M)>>(iter: I) -> Self {
         Inbox::new(iter.into_iter().collect())
+    }
+}
+
+impl<M> FromIterator<(LinkId, Sealed<M>)> for Inbox<M> {
+    fn from_iter<I: IntoIterator<Item = (LinkId, Sealed<M>)>>(iter: I) -> Self {
+        let mut entries: Vec<(LinkId, Sealed<M>)> = iter.into_iter().collect();
+        entries.sort_by_key(|(l, _)| *l);
+        Inbox::from_sealed(entries)
     }
 }
 
@@ -183,6 +237,25 @@ mod tests {
     #[cfg(debug_assertions)]
     fn inbox_rejects_duplicate_links() {
         let _ = Inbox::new(vec![(lnk(1), 1), (lnk(1), 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "more than one message")]
+    #[cfg(debug_assertions)]
+    fn sealed_inbox_rejects_duplicate_links() {
+        let _ = Inbox::from_sealed(vec![(lnk(1), Sealed::new(1)), (lnk(1), Sealed::new(2))]);
+    }
+
+    #[test]
+    fn sealed_inbox_shares_broadcast_payloads() {
+        let payload = Sealed::new(42u64);
+        let inbox = Inbox::from_sealed(vec![(lnk(1), payload.clone()), (lnk(2), payload.clone())]);
+        let borrowed: Vec<&u64> = inbox.sealed_messages().map(|(_, s)| s.get()).collect();
+        // Both entries borrow the same allocation — the broadcast fan-out
+        // really is zero-copy end to end.
+        assert!(std::ptr::eq(borrowed[0], borrowed[1]));
+        assert!(std::ptr::eq(borrowed[0], payload.get()));
+        assert_eq!(inbox.from_link(lnk(2)), Some(&42));
     }
 
     #[test]

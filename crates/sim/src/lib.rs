@@ -24,6 +24,8 @@
 //! * [`Actor`] — the protocol interface: `send` then `deliver` per round.
 //! * [`Topology`] — per-process link labelling over the full mesh.
 //! * [`Network`] — the lock-step engine with metrics.
+//! * [`Sealed`] — shared, immutable message payloads: broadcasts are sealed
+//!   once and fanned out as refcount bumps, never per-link deep copies.
 //! * [`RunMetrics`] — rounds, message and bit counters per round, used by the
 //!   message-complexity experiment (T3).
 //! * [`WireSize`] — model-level message size accounting in bits.
@@ -70,6 +72,7 @@
 pub mod actor;
 pub mod metrics;
 pub mod network;
+pub mod sealed;
 pub mod topology;
 pub mod trace;
 pub mod wire;
@@ -77,6 +80,7 @@ pub mod wire;
 pub use actor::{Actor, Inbox, Outbox};
 pub use metrics::{RoundMetrics, RunMetrics};
 pub use network::{DeliveryFilter, Network, RunReport};
+pub use sealed::Sealed;
 pub use topology::Topology;
 pub use trace::{Trace, TraceEvent};
 pub use wire::{WireSize, COUNT_BITS, ID_BITS, RANK_BITS, TAG_BITS};

@@ -2,6 +2,7 @@
 
 use crate::actor::{Actor, Inbox, Outbox};
 use crate::metrics::{RoundMetrics, RunMetrics};
+use crate::sealed::Sealed;
 use crate::topology::Topology;
 use crate::trace::{Trace, TraceEvent};
 use crate::wire::WireSize;
@@ -38,7 +39,7 @@ pub struct Network<M, O> {
     // inbox `Vec`s are *not* reusable — `Inbox::new` consumes them by
     // contract — so only the outer buffers live here.
     outbox_arena: Vec<Outbox<M>>,
-    inbox_arena: Vec<Vec<(opr_types::LinkId, M)>>,
+    inbox_arena: Vec<Vec<(opr_types::LinkId, Sealed<M>)>>,
     seen_arena: Vec<bool>,
 }
 
@@ -146,15 +147,24 @@ where
         }
 
         // Phase 2: route. `inboxes[r]` accumulates (label, message) pairs.
+        // The inner `Vec`s were consumed by `Inbox` last round, so reserve
+        // the worst case (one message per sender) up front: one allocation
+        // per receiver per round instead of a growth-doubling series.
         let mut inboxes = std::mem::take(&mut self.inbox_arena);
         debug_assert_eq!(inboxes.len(), n, "inbox spine sized to process count");
+        for slot in &mut inboxes {
+            slot.reserve(n);
+        }
         let mut round_metrics = RoundMetrics::default();
         for (s, outbox) in outboxes.drain(..).enumerate() {
             let sender = ProcessIndex::new(s);
             let is_correct = self.correct[s];
-            let mut deliver_one = |link: opr_types::LinkId, msg: M, net: &mut Self| {
+            let mut deliver_one = |link: opr_types::LinkId, msg: Sealed<M>, net: &mut Self| {
+                // Computed once per payload and cached inside the seal: the
+                // cap check, metrics and trace below all reuse this value,
+                // and the other N−1 links of a broadcast get it for free.
+                let bits = msg.wire_bits();
                 if let Some(cap) = net.payload_cap {
-                    let bits = msg.wire_bits();
                     if bits > cap {
                         net.malformed.push(MalformedSend {
                             sender,
@@ -171,7 +181,6 @@ where
                 }
                 let receiver = net.topology.peer(sender, link);
                 let in_label = net.topology.incoming_label(receiver, sender);
-                let bits = msg.wire_bits();
                 let self_loop = receiver == sender;
                 if is_correct {
                     if !self_loop {
@@ -188,7 +197,7 @@ where
                         sender,
                         receiver,
                         link: in_label,
-                        message: format!("{msg:?}"),
+                        message: msg.rendered().to_owned(),
                     });
                 }
                 inboxes[receiver.index()].push((in_label, msg));
@@ -196,8 +205,12 @@ where
             match outbox {
                 Outbox::Silent => {}
                 Outbox::Broadcast(msg) => {
+                    // Seal once; every link's inbox slot shares the same
+                    // allocation — fan-out is N refcount bumps, not N deep
+                    // copies.
+                    let sealed = Sealed::new(msg);
                     for l in 1..=n {
-                        deliver_one(opr_types::LinkId::new(l), msg.clone(), self);
+                        deliver_one(opr_types::LinkId::new(l), sealed.clone(), self);
                     }
                 }
                 Outbox::Multicast(entries) => {
@@ -226,7 +239,9 @@ where
                             });
                             continue;
                         }
-                        deliver_one(link, msg, self);
+                        // Equivocation stays per-link owned: each entry is
+                        // its own payload, sealed individually.
+                        deliver_one(link, Sealed::new(msg), self);
                     }
                     self.seen_arena = seen;
                 }
@@ -234,13 +249,14 @@ where
         }
         self.metrics.push_round(round_metrics);
 
-        // Phase 3: deliver. Sort by label for determinism. `Inbox::new`
-        // consumes each inner `Vec`, so `mem::take` hands it over and
-        // leaves a fresh (non-allocating) empty slot in the arena.
+        // Phase 3: deliver. Sort by label for determinism. The inbox
+        // consumes each inner `Vec` (payloads stay sealed — shared
+        // broadcast allocations are handed over, not copied), so
+        // `mem::take` leaves a fresh (non-allocating) empty slot.
         for (r, slot) in inboxes.iter_mut().enumerate() {
             let mut entries = std::mem::take(slot);
             entries.sort_by_key(|(l, _)| *l);
-            self.actors[r].deliver(round, Inbox::new(entries));
+            self.actors[r].deliver(round, Inbox::from_sealed(entries));
         }
         self.outbox_arena = outboxes;
         self.inbox_arena = inboxes;

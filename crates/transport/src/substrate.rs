@@ -184,7 +184,7 @@ impl BackendKind {
     /// Executes `job` on the selected backend.
     pub fn execute<M, O>(&self, job: Job<M, O>) -> ExecutionReport<O>
     where
-        M: Clone + Debug + WireSize + Send + 'static,
+        M: Clone + Debug + WireSize + Send + Sync + 'static,
         O: Send + 'static,
     {
         match self {

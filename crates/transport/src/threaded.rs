@@ -4,8 +4,10 @@
 //!
 //! Each process runs on its own thread and owns its actor. Links are
 //! `std::sync::mpsc` channels — one receiving queue per process, with every
-//! sender holding a clone of every queue's `Sender`. A round is three
-//! barrier-delimited phases:
+//! sender holding a clone of every queue's `Sender`. Queues carry
+//! [`Sealed`] payloads, so a broadcast crosses all `N` threads as refcount
+//! bumps on one shared allocation (which is why message types need `Sync`
+//! here). A round is three barrier-delimited phases:
 //!
 //! 1. **Decide** — the barrier leader checks the round budget and whether
 //!    every correct actor has decided, and publishes a stop flag.
@@ -34,7 +36,9 @@
 //! [`MalformedSend`]s and dropped, exactly as in the reference backend.
 
 use crate::substrate::{ExecutionReport, Job, Substrate};
-use opr_sim::{Actor, Inbox, Outbox, RoundMetrics, RunMetrics, Trace, TraceEvent, WireSize};
+use opr_sim::{
+    Actor, Inbox, Outbox, RoundMetrics, RunMetrics, Sealed, Trace, TraceEvent, WireSize,
+};
 use opr_types::{LinkId, MalformedKind, MalformedSend, ProcessIndex, Round};
 use std::fmt::Debug;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -69,7 +73,7 @@ struct ThreadReport<O> {
 
 impl<M, O> Substrate<M, O> for ThreadedBackend
 where
-    M: Clone + Debug + WireSize + Send + 'static,
+    M: Clone + Debug + WireSize + Send + Sync + 'static,
     O: Send + 'static,
 {
     fn execute(&self, job: Job<M, O>) -> ExecutionReport<O> {
@@ -101,7 +105,9 @@ where
         let mut txs = Vec::with_capacity(n);
         let mut rxs = Vec::with_capacity(n);
         for _ in 0..n {
-            let (tx, rx) = mpsc::channel::<(LinkId, M)>();
+            // Queues carry sealed payloads: a broadcast crosses all N
+            // threads as refcount bumps on one shared allocation.
+            let (tx, rx) = mpsc::channel::<(LinkId, Sealed<M>)>();
             txs.push(tx);
             rxs.push(rx);
         }
@@ -210,8 +216,8 @@ where
 fn process_thread<M, O>(
     me: usize,
     mut actor: Box<dyn Actor<Msg = M, Output = O>>,
-    rx: mpsc::Receiver<(LinkId, M)>,
-    txs: Vec<mpsc::Sender<(LinkId, M)>>,
+    rx: mpsc::Receiver<(LinkId, Sealed<M>)>,
+    txs: Vec<mpsc::Sender<(LinkId, Sealed<M>)>>,
     shared: Arc<Shared>,
     topology: Arc<opr_sim::Topology>,
     faults: Arc<crate::FaultPlan>,
@@ -259,57 +265,64 @@ where
             let result = catch_unwind(AssertUnwindSafe(|| {
                 let outbox = actor.send(round);
                 let mut seq = 0u32;
-                let mut deliver_one = |link: LinkId, msg: M, malformed: &mut Vec<MalformedSend>| {
-                    if let Some(cap) = payload_cap {
+                let mut deliver_one =
+                    |link: LinkId, msg: Sealed<M>, malformed: &mut Vec<MalformedSend>| {
+                        // Cached inside the seal: computed once per payload,
+                        // shared by the cap check, metrics and all N links
+                        // of a broadcast.
                         let bits = msg.wire_bits();
-                        if bits > cap {
-                            malformed.push(MalformedSend {
-                                sender,
-                                round,
-                                kind: MalformedKind::OversizedPayload { bits, cap },
-                            });
+                        if let Some(cap) = payload_cap {
+                            if bits > cap {
+                                malformed.push(MalformedSend {
+                                    sender,
+                                    round,
+                                    kind: MalformedKind::OversizedPayload { bits, cap },
+                                });
+                                return;
+                            }
+                        }
+                        if !faults.delivers(round, sender, link) {
                             return;
                         }
-                    }
-                    if !faults.delivers(round, sender, link) {
-                        return;
-                    }
-                    let receiver = topology.peer(sender, link);
-                    let in_label = topology.incoming_label(receiver, sender);
-                    let bits = msg.wire_bits();
-                    let self_loop = receiver == sender;
-                    if is_correct {
-                        if !self_loop {
-                            round_metrics.messages_correct += 1;
-                            round_metrics.bits_correct += bits;
+                        let receiver = topology.peer(sender, link);
+                        let in_label = topology.incoming_label(receiver, sender);
+                        let self_loop = receiver == sender;
+                        if is_correct {
+                            if !self_loop {
+                                round_metrics.messages_correct += 1;
+                                round_metrics.bits_correct += bits;
+                            }
+                            round_metrics.max_message_bits =
+                                round_metrics.max_message_bits.max(bits);
+                        } else if !self_loop {
+                            round_metrics.messages_faulty += 1;
                         }
-                        round_metrics.max_message_bits = round_metrics.max_message_bits.max(bits);
-                    } else if !self_loop {
-                        round_metrics.messages_faulty += 1;
-                    }
-                    if trace_enabled {
-                        trace_events.push((
-                            round.number(),
-                            seq,
-                            TraceEvent {
-                                round,
-                                sender,
-                                receiver,
-                                link: in_label,
-                                message: format!("{msg:?}"),
-                            },
-                        ));
-                    }
-                    seq += 1;
-                    txs[receiver.index()]
-                        .send((in_label, msg))
-                        .expect("receiver thread alive until the common stop");
-                };
+                        if trace_enabled {
+                            trace_events.push((
+                                round.number(),
+                                seq,
+                                TraceEvent {
+                                    round,
+                                    sender,
+                                    receiver,
+                                    link: in_label,
+                                    message: msg.rendered().to_owned(),
+                                },
+                            ));
+                        }
+                        seq += 1;
+                        txs[receiver.index()]
+                            .send((in_label, msg))
+                            .expect("receiver thread alive until the common stop");
+                    };
                 match outbox {
                     Outbox::Silent => {}
                     Outbox::Broadcast(msg) => {
+                        // Seal once; the cross-thread fan-out is a refcount
+                        // bump per queue, not a deep copy per link.
+                        let sealed = Sealed::new(msg);
                         for l in 1..=n {
-                            deliver_one(LinkId::new(l), msg.clone(), &mut malformed);
+                            deliver_one(LinkId::new(l), sealed.clone(), &mut malformed);
                         }
                     }
                     Outbox::Multicast(entries) => {
@@ -336,7 +349,9 @@ where
                                 });
                                 continue;
                             }
-                            deliver_one(link, msg, &mut malformed);
+                            // Equivocation stays per-link owned: each entry
+                            // is its own payload, sealed individually.
+                            deliver_one(link, Sealed::new(msg), &mut malformed);
                         }
                     }
                 }
@@ -351,11 +366,11 @@ where
         // Phase 3: all sends of this round are enqueued once every thread
         // passes this barrier; draining afterwards sees the whole round.
         shared.barrier.wait();
-        let mut entries: Vec<(LinkId, M)> = rx.try_iter().collect();
+        let mut entries: Vec<(LinkId, Sealed<M>)> = rx.try_iter().collect();
         if !poisoned {
             entries.sort_by_key(|(l, _)| *l);
             let result = catch_unwind(AssertUnwindSafe(|| {
-                actor.deliver(round, Inbox::new(entries));
+                actor.deliver(round, Inbox::from_sealed(entries));
                 actor.output().is_some()
             }));
             match result {

@@ -193,10 +193,7 @@ impl DegradedOutcome {
             .map(|(&id, _)| id)
             .collect();
         if !undecided.is_empty() {
-            violations.push(Violation::MissedTermination {
-                budget,
-                undecided: undecided.clone(),
-            });
+            violations.push(Violation::MissedTermination { budget, undecided });
         }
         for v in outcome.verify(bound) {
             // Termination is reported once, aggregated, above.

@@ -401,7 +401,7 @@ impl Actor for Forger {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn run_baseline<M: Clone + Debug + WireSize + Send + 'static>(
+fn run_baseline<M: Clone + Debug + WireSize + Send + Sync + 'static>(
     algorithm: Algorithm,
     backend: BackendKind,
     cfg: SystemConfig,
@@ -429,7 +429,7 @@ fn run_baseline<M: Clone + Debug + WireSize + Send + 'static>(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn run_baseline_with_topology<M: Clone + Debug + WireSize + Send + 'static>(
+fn run_baseline_with_topology<M: Clone + Debug + WireSize + Send + Sync + 'static>(
     algorithm: Algorithm,
     backend: BackendKind,
     cfg: SystemConfig,

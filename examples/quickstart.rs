@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Two Byzantine processes running the echo-splitting attack: they try
     // to make a forged id "timely" at some correct processes but not others.
     let out = RenamingRun::builder(cfg, Regime::LogTime)
-        .correct_ids(ids.clone())
+        .correct_ids(ids)
         .adversary(AdversarySpec::EchoSplit, 2)
         .seed(2026)
         .run()?;

@@ -11,9 +11,11 @@ fmt-check:
 fmt:
     cargo fmt --all
 
-# Lint gate: warnings are errors, across every target.
+# Lint gate: warnings are errors, across every target. `redundant_clone` is
+# opted in (it is off by default) to keep the zero-copy delivery pipeline
+# honest about stray payload copies.
 lint:
-    cargo clippy --workspace --all-targets -- -D warnings
+    cargo clippy --workspace --all-targets -- -D warnings -W clippy::redundant_clone
 
 # Tier-1 build.
 build:
@@ -42,6 +44,11 @@ chaos-soak SEED="1" RUNS="20000" JOBS="4":
 # Serial-vs-parallel executor throughput (writes crates/bench/BENCH_exec.json).
 bench-exec:
     cargo run --release -p opr-bench --bin chaos -- --bench-exec crates/bench/BENCH_exec.json --seed 42 --runs 200 --budget mixed --backend both
+
+# Broadcast fan-out allocation profile: sealed-shared vs per-link-cloned
+# payloads (writes crates/bench/BENCH_fanout.json).
+bench-fanout:
+    cargo run --release -p opr-bench --bin fanout -- --out crates/bench/BENCH_fanout.json
 
 # Regenerate every experiment table (add `--backend threaded` to switch substrate).
 tables *ARGS:

@@ -97,6 +97,45 @@ proptest! {
     }
 }
 
+// Sealed-broadcast pin for the zero-copy fan-out: shared payloads must be
+// observationally invisible. For arbitrary chaos schedules — Byzantine
+// placements, transport faults, payload caps — both backends must produce
+// bit-identical diagnosed runs *and* byte-identical rendered delivery
+// traces. The trace comparison is what exercises `Sealed`'s cached `Debug`
+// rendering on every delivery event; the `DiagnosedRun` comparison covers
+// outcomes, metrics, rounds, malformed sends, masks and exclusions.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn sealed_broadcast_delivery_is_bit_identical_across_backends(
+        seed in 0u64..100_000,
+        budget in proptest::sample::select(opr::chaos::BudgetRegime::ALL.to_vec()),
+    ) {
+        let schedule = opr::chaos::generate_schedule(seed, budget);
+        let capacity = 1usize << 16;
+        let run = |backend: BackendKind| {
+            schedule
+                .run_traced(backend, capacity)
+                .expect("chaos schedules are legal by construction")
+        };
+        let sim = run(BackendKind::Sim);
+        let threaded = run(BackendKind::Threaded);
+        let tag = schedule.describe();
+        prop_assert_eq!(&sim, &threaded, "diagnosed run: {}", tag);
+        let rendered = |run: &opr::workload::DiagnosedRun| -> Vec<String> {
+            run.trace
+                .as_ref()
+                .expect("trace requested")
+                .events()
+                .iter()
+                .map(|event| event.to_string())
+                .collect()
+        };
+        prop_assert_eq!(rendered(&sim), rendered(&threaded), "trace: {}", tag);
+    }
+}
+
 /// Every adversary in both suites, deterministically (not sampled): the
 /// equivalence must hold for each strategy, not just most of them.
 #[test]

@@ -112,7 +112,7 @@ fn injected_failure_shrinks_and_round_trips_through_repro() {
         run_index: index,
         budget: injected_budget,
         backend,
-        digest: digest.clone(),
+        digest,
         schedule: result.schedule,
     };
     let text = repro.to_json();
