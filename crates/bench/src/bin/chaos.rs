@@ -8,6 +8,11 @@
 //! # Replay a repro file captured by a failing campaign:
 //! cargo run --release -p opr-bench --bin chaos -- --repro chaos-repro.json
 //!
+//! # Replay a repro with the protocol recorder attached and print every
+//! # process's decision waterfall (optionally exporting the event stream):
+//! cargo run --release -p opr-bench --bin chaos -- explain chaos-repro.json \
+//!     --events events.jsonl --perfetto trace.json
+//!
 //! # Prove the shrink/repro pipeline end-to-end on an injected failure:
 //! cargo run --release -p opr-bench --bin chaos -- --self-test
 //!
@@ -22,18 +27,24 @@
 //! 1 on failure, 2 on usage errors.
 
 use opr_chaos::engine::{
-    judge_schedule, per_run_seed, run_campaign, BackendChoice, CampaignConfig,
+    execute_schedule, judge_schedule, per_run_seed, run_campaign, BackendChoice, CampaignConfig,
 };
+use opr_chaos::explain::explain_repro;
 use opr_chaos::generator::generate_schedule;
 use opr_chaos::oracle::standard_suite;
 use opr_chaos::repro::Repro;
-use opr_chaos::schedule::BudgetRegime;
+use opr_chaos::schedule::{BudgetRegime, ChaosSchedule};
 use opr_chaos::shrink::shrink;
+use opr_obs::{render_jsonl, render_trace_json};
+use opr_sim::RunMetrics;
 
 fn usage() -> ! {
     eprintln!(
         "usage: chaos [--seed S] [--runs K] [--budget in|at|over|mixed] [--backend sim|threaded|both]\n\
-         \x20            [--jobs N] [--repro-out <file>]\n\
+         \x20            [--jobs N] [--repro-out <file>] [--events <file>]\n\
+         \x20      chaos explain <file> [--events <file>] [--perfetto <file>]\n\
+         \x20                                replay a repro with the recorder attached and\n\
+         \x20                                print the per-process decision waterfall\n\
          \x20      chaos --repro <file>      replay a captured failure\n\
          \x20      chaos --self-test         inject a failure, shrink it, round-trip the repro\n\
          \x20      chaos --bench <file>      measure runs/sec per backend into <file>\n\
@@ -53,9 +64,38 @@ struct Args {
     self_test: bool,
     bench: Option<String>,
     bench_exec: Option<String>,
+    events_out: Option<String>,
 }
 
-fn parse_args() -> Args {
+/// `chaos explain <file> [--events <file>] [--perfetto <file>]`.
+struct ExplainArgs {
+    repro: String,
+    events_out: Option<String>,
+    perfetto_out: Option<String>,
+}
+
+fn parse_explain_args(raw: &[String]) -> ExplainArgs {
+    let mut args = ExplainArgs {
+        repro: String::new(),
+        events_out: None,
+        perfetto_out: None,
+    };
+    let mut it = raw.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--events" => args.events_out = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--perfetto" => args.perfetto_out = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            path if args.repro.is_empty() && !path.starts_with("--") => args.repro = path.into(),
+            _ => usage(),
+        }
+    }
+    if args.repro.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn parse_args(raw: &[String]) -> Args {
     let mut args = Args {
         seed: 42,
         runs: 200,
@@ -67,8 +107,8 @@ fn parse_args() -> Args {
         self_test: false,
         bench: None,
         bench_exec: None,
+        events_out: None,
     };
-    let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut it = raw.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -108,6 +148,7 @@ fn parse_args() -> Args {
             "--self-test" => args.self_test = true,
             "--bench" => args.bench = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--bench-exec" => args.bench_exec = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--events" => args.events_out = Some(it.next().cloned().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
@@ -115,7 +156,11 @@ fn parse_args() -> Args {
 }
 
 fn main() {
-    let args = parse_args();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("explain") {
+        std::process::exit(explain(&parse_explain_args(&raw[1..])));
+    }
+    let args = parse_args(&raw);
     let oracles = standard_suite();
     let exit = if let Some(path) = &args.repro {
         replay(path, &oracles)
@@ -129,6 +174,92 @@ fn main() {
         campaign(&args, &oracles)
     };
     std::process::exit(exit);
+}
+
+/// Replays a repro file with the protocol recorder attached and prints the
+/// per-process decision waterfall; optionally exports the event stream as
+/// JSONL and/or Chrome trace-event JSON (loadable in Perfetto).
+fn explain(args: &ExplainArgs) -> i32 {
+    let text = match std::fs::read_to_string(&args.repro) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("chaos: cannot read {}: {e}", args.repro);
+            return 2;
+        }
+    };
+    let repro = match Repro::from_json(&text) {
+        Ok(repro) => repro,
+        Err(e) => {
+            eprintln!("chaos: {e}");
+            return 2;
+        }
+    };
+    let explained = match explain_repro(&repro) {
+        Ok(explained) => explained,
+        Err(e) => {
+            eprintln!("chaos: replay refused: {e}");
+            return 1;
+        }
+    };
+    print!("{}", explained.text);
+    let log = match &explained.run.events {
+        Some(log) => log,
+        None => {
+            eprintln!("chaos: replay produced no event log");
+            return 1;
+        }
+    };
+    for (path, payload) in [
+        (
+            &args.events_out,
+            args.events_out.as_ref().map(|_| render_jsonl(log)),
+        ),
+        (
+            &args.perfetto_out,
+            args.perfetto_out
+                .as_ref()
+                .map(|_| render_trace_json(log, None)),
+        ),
+    ] {
+        if let (Some(path), Some(payload)) = (path, payload) {
+            match std::fs::write(path, payload) {
+                Ok(()) => eprintln!("chaos: wrote {path}"),
+                Err(e) => {
+                    eprintln!("chaos: could not write {path}: {e}");
+                    return 1;
+                }
+            }
+        }
+    }
+    0
+}
+
+/// The reference-backend metrics of one (contained) execution of
+/// `schedule`, for embedding into a written repro file. Panicking
+/// schedules yield `None` — the repro still round-trips.
+fn capture_metrics(schedule: &ChaosSchedule, backend: BackendChoice) -> Option<RunMetrics> {
+    execute_schedule(schedule, backend)
+        .ok()
+        .map(|run| run.reference.metrics)
+}
+
+/// Re-runs campaign run #0's schedule with the recorder attached and writes
+/// the merged protocol event stream as JSONL — the campaign's exported
+/// telemetry artifact (CI uploads it from the smoke campaign).
+fn write_campaign_events(args: &Args, path: &str) {
+    let budget = args.budget.unwrap_or(BudgetRegime::ALL[0]);
+    let schedule = generate_schedule(per_run_seed(args.seed, 0), budget);
+    let (reference, _) = args.backend.backends();
+    match schedule.run_observed(reference, None) {
+        Ok(run) => match run.events {
+            Some(log) => match std::fs::write(path, render_jsonl(&log)) {
+                Ok(()) => eprintln!("chaos: wrote {path} ({} events)", log.len()),
+                Err(e) => eprintln!("chaos: could not write {path}: {e}"),
+            },
+            None => eprintln!("chaos: run #0 produced no event log"),
+        },
+        Err(e) => eprintln!("chaos: could not observe run #0: {e}"),
+    }
 }
 
 fn campaign(args: &Args, oracles: &[Box<dyn opr_chaos::Oracle>]) -> i32 {
@@ -146,6 +277,9 @@ fn campaign(args: &Args, oracles: &[Box<dyn opr_chaos::Oracle>]) -> i32 {
     );
     let report = run_campaign(&config, oracles);
     eprintln!("chaos: {report}");
+    if let Some(path) = &args.events_out {
+        write_campaign_events(args, path);
+    }
     if report.passed() {
         return 0;
     }
@@ -167,6 +301,7 @@ fn campaign(args: &Args, oracles: &[Box<dyn opr_chaos::Oracle>]) -> i32 {
         "chaos: shrunk {} → {} events in {} attempts",
         result.original_events, result.events, result.attempts
     );
+    let metrics = capture_metrics(&result.schedule, args.backend);
     let repro = Repro {
         campaign_seed: args.seed,
         run_index: failure.index,
@@ -174,6 +309,7 @@ fn campaign(args: &Args, oracles: &[Box<dyn opr_chaos::Oracle>]) -> i32 {
         backend: args.backend,
         digest,
         schedule: result.schedule,
+        metrics,
     };
     match std::fs::write(&args.repro_out, repro.to_json()) {
         Ok(()) => eprintln!("chaos: wrote {}", args.repro_out),
@@ -251,6 +387,7 @@ fn self_test(args: &Args, oracles: &[Box<dyn opr_chaos::Oracle>]) -> i32 {
             result.attempts,
             result.schedule.describe()
         );
+        let metrics = capture_metrics(&result.schedule, args.backend);
         let repro = Repro {
             campaign_seed: args.seed,
             run_index: index,
@@ -258,6 +395,7 @@ fn self_test(args: &Args, oracles: &[Box<dyn opr_chaos::Oracle>]) -> i32 {
             backend: args.backend,
             digest: digest.clone(),
             schedule: result.schedule,
+            metrics,
         };
         let text = repro.to_json();
         let reread = match Repro::from_json(&text) {

@@ -22,10 +22,19 @@
 //! allocs(R₁)`, the steady-state cost is `ΔA / (R₂ − R₁)` per round, divided
 //! by `N` senders to give *allocations per broadcast*. `shared` is flat in
 //! `N`; `cloned` grows linearly.
+//!
+//! The `obs` group measures the protocol event recorder the same way: one
+//! full Algorithm 1 run with the recorder off vs on. Two recorder-off runs
+//! *bracket* the recorder-on run and must allocate bit-identically — a
+//! disabled recorder that leaked any cost (lazy caches, growth amortized
+//! across runs) would break the bracket. The on−off delta is the entire
+//! price of telemetry, paid only when recording.
 
+use opr_adversary::AdversarySpec;
 use opr_core::Alg1Msg;
 use opr_sim::{Actor, Inbox, Network, Outbox, Topology};
-use opr_types::{LinkId, OriginalId, Rank, Round};
+use opr_types::{LinkId, OriginalId, Rank, Regime, Round, SystemConfig};
+use opr_workload::{IdDistribution, RenamingRun};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -173,6 +182,56 @@ fn measure(n: usize, mode: Mode) -> Row {
     }
 }
 
+/// Allocations and event count of one full Algorithm 1 run (`N = 16`,
+/// `t = 3`, log-time schedule) with the recorder off or on.
+fn renaming_allocs(record: bool) -> (u64, usize) {
+    let cfg = SystemConfig::new(16, 3).expect("legal config");
+    let ids = IdDistribution::SparseRandom.generate(13, 7);
+    let mut run = RenamingRun::builder(cfg, Regime::LogTime)
+        .correct_ids(ids)
+        .adversary(AdversarySpec::EchoSplit, 3)
+        .seed(9);
+    if record {
+        run = run.record_events();
+    }
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let out = run.run_diagnosed().expect("run starts");
+    let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+    let events = out.events.as_ref().map_or(0, |log| log.len());
+    assert_eq!(record, out.events.is_some(), "recording follows the knob");
+    (allocs, events)
+}
+
+/// The recorder-overhead rows, with the zero-cost-when-off assertion.
+fn measure_obs(rows: &mut Vec<String>) {
+    let (warmup, _) = renaming_allocs(false);
+    let (off_before, _) = renaming_allocs(false);
+    let (on, events) = renaming_allocs(true);
+    let (off_after, _) = renaming_allocs(false);
+    assert_eq!(
+        off_before, off_after,
+        "recorder-off runs must allocate bit-identically around a recorded run"
+    );
+    assert!(events > 0, "a recorded run emits events");
+    assert!(
+        on >= off_before,
+        "recording cannot allocate less than not recording"
+    );
+    let overhead = on - off_before;
+    eprintln!(
+        "fanout obs/n16: recorder off {off_before} allocs (warmup {warmup}), \
+         on {on} allocs, +{overhead} for {events} events"
+    );
+    rows.push(format!(
+        "  {{\"group\": \"obs\", \"name\": \"recorder-off/n16\", \"n\": 16, \
+         \"allocs_per_run\": {off_before}, \"events\": 0}}"
+    ));
+    rows.push(format!(
+        "  {{\"group\": \"obs\", \"name\": \"recorder-on/n16\", \"n\": 16, \
+         \"allocs_per_run\": {on}, \"events\": {events}, \"overhead_allocs\": {overhead}}}"
+    ));
+}
+
 fn main() {
     let mut out_path: Option<String> = None;
     let mut it = std::env::args().skip(1);
@@ -186,7 +245,7 @@ fn main() {
         }
     }
 
-    let mut rows = Vec::new();
+    let mut rows: Vec<String> = Vec::new();
     for n in [16usize, 64, 128] {
         for mode in [Mode::Cloned, Mode::Shared] {
             let row = measure(n, mode);
@@ -197,24 +256,20 @@ fn main() {
                 allocs = row.allocs_per_broadcast,
                 rps = row.runs_per_sec,
             );
-            rows.push(row);
+            rows.push(format!(
+                "  {{\"group\": \"fanout\", \"name\": \"{mode}/n{n}\", \"mode\": \"{mode}\", \
+                 \"n\": {n}, \"payload_entries\": {n}, \
+                 \"allocs_per_broadcast_round\": {allocs:.2}, \"runs_per_sec\": {rps:.1}}}",
+                mode = row.mode.label(),
+                n = row.n,
+                allocs = row.allocs_per_broadcast,
+                rps = row.runs_per_sec,
+            ));
         }
     }
+    measure_obs(&mut rows);
 
-    let mut json = String::from("[\n");
-    for (i, row) in rows.iter().enumerate() {
-        json.push_str(&format!(
-            "  {{\"group\": \"fanout\", \"name\": \"{mode}/n{n}\", \"mode\": \"{mode}\", \
-             \"n\": {n}, \"payload_entries\": {n}, \
-             \"allocs_per_broadcast_round\": {allocs:.2}, \"runs_per_sec\": {rps:.1}}}{sep}\n",
-            mode = row.mode.label(),
-            n = row.n,
-            allocs = row.allocs_per_broadcast,
-            rps = row.runs_per_sec,
-            sep = if i + 1 == rows.len() { "" } else { "," },
-        ));
-    }
-    json.push_str("]\n");
+    let json = format!("[\n{}\n]\n", rows.join(",\n"));
 
     match out_path {
         Some(path) => {

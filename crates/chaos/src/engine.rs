@@ -22,6 +22,7 @@ use crate::generator::generate_schedule;
 use crate::oracle::{violation_kind, Oracle, OracleInput};
 use crate::schedule::{BudgetRegime, ChaosSchedule};
 use opr_exec::RunPool;
+use opr_sim::RunMetrics;
 use opr_transport::BackendKind;
 use opr_types::Violation;
 use opr_workload::DiagnosedRun;
@@ -180,6 +181,54 @@ pub struct Failure {
     pub verdict: RunVerdict,
 }
 
+/// Network metrics summed over every run a campaign actually executed
+/// (panicking and setup-refused slots contribute nothing). Like the
+/// clean/degraded counts, these are a pure function of the configuration:
+/// they come from the reference backend's deterministic counters, so any
+/// worker count and any backend choice with the same reference agree.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CampaignMetrics {
+    /// Runs whose metrics are included.
+    pub runs_measured: usize,
+    /// Total rounds executed across measured runs.
+    pub rounds_executed: u64,
+    /// Total messages sent by correct processes.
+    pub messages_correct: u64,
+    /// Total messages sent by faulty processes.
+    pub messages_faulty: u64,
+    /// Total bits sent by correct processes.
+    pub bits_correct: u64,
+    /// Largest single correct message seen in any measured run, in bits.
+    pub max_message_bits: u64,
+}
+
+impl CampaignMetrics {
+    /// Folds one executed run's counters into the campaign totals.
+    pub fn absorb(&mut self, metrics: &RunMetrics) {
+        self.runs_measured += 1;
+        self.rounds_executed += u64::from(metrics.rounds_executed());
+        self.messages_correct += metrics.messages_correct();
+        self.messages_faulty += metrics.messages_faulty();
+        self.bits_correct += metrics.bits_correct();
+        self.max_message_bits = self.max_message_bits.max(metrics.max_message_bits());
+    }
+}
+
+impl fmt::Display for CampaignMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} runs measured: {} rounds, {}+{} msgs correct+faulty, {} bits correct, max msg {} bits",
+            self.runs_measured,
+            self.rounds_executed,
+            self.messages_correct,
+            self.messages_faulty,
+            self.bits_correct,
+            self.max_message_bits
+        )
+    }
+}
+
 /// Aggregate result of a campaign.
 #[derive(Clone, Debug)]
 pub struct CampaignReport {
@@ -191,6 +240,8 @@ pub struct CampaignReport {
     pub degraded: usize,
     /// Failing runs (empty ⇔ the campaign passed).
     pub failures: Vec<Failure>,
+    /// Network metrics summed over every executed run.
+    pub metrics: CampaignMetrics,
     /// Wall-clock time of the whole campaign.
     pub elapsed: Duration,
 }
@@ -216,12 +267,13 @@ impl fmt::Display for CampaignReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} runs: {} clean, {} degraded, {} failed ({:.0} runs/s)",
+            "{} runs: {} clean, {} degraded, {} failed ({:.0} runs/s); {}",
             self.total,
             self.clean,
             self.degraded,
             self.failures.len(),
-            self.runs_per_sec()
+            self.runs_per_sec(),
+            self.metrics
         )
     }
 }
@@ -419,6 +471,7 @@ pub fn run_campaign_on(
         clean: 0,
         degraded: 0,
         failures: Vec::new(),
+        metrics: CampaignMetrics::default(),
         elapsed: Duration::ZERO,
     };
     for slot in execute_campaign_on(pool, config) {
@@ -430,7 +483,10 @@ pub fn run_campaign_on(
             executed,
         } = slot;
         let mut verdict = match executed {
-            Ok(run) => judge_executed(&schedule, config.backend, &run, oracles),
+            Ok(run) => {
+                report.metrics.absorb(&run.reference.metrics);
+                judge_executed(&schedule, config.backend, &run, oracles)
+            }
             Err(verdict) => verdict,
         };
         // Over-budget oracle violations that the regime excuses become the
@@ -478,6 +534,10 @@ mod tests {
         assert!(report.passed(), "{:#?}", report.failures);
         assert_eq!(report.clean, 30);
         assert_eq!(report.degraded, 0);
+        assert_eq!(report.metrics.runs_measured, 30);
+        assert!(report.metrics.rounds_executed > 0);
+        assert!(report.metrics.messages_correct > 0);
+        assert!(report.metrics.max_message_bits > 0);
     }
 
     #[test]
@@ -547,6 +607,7 @@ mod tests {
         assert_eq!(a.clean, b.clean);
         assert_eq!(a.degraded, b.degraded);
         assert_eq!(a.failures, b.failures);
+        assert_eq!(a.metrics, b.metrics);
     }
 
     #[test]

@@ -35,8 +35,12 @@
 //! 6. [`repro`] round-trips the result through a `chaos-repro.json` file
 //!    (hand-rolled [`json`], no external dependencies) so the failure can
 //!    be replayed deterministically from the file alone.
+//! 7. [`explain`] replays a repro with the protocol event recorder attached
+//!    ([`opr_obs`]) and renders every correct process's decision waterfall
+//!    — which thresholds crossed, which votes were rejected and why.
 
 pub mod engine;
+pub mod explain;
 pub mod generator;
 pub mod json;
 pub mod oracle;
@@ -45,9 +49,10 @@ pub mod schedule;
 pub mod shrink;
 
 pub use engine::{
-    BackendChoice, CampaignConfig, CampaignReport, ExecutedRun, ExecutedSchedule, Failure,
-    RunVerdict,
+    BackendChoice, CampaignConfig, CampaignMetrics, CampaignReport, ExecutedRun, ExecutedSchedule,
+    Failure, RunVerdict,
 };
+pub use explain::{explain_repro, render_waterfall, Explained};
 pub use generator::generate_schedule;
 pub use oracle::{standard_suite, Oracle, OracleInput};
 pub use repro::Repro;

@@ -10,6 +10,7 @@ use crate::json::Json;
 use crate::oracle::Oracle;
 use crate::schedule::{BudgetRegime, ChaosSchedule};
 use opr_adversary::AdversarySpec;
+use opr_sim::{RoundMetrics, RunMetrics};
 use opr_transport::FaultEvent;
 use opr_types::Regime;
 use opr_workload::IdDistribution;
@@ -33,6 +34,12 @@ pub struct Repro {
     pub digest: String,
     /// The (possibly shrunk) schedule.
     pub schedule: ChaosSchedule,
+    /// Per-round network metrics of the reference run at capture time, when
+    /// the capturing campaign executed the schedule (panicking runs have
+    /// none). Purely informational on replay — the replayed run recomputes
+    /// its own — but lets a repro file document how much traffic the
+    /// failure took. Absent in files written by older builds.
+    pub metrics: Option<RunMetrics>,
 }
 
 /// Why a repro file could not be decoded.
@@ -55,7 +62,7 @@ impl Repro {
     /// Renders the repro as pretty-printed JSON (the `chaos-repro.json`
     /// payload).
     pub fn to_json(&self) -> String {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("version".into(), Json::UInt(REPRO_VERSION)),
             ("campaign_seed".into(), Json::UInt(self.campaign_seed)),
             ("run_index".into(), Json::UInt(self.run_index as u64)),
@@ -63,8 +70,11 @@ impl Repro {
             ("backend".into(), Json::Str(self.backend.label().into())),
             ("digest".into(), Json::Str(self.digest.clone())),
             ("schedule".into(), schedule_to_json(&self.schedule)),
-        ])
-        .render()
+        ];
+        if let Some(metrics) = &self.metrics {
+            fields.push(("metrics".into(), metrics_to_json(metrics)));
+        }
+        Json::Obj(fields).render()
     }
 
     /// Decodes a repro file.
@@ -92,6 +102,10 @@ impl Repro {
             schedule: schedule_from_json(
                 doc.get("schedule").ok_or_else(|| bad("missing schedule"))?,
             )?,
+            metrics: match doc.get("metrics") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(metrics_from_json(v)?),
+            },
         })
     }
 
@@ -213,6 +227,52 @@ pub fn schedule_from_json(doc: &Json) -> Result<ChaosSchedule, ReproError> {
     })
 }
 
+/// Encodes run metrics as an array of per-round counter objects.
+pub fn metrics_to_json(metrics: &RunMetrics) -> Json {
+    Json::Arr(
+        metrics
+            .per_round()
+            .iter()
+            .map(|round| {
+                Json::Obj(vec![
+                    (
+                        "messages_correct".into(),
+                        Json::UInt(round.messages_correct),
+                    ),
+                    ("messages_faulty".into(), Json::UInt(round.messages_faulty)),
+                    ("bits_correct".into(), Json::UInt(round.bits_correct)),
+                    (
+                        "max_message_bits".into(),
+                        Json::UInt(round.max_message_bits),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Decodes a [`metrics_to_json`] array.
+///
+/// # Errors
+///
+/// Returns [`ReproError`] when the value is not an array of per-round
+/// counter objects.
+pub fn metrics_from_json(doc: &Json) -> Result<RunMetrics, ReproError> {
+    let rounds = doc
+        .as_array()
+        .ok_or_else(|| bad("metrics is not an array"))?;
+    let mut metrics = RunMetrics::new();
+    for round in rounds {
+        metrics.push_round(RoundMetrics {
+            messages_correct: field_u64(round, "messages_correct")?,
+            messages_faulty: field_u64(round, "messages_faulty")?,
+            bits_correct: field_u64(round, "bits_correct")?,
+            max_message_bits: field_u64(round, "max_message_bits")?,
+        });
+    }
+    Ok(metrics)
+}
+
 fn event_to_json(event: &FaultEvent) -> Json {
     match *event {
         FaultEvent::Drop {
@@ -276,6 +336,7 @@ mod tests {
             backend: BackendChoice::Both,
             digest: "missed-termination".into(),
             schedule: generate_schedule(seed, BudgetRegime::OverBudget),
+            metrics: None,
         }
     }
 
@@ -286,6 +347,30 @@ mod tests {
             let text = repro.to_json();
             assert_eq!(Repro::from_json(&text).unwrap(), repro, "{text}");
         }
+    }
+
+    #[test]
+    fn metrics_round_trip_and_stay_optional() {
+        let mut metrics = RunMetrics::new();
+        metrics.push_round(RoundMetrics {
+            messages_correct: 42,
+            messages_faulty: 6,
+            bits_correct: 1344,
+            max_message_bits: 64,
+        });
+        metrics.push_round(RoundMetrics::default());
+        let repro = Repro {
+            metrics: Some(metrics),
+            ..sample_repro(3)
+        };
+        let text = repro.to_json();
+        assert!(text.contains("\"messages_correct\": 42"), "{text}");
+        let reread = Repro::from_json(&text).unwrap();
+        assert_eq!(reread, repro);
+        assert_eq!(reread.metrics.as_ref().unwrap().rounds_executed(), 2);
+        // Files from builds that predate the field still parse.
+        let without = sample_repro(3).to_json();
+        assert_eq!(Repro::from_json(&without).unwrap().metrics, None);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use opr_adversary::AdversarySpec;
 use opr_core::fault_placement;
+use opr_obs::SharedSpanLog;
 use opr_transport::{BackendKind, FaultEvent, FaultPlan};
 use opr_types::{OriginalId, Regime, RenamingError, SystemConfig};
 use opr_workload::{DiagnosedRun, IdDistribution, RenamingRun};
@@ -149,7 +150,7 @@ impl ChaosSchedule {
     /// (invalid configuration, bad id set) — a generator or repro-file bug,
     /// never a legitimate chaos outcome.
     pub fn run_on(&self, backend: BackendKind) -> Result<DiagnosedRun, RenamingError> {
-        self.run_on_with_trace(backend, None)
+        self.run_with(backend, None, false, None)
     }
 
     /// [`ChaosSchedule::run_on`] with delivery tracing enabled: the
@@ -165,13 +166,33 @@ impl ChaosSchedule {
         backend: BackendKind,
         capacity: usize,
     ) -> Result<DiagnosedRun, RenamingError> {
-        self.run_on_with_trace(backend, Some(capacity))
+        self.run_with(backend, Some(capacity), false, None)
     }
 
-    fn run_on_with_trace(
+    /// [`ChaosSchedule::run_on`] with the protocol event recorder attached:
+    /// the diagnosis comes back with [`DiagnosedRun::events`] populated.
+    /// When `spans` is given, the substrate additionally records per-round
+    /// wall timings into it (the non-deterministic layer — the event stream
+    /// itself stays bit-identical to an unobserved run). This is the entry
+    /// point `chaos explain` replays repro files through.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ChaosSchedule::run_on`].
+    pub fn run_observed(
+        &self,
+        backend: BackendKind,
+        spans: Option<SharedSpanLog>,
+    ) -> Result<DiagnosedRun, RenamingError> {
+        self.run_with(backend, None, true, spans)
+    }
+
+    fn run_with(
         &self,
         backend: BackendKind,
         trace_capacity: Option<usize>,
+        record_events: bool,
+        spans: Option<SharedSpanLog>,
     ) -> Result<DiagnosedRun, RenamingError> {
         let cfg = self.cfg()?;
         let mut run = RenamingRun::builder(cfg, self.regime)
@@ -186,6 +207,12 @@ impl ChaosSchedule {
         }
         if let Some(capacity) = trace_capacity {
             run = run.trace(capacity);
+        }
+        if record_events {
+            run = run.record_events();
+        }
+        if let Some(log) = spans {
+            run = run.spans(log);
         }
         run.run_diagnosed()
     }
@@ -258,6 +285,23 @@ mod tests {
         assert_eq!(sim.full_outcome, thr.full_outcome);
         assert_eq!(sim.rounds, thr.rounds);
         assert_eq!(sim.malformed, thr.malformed);
+    }
+
+    #[test]
+    fn observed_runs_match_unobserved_runs_and_each_other() {
+        let s = base();
+        let plain = s.run_on(BackendKind::Sim).unwrap();
+        let sim = s.run_observed(BackendKind::Sim, None).unwrap();
+        let thr = s.run_observed(BackendKind::Threaded, None).unwrap();
+        // Attaching the recorder perturbs nothing deterministic…
+        assert_eq!(plain.full_outcome, sim.full_outcome);
+        assert_eq!(plain.rounds, sim.rounds);
+        assert_eq!(plain.metrics, sim.metrics);
+        // …and the event stream itself is backend-invariant.
+        let sim_events = sim.events.expect("recorder attached");
+        let thr_events = thr.events.expect("recorder attached");
+        assert!(!sim_events.is_empty());
+        assert_eq!(sim_events, thr_events);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Phase-king consensus over a vector of binary instances.
 
+use opr_obs::{record_if, ProtocolEvent, SharedRecorder};
 use opr_sim::{Actor, Inbox, Outbox, WireSize, COUNT_BITS, TAG_BITS};
 use opr_types::Round;
 use std::collections::{BTreeMap, BTreeSet};
@@ -50,6 +51,7 @@ pub struct VectorPhaseKing<V> {
     /// Majority-count per key from the last universal exchange.
     counts: BTreeMap<V, usize>,
     decided: Option<BTreeSet<V>>,
+    recorder: Option<SharedRecorder>,
 }
 
 impl<V: Ord + Clone + Debug> VectorPhaseKing<V> {
@@ -83,7 +85,15 @@ impl<V: Ord + Clone + Debug> VectorPhaseKing<V> {
             prefs: initial_true.into_iter().map(|v| (v, true)).collect(),
             counts: BTreeMap::new(),
             decided: None,
+            recorder: None,
         }
+    }
+
+    /// Attaches a telemetry recorder emitting one
+    /// [`ProtocolEvent::KingRound`] per king round with the king's link,
+    /// whether it spoke, and how many instances adopted its bit.
+    pub fn attach_recorder(&mut self, recorder: SharedRecorder) {
+        self.recorder = Some(recorder);
     }
 
     /// Total rounds until decision: `2(t + 1)`.
@@ -157,13 +167,22 @@ impl<V: Ord + Clone + Debug> VectorPhaseKing<V> {
                     _ => None,
                 });
             let keys: Vec<V> = self.prefs.keys().cloned().collect();
+            let mut adopted = 0usize;
             for v in keys {
                 let supported = self.counts.get(&v).copied().unwrap_or(0) >= threshold;
                 if !supported {
                     let king_bit = king_map.and_then(|m| m.get(&v).copied()).unwrap_or(false);
                     self.prefs.insert(v, king_bit);
+                    adopted += 1;
                 }
             }
+            record_if(self.recorder.as_ref(), || ProtocolEvent::KingRound {
+                step: round.number(),
+                phase: Self::phase_of(round) as u32,
+                king: king_link,
+                king_heard: king_map.is_some(),
+                adopted,
+            });
             // Also adopt king-only keys (instances we have never heard of).
             if let Some(m) = king_map {
                 for (v, &b) in m {
@@ -415,6 +434,48 @@ mod tests {
         assert_eq!(first, BTreeSet::from([K(1), K(2)]));
         for i in 1..n {
             assert_eq!(net.output_of(i).unwrap(), first);
+        }
+    }
+
+    #[test]
+    fn recorder_captures_king_rounds() {
+        let n = 6;
+        let t = 1;
+        let topo = Topology::seeded(n, 5);
+        let recorder = opr_obs::shared_recorder();
+        let mut actors: Vec<Box<dyn Actor<Msg = Msg, Output = Out>>> = Vec::new();
+        for i in 0..n {
+            let mut p = binary(n, t, i, king_links_for(&topo, i), true);
+            if i == 0 {
+                p.attach_recorder(recorder.clone());
+            }
+            actors.push(Box::new(p));
+        }
+        let mut net = Network::new(actors, topo);
+        assert!(
+            net.run(VectorPhaseKing::<Unit>::total_rounds(n, t))
+                .completed
+        );
+        let events = recorder.lock().unwrap().clone().into_events();
+        // One KingRound per phase (t + 1 phases), each king heard, and with
+        // unanimous inputs no instance ever needs the king's bit.
+        assert_eq!(events.len(), t + 1);
+        for (i, e) in events.iter().enumerate() {
+            match e {
+                ProtocolEvent::KingRound {
+                    step,
+                    phase,
+                    king_heard,
+                    adopted,
+                    ..
+                } => {
+                    assert_eq!(*phase, i as u32 + 1);
+                    assert_eq!(*step, 2 * (i as u32 + 1));
+                    assert!(*king_heard);
+                    assert_eq!(*adopted, 0);
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
         }
     }
 

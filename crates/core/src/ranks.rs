@@ -2,6 +2,7 @@
 //! approximation (Algorithm 3).
 
 use opr_aa::{reduce, OrderedMultiset};
+use opr_obs::ValidityViolation;
 use opr_types::{OriginalId, Rank};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -102,19 +103,36 @@ impl RankVector {
     /// correct votes are never rejected over floating-point dust
     /// (Lemma IV.4 must hold in the implementation, not only on paper).
     pub fn is_valid(&self, timely: &BTreeSet<OriginalId>, spacing: f64) -> bool {
-        let mut prev: Option<Rank> = None;
+        self.check_valid(timely, spacing).is_ok()
+    }
+
+    /// [`is_valid`](RankVector::is_valid), reporting *which* constraint a
+    /// rejected vector violated (the first one encountered in id order) —
+    /// the telemetry layer attaches this to `vote-rejected` events.
+    pub fn check_valid(
+        &self,
+        timely: &BTreeSet<OriginalId>,
+        spacing: f64,
+    ) -> Result<(), ValidityViolation> {
+        let mut prev: Option<(OriginalId, Rank)> = None;
         for &id in timely {
             let Some(rank) = self.get(id) else {
-                return false;
+                return Err(ValidityViolation::MissingTimelyId { id });
             };
-            if let Some(p) = prev {
-                if !p.spaced_at_least(rank, spacing) {
-                    return false;
+            if let Some((prev_id, prev_rank)) = prev {
+                if !prev_rank.spaced_at_least(rank, spacing) {
+                    return Err(ValidityViolation::InsufficientSpacing {
+                        prev: prev_id,
+                        prev_rank,
+                        id,
+                        rank,
+                        spacing,
+                    });
                 }
             }
-            prev = Some(rank);
+            prev = Some((id, rank));
         }
-        true
+        Ok(())
     }
 
     /// The largest rank tracked, if any.
@@ -150,19 +168,37 @@ pub fn approximate(
     n: usize,
     t: usize,
 ) -> (RankVector, BTreeSet<OriginalId>) {
+    approximate_observed(my_ranks, accepted, valid_votes, n, t, |_, _, _| {})
+}
+
+/// [`approximate`], reporting each id's fate to `observe`: the number of
+/// valid votes that ranked it, and `Some(rank)` with the trimmed mean if it
+/// survived the `N − t` vote threshold, `None` if it was discarded.
+pub fn approximate_observed(
+    my_ranks: &RankVector,
+    accepted: &BTreeSet<OriginalId>,
+    valid_votes: &[RankVector],
+    n: usize,
+    t: usize,
+    mut observe: impl FnMut(OriginalId, usize, Option<Rank>),
+) -> (RankVector, BTreeSet<OriginalId>) {
     let mut new_ranks = RankVector::new();
     let mut new_accepted = BTreeSet::new();
     for &id in accepted {
         let mut votes: OrderedMultiset<Rank> =
             valid_votes.iter().filter_map(|r| r.get(id)).collect();
         if votes.len() < n - t {
+            observe(id, votes.len(), None);
             continue; // discard this id (Algorithm 3, line 08)
         }
+        let raw_votes = votes.len();
         let own = my_ranks
             .get(id)
             .expect("correct process must rank every accepted id");
         votes.fill_to(n, own);
-        new_ranks.insert(id, reduce(&votes, t));
+        let rank = reduce(&votes, t);
+        observe(id, raw_votes, Some(rank));
+        new_ranks.insert(id, rank);
         new_accepted.insert(id);
     }
     (new_ranks, new_accepted)
@@ -221,6 +257,55 @@ mod tests {
         // And accepts exact spacing.
         let ok = vector(&[(1, 1.0), (2, 2.0)]);
         assert!(ok.is_valid(&ids(&[1, 2]), 1.0));
+    }
+
+    #[test]
+    fn check_valid_names_the_violated_constraint() {
+        let ranks = vector(&[(1, 1.0), (3, 2.5)]);
+        assert_eq!(
+            ranks.check_valid(&ids(&[1, 2, 3]), 1.0),
+            Err(ValidityViolation::MissingTimelyId {
+                id: OriginalId::new(2)
+            })
+        );
+        let tight = vector(&[(1, 1.0), (2, 1.5)]);
+        match tight.check_valid(&ids(&[1, 2]), 1.0) {
+            Err(ValidityViolation::InsufficientSpacing {
+                prev,
+                prev_rank,
+                id,
+                rank,
+                spacing,
+            }) => {
+                assert_eq!(prev, OriginalId::new(1));
+                assert_eq!(prev_rank, Rank::new(1.0));
+                assert_eq!(id, OriginalId::new(2));
+                assert_eq!(rank, Rank::new(1.5));
+                assert_eq!(spacing, 1.0);
+            }
+            other => panic!("expected spacing violation, got {other:?}"),
+        }
+        assert_eq!(tight.check_valid(&ids(&[1]), 1.0), Ok(()));
+    }
+
+    #[test]
+    fn approximate_observed_reports_vote_counts_and_fates() {
+        let (n, t) = (4usize, 1usize);
+        let accepted = ids(&[1, 2]);
+        let mine = vector(&[(1, 1.0), (2, 2.0)]);
+        let votes = vec![
+            vector(&[(1, 1.0), (2, 2.0)]),
+            vector(&[(1, 1.1), (2, 2.1)]),
+            vector(&[(1, 0.9)]),
+            vector(&[(1, 1.0)]),
+        ];
+        let mut seen = Vec::new();
+        let (_, new_accepted) =
+            approximate_observed(&mine, &accepted, &votes, n, t, |id, count, rank| {
+                seen.push((id.raw(), count, rank.is_some()));
+            });
+        assert_eq!(seen, vec![(1, 4, true), (2, 2, false)]);
+        assert_eq!(new_accepted.len(), 1);
     }
 
     #[test]

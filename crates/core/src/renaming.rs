@@ -2,11 +2,83 @@
 
 use crate::messages::Alg1Msg;
 use crate::probe::{SharedProcessProbe, VotingSnapshot};
-use crate::ranks::{approximate, RankVector};
-use opr_rbcast::EchoReadyFlood;
+use crate::ranks::{approximate_observed, RankVector};
+use opr_obs::{record_if, ProtocolEvent, SharedRecorder, ValidityViolation};
+use opr_rbcast::{EchoReadyFlood, FloodObserver};
 use opr_sim::{Actor, Inbox, Outbox};
-use opr_types::{NewName, OriginalId, Regime, Round, SystemConfig};
+use opr_types::{LinkId, NewName, OriginalId, Regime, Round, SystemConfig};
 use std::collections::BTreeSet;
+
+/// Maps flood threshold decisions onto recorder events (ids only — the
+/// flood itself is value-generic and knows nothing about telemetry).
+struct RecorderFloodObserver<'a> {
+    recorder: Option<&'a SharedRecorder>,
+}
+
+impl FloodObserver<OriginalId> for RecorderFloodObserver<'_> {
+    fn id_seen(&mut self, step: u32, link: LinkId, value: &OriginalId) {
+        let id = *value;
+        record_if(self.recorder, || ProtocolEvent::IdSeen { step, link, id });
+    }
+
+    fn echo_threshold(
+        &mut self,
+        step: u32,
+        value: &OriginalId,
+        echoes: usize,
+        quorum: usize,
+        kept: bool,
+    ) {
+        let id = *value;
+        record_if(self.recorder, || ProtocolEvent::EchoThreshold {
+            step,
+            id,
+            echoes,
+            quorum,
+            kept,
+        });
+    }
+
+    fn ready_threshold(
+        &mut self,
+        step: u32,
+        value: &OriginalId,
+        readies: usize,
+        quorum: usize,
+        weak_quorum: usize,
+        timely: bool,
+        relayed: bool,
+    ) {
+        let id = *value;
+        record_if(self.recorder, || ProtocolEvent::ReadyThreshold {
+            step,
+            id,
+            readies,
+            quorum,
+            weak_quorum,
+            timely,
+            relayed,
+        });
+    }
+
+    fn accept_threshold(
+        &mut self,
+        step: u32,
+        value: &OriginalId,
+        readies: usize,
+        quorum: usize,
+        accepted: bool,
+    ) {
+        let id = *value;
+        record_if(self.recorder, || ProtocolEvent::AcceptThreshold {
+            step,
+            id,
+            readies,
+            quorum,
+            accepted,
+        });
+    }
+}
 
 /// A correct process running Algorithm 1.
 ///
@@ -32,6 +104,7 @@ pub struct OrderPreservingRenaming {
     ranks: RankVector,
     decided: Option<NewName>,
     probe: Option<SharedProcessProbe>,
+    recorder: Option<SharedRecorder>,
 }
 
 /// Experimental knobs on Algorithm 1.
@@ -163,12 +236,20 @@ impl OrderPreservingRenaming {
             ranks: RankVector::new(),
             decided: None,
             probe: None,
+            recorder: None,
         }
     }
 
     /// Attaches a probe sink recording per-step snapshots.
     pub fn attach_probe(&mut self, probe: SharedProcessProbe) {
         self.probe = Some(probe);
+    }
+
+    /// Attaches a telemetry recorder capturing every decision point (see
+    /// [`opr_obs::ProtocolEvent`]). Unattached processes pay one branch per
+    /// decision and zero allocations.
+    pub fn attach_recorder(&mut self, recorder: SharedRecorder) {
+        self.recorder = Some(recorder);
     }
 
     /// The process's original id.
@@ -205,6 +286,10 @@ impl Actor for OrderPreservingRenaming {
                 None => Outbox::Silent,
             }
         } else if r <= self.total_steps {
+            record_if(self.recorder.as_ref(), || ProtocolEvent::VoteVectorSent {
+                step: r,
+                ids: self.ranks.iter().map(|(id, _)| id).collect(),
+            });
             Outbox::Broadcast(Alg1Msg::Votes(self.ranks.to_wire()))
         } else {
             Outbox::Silent
@@ -218,12 +303,16 @@ impl Actor for OrderPreservingRenaming {
             // else (a Byzantine process may send Votes early; they are
             // meaningless before step 5). The flood borrows straight out of
             // the shared broadcast payloads — no per-receiver rebuild.
-            self.flood.deliver(
+            let mut observer = RecorderFloodObserver {
+                recorder: self.recorder.as_ref(),
+            };
+            self.flood.deliver_observed(
                 r,
                 inbox.messages().filter_map(|(link, msg)| match msg {
                     Alg1Msg::Flood(f) => Some((link, f)),
                     Alg1Msg::Votes(_) => None,
                 }),
+                &mut observer,
             );
             if r == 4 {
                 let result = self
@@ -241,16 +330,33 @@ impl Actor for OrderPreservingRenaming {
             let spacing = self.delta;
             let mut valid_votes: Vec<RankVector> = Vec::new();
             let mut rejected = 0u64;
-            for (_, msg) in inbox.messages() {
+            for (link, msg) in inbox.messages() {
                 if let Alg1Msg::Votes(wire) = msg {
-                    match RankVector::from_wire(wire) {
-                        Some(rv)
-                            if self.tweaks.disable_validation
-                                || rv.is_valid(&self.timely, spacing) =>
-                        {
-                            valid_votes.push(rv)
+                    let verdict = match RankVector::from_wire(wire) {
+                        Some(rv) if self.tweaks.disable_validation => Ok(rv),
+                        Some(rv) => rv
+                            .check_valid(&self.timely, spacing)
+                            .map(|()| rv)
+                            .map_err(Some),
+                        None => Err(None),
+                    };
+                    match verdict {
+                        Ok(rv) => {
+                            record_if(self.recorder.as_ref(), || ProtocolEvent::VoteAccepted {
+                                step: r,
+                                link,
+                                entries: rv.len(),
+                            });
+                            valid_votes.push(rv);
                         }
-                        _ => rejected += 1,
+                        Err(violation) => {
+                            record_if(self.recorder.as_ref(), || ProtocolEvent::VoteRejected {
+                                step: r,
+                                link,
+                                violation: violation.unwrap_or(ValidityViolation::MalformedVector),
+                            });
+                            rejected += 1;
+                        }
                     }
                 }
             }
@@ -264,12 +370,28 @@ impl Actor for OrderPreservingRenaming {
                 && self.decided.is_none()
                 && valid_votes.len() >= self.cfg.quorum()
                 && valid_votes.iter().all(|v| *v == self.ranks);
-            let (new_ranks, new_accepted) = approximate(
+            let recorder = self.recorder.as_ref();
+            let needed = self.cfg.quorum();
+            let (new_ranks, new_accepted) = approximate_observed(
                 &self.ranks,
                 &self.accepted,
                 &valid_votes,
                 self.cfg.n(),
                 self.cfg.t(),
+                |id, votes, rank| match rank {
+                    Some(rank) => record_if(recorder, || ProtocolEvent::TrimmedMean {
+                        step: r,
+                        id,
+                        votes,
+                        rank,
+                    }),
+                    None => record_if(recorder, || ProtocolEvent::IdDropped {
+                        step: r,
+                        id,
+                        votes,
+                        needed,
+                    }),
+                },
             );
             self.ranks = new_ranks;
             self.accepted = new_accepted;
@@ -280,7 +402,11 @@ impl Actor for OrderPreservingRenaming {
                 // it can be lost, which surfaces as a termination failure.
                 if self.decided.is_none() {
                     self.decided = self.ranks.get(self.my_id).map(|rank| rank.round_to_name());
-                    if self.decided.is_some() {
+                    if let Some(name) = self.decided {
+                        record_if(self.recorder.as_ref(), || ProtocolEvent::Decided {
+                            step: r,
+                            name,
+                        });
                         if let Some(probe) = &self.probe {
                             probe.lock().unwrap().decided_at_step = Some(r);
                         }
@@ -387,6 +513,55 @@ mod tests {
         assert_eq!(probe.lock().unwrap().snapshots.len(), 4);
         assert_eq!(probe.lock().unwrap().snapshots[0].step, 4);
         assert_eq!(probe.lock().unwrap().rejected_votes, 0);
+    }
+
+    #[test]
+    fn recorder_captures_the_decision_waterfall() {
+        let cfg = SystemConfig::new(4, 1).unwrap();
+        let recorder = opr_obs::shared_recorder();
+        let mut p = OrderPreservingRenaming::new(cfg, Regime::LogTime, OriginalId::new(5)).unwrap();
+        p.attach_recorder(recorder.clone());
+        let mut actors: Vec<Box<dyn Actor<Msg = Alg1Msg, Output = NewName>>> = vec![Box::new(p)];
+        for id in [6u64, 7, 8] {
+            actors.push(Box::new(
+                OrderPreservingRenaming::new(cfg, Regime::LogTime, OriginalId::new(id)).unwrap(),
+            ));
+        }
+        let mut net = Network::new(actors, Topology::seeded(4, 9));
+        assert!(net.run(7).completed);
+        let events = recorder.lock().unwrap().clone().into_events();
+        let kinds: BTreeSet<&str> = events.iter().map(|e| e.kind()).collect();
+        // Flood decisions, vote validation, per-id means and the decision
+        // all show up; a fault-free run rejects and drops nothing.
+        for expected in [
+            "id-seen",
+            "echo-threshold",
+            "ready-threshold",
+            "accept-threshold",
+            "vote-vector",
+            "vote-accepted",
+            "trimmed-mean",
+            "decided",
+        ] {
+            assert!(kinds.contains(expected), "missing {expected}: {kinds:?}");
+        }
+        assert!(!kinds.contains("vote-rejected"));
+        assert!(!kinds.contains("id-dropped"));
+        // 4 announcements seen, one Decided event at the final step.
+        assert_eq!(events.iter().filter(|e| e.kind() == "id-seen").count(), 4);
+        let decided: Vec<_> = events.iter().filter(|e| e.kind() == "decided").collect();
+        assert_eq!(decided.len(), 1);
+        assert_eq!(decided[0].step(), 7);
+        // Threshold events carry the real quorum arithmetic: N−t = 3.
+        assert!(events.iter().any(|e| matches!(
+            e,
+            opr_obs::ProtocolEvent::EchoThreshold {
+                echoes: 4,
+                quorum: 3,
+                kept: true,
+                ..
+            }
+        )));
     }
 
     #[test]

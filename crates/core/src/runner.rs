@@ -6,10 +6,14 @@
 //! the outcome plus metrics and invariant probes.
 
 use crate::messages::{Alg1Msg, TwoStepMsg};
-use crate::probe::{shared_probe, shared_two_step_probe, Alg1Probe, TwoStepProbe};
+use crate::probe::{
+    shared_probe, shared_two_step_probe, Alg1Probe, SharedProcessProbe, SharedTwoStepProbe,
+    TwoStepProbe,
+};
 use crate::renaming::OrderPreservingRenaming;
 use crate::two_step::TwoStepRenaming;
-use opr_sim::{Actor, Inbox, Outbox, RunMetrics, Topology, Trace, WireSize};
+use opr_obs::{shared_recorder, ProcessLog, RunLog, SharedRecorder, SharedSpanLog};
+use opr_sim::{Actor, Inbox, Outbox, RunMetrics, Topology, Trace, TraceMode, WireSize};
 use opr_transport::{BackendKind, FaultPlan, Job};
 use opr_types::{
     MalformedSend, NewName, OriginalId, Regime, RenamingError, RenamingOutcome, Round, SystemConfig,
@@ -101,6 +105,14 @@ pub struct Alg1Options {
     /// When `Some(capacity)`, record up to `capacity` delivery events and
     /// return them in [`ObservedRun::trace`].
     pub trace_capacity: Option<usize>,
+    /// What a full trace buffer sacrifices (oldest vs. newest events).
+    pub trace_mode: TraceMode,
+    /// When `true`, attach a protocol-event recorder to every correct actor
+    /// and return the deterministic streams in [`ObservedRun::events`].
+    pub record_events: bool,
+    /// When attached, the substrate records per-round wall-clock spans here
+    /// (observability only — never part of the deterministic stream).
+    pub spans: Option<SharedSpanLog>,
 }
 
 /// Options for [`run_two_step_with`].
@@ -124,6 +136,14 @@ pub struct TwoStepOptions {
     /// When `Some(capacity)`, record up to `capacity` delivery events and
     /// return them in [`ObservedRun::trace`].
     pub trace_capacity: Option<usize>,
+    /// What a full trace buffer sacrifices (oldest vs. newest events).
+    pub trace_mode: TraceMode,
+    /// When `true`, attach a protocol-event recorder to every correct actor
+    /// and return the deterministic streams in [`ObservedRun::events`].
+    pub record_events: bool,
+    /// When attached, the substrate records per-round wall-clock spans here
+    /// (observability only — never part of the deterministic stream).
+    pub spans: Option<SharedSpanLog>,
 }
 
 impl Default for TwoStepOptions {
@@ -136,6 +156,9 @@ impl Default for TwoStepOptions {
             allow_fault_overrun: false,
             payload_cap: None,
             trace_capacity: None,
+            trace_mode: TraceMode::KeepFirst,
+            record_events: false,
+            spans: None,
         }
     }
 }
@@ -177,6 +200,10 @@ pub struct ObservedRun<P> {
     pub faulty_mask: Vec<bool>,
     /// Delivery events, present iff a `trace_capacity` was requested.
     pub trace: Option<Trace>,
+    /// Per-process protocol event streams, present iff event recording was
+    /// requested. Deterministic: bit-identical across backends and job
+    /// counts for the same schedule.
+    pub events: Option<RunLog>,
     /// Aggregated invariant probes.
     pub probe: P,
 }
@@ -310,6 +337,8 @@ struct RunKnobs {
     allow_fault_overrun: bool,
     payload_cap: Option<u64>,
     trace_capacity: Option<usize>,
+    trace_mode: TraceMode,
+    spans: Option<SharedSpanLog>,
 }
 
 fn generic_run<M, F, C, P>(
@@ -319,7 +348,7 @@ fn generic_run<M, F, C, P>(
     knobs: RunKnobs,
     mut make_adversary: F,
     mut make_correct: C,
-    collect_probe: impl FnOnce() -> P,
+    collectors: (impl FnOnce() -> P, impl FnOnce() -> Option<RunLog>),
 ) -> Result<ObservedRun<P>, RenamingError>
 where
     M: Clone + Debug + WireSize + Send + Sync + 'static,
@@ -334,6 +363,8 @@ where
         allow_fault_overrun,
         payload_cap,
         trace_capacity,
+        trace_mode,
+        spans,
     } = knobs;
     validate(cfg, correct_ids, faulty_count, allow_fault_overrun)?;
     let n = cfg.n();
@@ -381,7 +412,10 @@ where
         job = job.payload_cap(cap);
     }
     if let Some(capacity) = trace_capacity {
-        job = job.trace(capacity);
+        job = job.trace(capacity).trace_mode(trace_mode);
+    }
+    if let Some(log) = spans {
+        job = job.spans(log);
     }
     let report = backend.execute(job);
     let outcome = RenamingOutcome::new(
@@ -398,8 +432,31 @@ where
         malformed: report.malformed,
         faulty_mask,
         trace: report.trace,
-        probe: collect_probe(),
+        events: (collectors.1)(),
+        probe: (collectors.0)(),
     })
+}
+
+/// Builds the `make_correct`-side recorder plumbing for an observed run:
+/// a store the actor factory pushes `(id, recorder)` pairs into, and the
+/// closure turning them into a [`RunLog`] after the run (or `None` when
+/// recording is off — disabled runs never construct recorders).
+fn event_collector(
+    recorders: &std::cell::RefCell<Vec<(OriginalId, SharedRecorder)>>,
+    record_events: bool,
+) -> impl FnOnce() -> Option<RunLog> + '_ {
+    move || {
+        record_events.then(|| RunLog {
+            processes: recorders
+                .borrow()
+                .iter()
+                .map(|(id, rec)| ProcessLog {
+                    id: *id,
+                    events: rec.lock().unwrap().events().to_vec(),
+                })
+                .collect(),
+        })
+    }
 }
 
 /// Runs Algorithm 1 (`regime` selects the log-time or constant-time voting
@@ -457,6 +514,7 @@ where
         + opts.tweaks.extra_voting_steps;
     let total_steps = 4 + voting;
     let probes = std::cell::RefCell::new(Vec::new());
+    let recorders = std::cell::RefCell::new(Vec::new());
     generic_run(
         cfg,
         correct_ids,
@@ -469,6 +527,8 @@ where
             allow_fault_overrun: opts.allow_fault_overrun,
             payload_cap: opts.payload_cap,
             trace_capacity: opts.trace_capacity,
+            trace_mode: opts.trace_mode,
+            spans: opts.spans.clone(),
         },
         adversary,
         |id| {
@@ -476,15 +536,23 @@ where
             let sink = shared_probe();
             actor.attach_probe(sink.clone());
             probes.borrow_mut().push(sink);
+            if opts.record_events {
+                let rec = shared_recorder();
+                actor.attach_recorder(rec.clone());
+                recorders.borrow_mut().push((id, rec));
+            }
             Box::new(actor)
         },
-        || Alg1Probe {
-            processes: probes
-                .borrow()
-                .iter()
-                .map(|p| p.lock().unwrap().clone())
-                .collect(),
-        },
+        (
+            || Alg1Probe {
+                processes: probes
+                    .borrow()
+                    .iter()
+                    .map(|p: &SharedProcessProbe| p.lock().unwrap().clone())
+                    .collect(),
+            },
+            event_collector(&recorders, opts.record_events),
+        ),
     )
 }
 
@@ -584,6 +652,7 @@ where
 {
     cfg.require(Regime::TwoStep)?;
     let probes = std::cell::RefCell::new(Vec::new());
+    let recorders = std::cell::RefCell::new(Vec::new());
     generic_run(
         cfg,
         correct_ids,
@@ -596,6 +665,8 @@ where
             allow_fault_overrun: opts.allow_fault_overrun,
             payload_cap: opts.payload_cap,
             trace_capacity: opts.trace_capacity,
+            trace_mode: opts.trace_mode,
+            spans: opts.spans.clone(),
         },
         adversary,
         |id| {
@@ -604,15 +675,23 @@ where
             let sink = shared_two_step_probe();
             actor.attach_probe(sink.clone());
             probes.borrow_mut().push(sink);
+            if opts.record_events {
+                let rec = shared_recorder();
+                actor.attach_recorder(rec.clone());
+                recorders.borrow_mut().push((id, rec));
+            }
             Box::new(actor)
         },
-        || TwoStepProbe {
-            processes: probes
-                .borrow()
-                .iter()
-                .map(|p| p.lock().unwrap().clone())
-                .collect(),
-        },
+        (
+            || TwoStepProbe {
+                processes: probes
+                    .borrow()
+                    .iter()
+                    .map(|p: &SharedTwoStepProbe| p.lock().unwrap().clone())
+                    .collect(),
+            },
+            event_collector(&recorders, opts.record_events),
+        ),
     )
 }
 
@@ -786,6 +865,59 @@ mod tests {
         // 3 silent faulty out of N=7 exceeds t=2; whatever happened, the
         // run must report rather than panic or error.
         assert_eq!(observed.faulty_mask.iter().filter(|&&f| f).count(), 3);
+    }
+
+    #[test]
+    fn recorded_events_and_spans_are_returned_when_requested() {
+        let cfg = SystemConfig::new(7, 2).unwrap();
+        let spans = opr_obs::shared_span_log();
+        let observed = run_alg1_observed(
+            cfg,
+            Regime::LogTime,
+            &ids(&[100, 2, 57, 31, 9]),
+            2,
+            |_| None,
+            Alg1Options {
+                seed: 1,
+                record_events: true,
+                spans: Some(spans.clone()),
+                ..Alg1Options::default()
+            },
+        )
+        .unwrap();
+        let events = observed.events.expect("recording was requested");
+        assert_eq!(events.processes.len(), 5);
+        assert!(!events.is_empty());
+        // Process order follows the caller's correct-id order.
+        let ids_seen: Vec<u64> = events.processes.iter().map(|p| p.id.raw()).collect();
+        assert_eq!(ids_seen, vec![100, 2, 57, 31, 9]);
+        // Every correct process reached a decision event.
+        for p in &events.processes {
+            assert!(p
+                .events
+                .iter()
+                .any(|e| matches!(e, opr_obs::ProtocolEvent::Decided { .. })));
+        }
+        // One wall span per executed round.
+        assert_eq!(
+            spans.lock().unwrap().spans().len(),
+            observed.rounds as usize
+        );
+    }
+
+    #[test]
+    fn disabled_recording_returns_no_events() {
+        let cfg = SystemConfig::new(7, 2).unwrap();
+        let observed = run_alg1_observed(
+            cfg,
+            Regime::LogTime,
+            &ids(&[1, 2, 3, 4, 5]),
+            2,
+            |_| None,
+            Alg1Options::default(),
+        )
+        .unwrap();
+        assert!(observed.events.is_none());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::messages::TwoStepMsg;
 use crate::probe::SharedTwoStepProbe;
+use opr_obs::{record_if, ProtocolEvent, SharedRecorder};
 use opr_sim::{Actor, Inbox, Outbox};
 use opr_types::{LinkId, NewName, OriginalId, Regime, Round, SystemConfig};
 use std::collections::{BTreeMap, BTreeSet};
@@ -28,6 +29,7 @@ pub struct TwoStepRenaming {
     timely: BTreeSet<OriginalId>,
     decided: Option<NewName>,
     probe: Option<SharedTwoStepProbe>,
+    recorder: Option<SharedRecorder>,
 }
 
 impl TwoStepRenaming {
@@ -66,12 +68,20 @@ impl TwoStepRenaming {
             timely: BTreeSet::new(),
             decided: None,
             probe: None,
+            recorder: None,
         })
     }
 
     /// Attaches a probe sink recording the final name table.
     pub fn attach_probe(&mut self, probe: SharedTwoStepProbe) {
         self.probe = Some(probe);
+    }
+
+    /// Attaches a telemetry recorder capturing id announcements, echo
+    /// validation verdicts and the name-offset table (see
+    /// [`opr_obs::ProtocolEvent`]).
+    pub fn attach_recorder(&mut self, recorder: SharedRecorder) {
+        self.recorder = Some(recorder);
     }
 
     /// The process's original id.
@@ -104,6 +114,11 @@ impl Actor for TwoStepRenaming {
             1 => {
                 for (link, msg) in inbox.messages() {
                     if let TwoStepMsg::Id(id) = msg {
+                        record_if(self.recorder.as_ref(), || ProtocolEvent::IdSeen {
+                            step: 1,
+                            link,
+                            id: *id,
+                        });
                         self.link_id.insert(link, *id);
                         self.timely.insert(*id);
                     }
@@ -115,7 +130,14 @@ impl Actor for TwoStepRenaming {
                 let mut rejected = 0u64;
                 for (link, msg) in inbox.messages() {
                     if let TwoStepMsg::MultiEcho(ids) = msg {
-                        if self.echo_is_valid(link, ids) {
+                        let valid = self.echo_is_valid(link, ids);
+                        record_if(self.recorder.as_ref(), || ProtocolEvent::EchoCounted {
+                            step: 2,
+                            link,
+                            ids: ids.len(),
+                            valid,
+                        });
+                        if valid {
                             for &id in ids {
                                 accepted.insert(id);
                                 *counter.entry(id).or_insert(0) += 1;
@@ -138,9 +160,22 @@ impl Actor for TwoStepRenaming {
                         raw as i64
                     };
                     accum += offset;
+                    record_if(self.recorder.as_ref(), || ProtocolEvent::NameOffset {
+                        step: 2,
+                        id,
+                        echoes: raw,
+                        clamped: offset as usize,
+                        name: NewName::new(accum),
+                    });
                     newid.insert(id, NewName::new(accum));
                 }
                 self.decided = newid.get(&self.my_id).copied();
+                if let Some(name) = self.decided {
+                    record_if(self.recorder.as_ref(), || ProtocolEvent::Decided {
+                        step: 2,
+                        name,
+                    });
+                }
                 if let Some(probe) = &self.probe {
                     let mut p = probe.lock().unwrap();
                     p.newid = newid;
@@ -230,6 +265,46 @@ mod tests {
         assert_eq!(p.newid.len(), 4);
         assert_eq!(p.timely.len(), 4);
         assert_eq!(p.rejected_echoes, 0);
+    }
+
+    #[test]
+    fn recorder_captures_echo_counts_and_name_table() {
+        let cfg = SystemConfig::new(4, 1).unwrap();
+        let recorder = opr_obs::shared_recorder();
+        let mut first = TwoStepRenaming::new(cfg, OriginalId::new(5)).unwrap();
+        first.attach_recorder(recorder.clone());
+        let mut actors: Vec<Box<dyn Actor<Msg = TwoStepMsg, Output = NewName>>> =
+            vec![Box::new(first)];
+        for id in [6u64, 7, 8] {
+            actors.push(Box::new(
+                TwoStepRenaming::new(cfg, OriginalId::new(id)).unwrap(),
+            ));
+        }
+        let mut net = Network::new(actors, Topology::seeded(4, 2));
+        assert!(net.run(2).completed);
+        let events = recorder.lock().unwrap().clone().into_events();
+        assert_eq!(events.iter().filter(|e| e.kind() == "id-seen").count(), 4);
+        // All 4 echoes validated, 4 name-table rows, one decision.
+        assert!(events.iter().all(|e| e.kind() != "echo-counted"
+            || matches!(e, ProtocolEvent::EchoCounted { valid: true, .. })));
+        assert_eq!(
+            events.iter().filter(|e| e.kind() == "echo-counted").count(),
+            4
+        );
+        assert_eq!(
+            events.iter().filter(|e| e.kind() == "name-offset").count(),
+            4
+        );
+        // Fault-free: every id echoed 4 times, clamped to N−t = 3.
+        assert!(events.iter().any(|e| matches!(
+            e,
+            ProtocolEvent::NameOffset {
+                echoes: 4,
+                clamped: 3,
+                ..
+            }
+        )));
+        assert_eq!(events.iter().filter(|e| e.kind() == "decided").count(), 1);
     }
 
     #[test]

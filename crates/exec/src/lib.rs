@@ -18,7 +18,9 @@
 //! are contained per task ([`TaskResult`]), never poisoning the pool or
 //! hanging the batch, and dropping the pool joins every worker.
 
+use opr_obs::SharedSpanLog;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -62,6 +64,11 @@ type BoxedJob = Box<dyn FnOnce() + Send>;
 pub struct RunPool {
     queue: Option<Sender<BoxedJob>>,
     workers: Vec<JoinHandle<()>>,
+    /// When attached, each batch records one wall-clock stage span. Wall
+    /// timings are observability only — they never affect results or their
+    /// order, so the determinism-equivalence contract is untouched.
+    spans: Option<SharedSpanLog>,
+    stage: AtomicUsize,
 }
 
 impl RunPool {
@@ -72,6 +79,8 @@ impl RunPool {
             return RunPool {
                 queue: None,
                 workers: Vec::new(),
+                spans: None,
+                stage: AtomicUsize::new(0),
             };
         }
         let (tx, rx) = channel::<BoxedJob>();
@@ -88,7 +97,17 @@ impl RunPool {
         RunPool {
             queue: Some(tx),
             workers,
+            spans: None,
+            stage: AtomicUsize::new(0),
         }
+    }
+
+    /// Attaches a wall-clock span log; every subsequent batch records one
+    /// `pool stage K (N tasks, J jobs)` span covering submission to the last
+    /// result.
+    pub fn with_spans(mut self, spans: SharedSpanLog) -> Self {
+        self.spans = Some(spans);
+        self
     }
 
     /// A serial pool (the degenerate single-worker case) — handy where a
@@ -106,6 +125,27 @@ impl RunPool {
     /// order**. A task that panics yields `Err(TaskPanic)` in its slot; the
     /// remaining tasks run to completion and the pool stays usable.
     pub fn run_batch<T, F>(&self, tasks: Vec<F>) -> Vec<TaskResult<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let stage_start = self.spans.as_ref().map(|log| {
+            let stage = self.stage.fetch_add(1, Ordering::Relaxed);
+            let name = format!(
+                "pool stage {stage} ({} tasks, {} jobs)",
+                tasks.len(),
+                self.jobs()
+            );
+            (log, name, std::time::Instant::now())
+        });
+        let results = self.run_batch_inner(tasks);
+        if let Some((log, name, start)) = stage_start {
+            log.lock().unwrap().record_since(name, start);
+        }
+        results
+    }
+
+    fn run_batch_inner<T, F>(&self, tasks: Vec<F>) -> Vec<TaskResult<T>>
     where
         F: FnOnce() -> T + Send + 'static,
         T: Send + 'static,
@@ -275,6 +315,18 @@ mod tests {
         // After drop returns, no worker is still running a task.
         assert_eq!(STARTED.load(Ordering::SeqCst), 8);
         assert_eq!(FINISHED.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn attached_spans_record_one_stage_per_batch() {
+        let spans = opr_obs::shared_span_log();
+        let pool = RunPool::new(2).with_spans(Arc::clone(&spans));
+        let _ = values(pool.run_batch((0..4u64).map(|i| move || i).collect::<Vec<_>>()));
+        let _ = values(pool.run_batch(vec![|| 1u64]));
+        let log = spans.lock().unwrap();
+        assert_eq!(log.spans().len(), 2);
+        assert_eq!(log.spans()[0].name, "pool stage 0 (4 tasks, 2 jobs)");
+        assert_eq!(log.spans()[1].name, "pool stage 1 (1 tasks, 2 jobs)");
     }
 
     #[test]

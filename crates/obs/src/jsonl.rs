@@ -1,0 +1,235 @@
+//! JSONL exporter: one compact JSON object per merged protocol event.
+//!
+//! Output is a pure function of the [`RunLog`], so two logs that compare
+//! equal render byte-identical JSONL — the cross-backend and cross-jobs
+//! equivalence gates compare these bytes directly. Rank values are rendered
+//! as fixed-precision *strings* (never raw float literals) so that the
+//! output stays parseable by strict integer-only JSON readers.
+
+use std::fmt::Write as _;
+
+use opr_types::Rank;
+
+use crate::event::{ProtocolEvent, ValidityViolation};
+use crate::log::RunLog;
+
+/// Renders a rank for export: fixed 9-decimal string, quoted.
+pub fn rank_field(rank: Rank) -> String {
+    format!("\"{:.9}\"", rank.value())
+}
+
+fn push_violation(out: &mut String, violation: &ValidityViolation) {
+    match violation {
+        ValidityViolation::MissingTimelyId { id } => {
+            let _ = write!(out, "{{\"kind\":\"missing-timely\",\"id\":{}}}", id.raw());
+        }
+        ValidityViolation::MalformedVector => {
+            out.push_str("{\"kind\":\"malformed-vector\"}");
+        }
+        ValidityViolation::InsufficientSpacing {
+            prev,
+            prev_rank,
+            id,
+            rank,
+            spacing,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"kind\":\"insufficient-spacing\",\"prev\":{},\"prev_rank\":{},\"id\":{},\"rank\":{},\"spacing\":\"{:.9}\"}}",
+                prev.raw(),
+                rank_field(*prev_rank),
+                id.raw(),
+                rank_field(*rank),
+                spacing
+            );
+        }
+    }
+}
+
+fn push_event_fields(out: &mut String, event: &ProtocolEvent) {
+    match event {
+        ProtocolEvent::IdSeen { link, id, .. } => {
+            let _ = write!(out, ",\"link\":{},\"id\":{}", link.label(), id.raw());
+        }
+        ProtocolEvent::EchoThreshold {
+            id,
+            echoes,
+            quorum,
+            kept,
+            ..
+        } => {
+            let _ = write!(
+                out,
+                ",\"id\":{},\"echoes\":{echoes},\"quorum\":{quorum},\"kept\":{kept}",
+                id.raw()
+            );
+        }
+        ProtocolEvent::ReadyThreshold {
+            id,
+            readies,
+            quorum,
+            weak_quorum,
+            timely,
+            relayed,
+            ..
+        } => {
+            let _ = write!(
+                out,
+                ",\"id\":{},\"readies\":{readies},\"quorum\":{quorum},\"weak_quorum\":{weak_quorum},\"timely\":{timely},\"relayed\":{relayed}",
+                id.raw()
+            );
+        }
+        ProtocolEvent::AcceptThreshold {
+            id,
+            readies,
+            quorum,
+            accepted,
+            ..
+        } => {
+            let _ = write!(
+                out,
+                ",\"id\":{},\"readies\":{readies},\"quorum\":{quorum},\"accepted\":{accepted}",
+                id.raw()
+            );
+        }
+        ProtocolEvent::VoteVectorSent { ids, .. } => {
+            out.push_str(",\"ids\":[");
+            for (i, id) in ids.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}", id.raw());
+            }
+            out.push(']');
+        }
+        ProtocolEvent::VoteAccepted { link, entries, .. } => {
+            let _ = write!(out, ",\"link\":{},\"entries\":{entries}", link.label());
+        }
+        ProtocolEvent::VoteRejected {
+            link, violation, ..
+        } => {
+            let _ = write!(out, ",\"link\":{},\"violation\":", link.label());
+            push_violation(out, violation);
+        }
+        ProtocolEvent::IdDropped {
+            id, votes, needed, ..
+        } => {
+            let _ = write!(
+                out,
+                ",\"id\":{},\"votes\":{votes},\"needed\":{needed}",
+                id.raw()
+            );
+        }
+        ProtocolEvent::TrimmedMean {
+            id, votes, rank, ..
+        } => {
+            let _ = write!(
+                out,
+                ",\"id\":{},\"votes\":{votes},\"rank\":{}",
+                id.raw(),
+                rank_field(*rank)
+            );
+        }
+        ProtocolEvent::EchoCounted {
+            link, ids, valid, ..
+        } => {
+            let _ = write!(
+                out,
+                ",\"link\":{},\"ids\":{ids},\"valid\":{valid}",
+                link.label()
+            );
+        }
+        ProtocolEvent::NameOffset {
+            id,
+            echoes,
+            clamped,
+            name,
+            ..
+        } => {
+            let _ = write!(
+                out,
+                ",\"id\":{},\"echoes\":{echoes},\"clamped\":{clamped},\"name\":{}",
+                id.raw(),
+                name.raw()
+            );
+        }
+        ProtocolEvent::KingRound {
+            phase,
+            king,
+            king_heard,
+            adopted,
+            ..
+        } => {
+            let _ = write!(
+                out,
+                ",\"phase\":{phase},\"king\":{},\"king_heard\":{king_heard},\"adopted\":{adopted}",
+                king.label()
+            );
+        }
+        ProtocolEvent::Decided { name, .. } => {
+            let _ = write!(out, ",\"name\":{}", name.raw());
+        }
+    }
+}
+
+/// Renders the merged event stream as JSONL: one object per line, ordered
+/// by (step, process, seq), trailing newline after every line.
+pub fn render_jsonl(log: &RunLog) -> String {
+    let mut out = String::new();
+    for m in log.merged() {
+        let _ = write!(
+            out,
+            "{{\"step\":{},\"process\":{},\"pid\":{},\"seq\":{},\"kind\":\"{}\"",
+            m.event.step(),
+            m.process,
+            m.id.raw(),
+            m.seq,
+            m.event.kind()
+        );
+        push_event_fields(&mut out, &m.event);
+        out.push_str("}\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::ProcessLog;
+    use opr_types::{LinkId, NewName, OriginalId};
+
+    #[test]
+    fn renders_one_object_per_line_with_stable_order() {
+        let log = RunLog {
+            processes: vec![ProcessLog {
+                id: OriginalId::new(5),
+                events: vec![
+                    ProtocolEvent::IdSeen {
+                        step: 1,
+                        link: LinkId::new(2),
+                        id: OriginalId::new(9),
+                    },
+                    ProtocolEvent::Decided {
+                        step: 4,
+                        name: NewName::new(2),
+                    },
+                ],
+            }],
+        };
+        let rendered = render_jsonl(&log);
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"step\":1,\"process\":0,\"pid\":5,\"seq\":0,\"kind\":\"id-seen\",\"link\":2,\"id\":9}"
+        );
+        assert!(lines[1].contains("\"kind\":\"decided\",\"name\":2"));
+        assert!(rendered.ends_with('\n'));
+    }
+
+    #[test]
+    fn ranks_render_as_fixed_precision_strings() {
+        let field = rank_field(opr_types::Rank::new(1.5));
+        assert_eq!(field, "\"1.500000000\"");
+    }
+}

@@ -1,0 +1,40 @@
+//! Deterministic protocol telemetry for the renaming protocols.
+//!
+//! Two strictly separated layers:
+//!
+//! 1. **Protocol events** ([`ProtocolEvent`], [`Recorder`], [`RunLog`]) — a
+//!    per-process stream of decision points (threshold crossings, vote
+//!    validation, trimmed means, king adoptions, name assignments). The
+//!    stream is a pure function of the messages a process receives, so for
+//!    a fixed schedule it is bit-identical across the Sim and Threaded
+//!    backends and across `--jobs` counts; `tests/backend_equivalence.rs`
+//!    and `tests/exec_equivalence.rs` gate exactly that.
+//! 2. **Wall-clock spans** ([`Span`], [`SpanLog`]) — real per-round and
+//!    per-pool-task timings. Never merged into the deterministic stream,
+//!    never equality-gated.
+//!
+//! Exporters: [`render_jsonl`] (one JSON object per event, machine-diffable)
+//! and [`render_trace_json`] (Chrome trace-event JSON, loadable in Perfetto
+//! or `chrome://tracing`).
+//!
+//! Recording is opt-in and zero-cost when off: emission sites use
+//! [`record_if`] with an event-building closure that is never invoked
+//! without an attached recorder.
+
+#![warn(missing_docs)]
+
+mod event;
+mod jsonl;
+mod log;
+mod perfetto;
+mod recorder;
+mod span;
+
+pub use event::{ProtocolEvent, ValidityViolation};
+pub use jsonl::{rank_field, render_jsonl};
+pub use log::{MergedEvent, ProcessLog, RunLog};
+pub use perfetto::render_trace_json;
+pub use recorder::{
+    record_if, shared_recorder, MemoryRecorder, NoopRecorder, Recorder, SharedRecorder,
+};
+pub use span::{shared_span_log, SharedSpanLog, Span, SpanLog};

@@ -55,6 +55,62 @@ impl<V> Default for FloodResult<V> {
     }
 }
 
+/// Observation hooks for the flood's threshold arithmetic.
+///
+/// Every callback fires at a decision point of
+/// [`deliver_observed`](EchoReadyFlood::deliver_observed) with the exact
+/// counts the decision compared. Default bodies are empty, so observers
+/// override only what they need and [`NoopFloodObserver`] costs nothing.
+pub trait FloodObserver<V> {
+    /// Step 1: a value was announced via `Init` on `link`.
+    fn id_seen(&mut self, step: u32, link: LinkId, value: &V) {
+        let _ = (step, link, value);
+    }
+
+    /// Step 2: `value` was echoed on `echoes` distinct links and compared
+    /// against the `N − t` quorum; it survives iff `kept`.
+    fn echo_threshold(&mut self, step: u32, value: &V, echoes: usize, quorum: usize, kept: bool) {
+        let _ = (step, value, echoes, quorum, kept);
+    }
+
+    /// Step 3: `value` has `Ready` from `readies` distinct links; it is
+    /// `timely` iff `readies ≥ quorum`, and this process `relayed` a `Ready`
+    /// of its own iff `readies ≥ weak_quorum` and it had not already.
+    #[allow(clippy::too_many_arguments)]
+    fn ready_threshold(
+        &mut self,
+        step: u32,
+        value: &V,
+        readies: usize,
+        quorum: usize,
+        weak_quorum: usize,
+        timely: bool,
+        relayed: bool,
+    ) {
+        let _ = (step, value, readies, quorum, weak_quorum, timely, relayed);
+    }
+
+    /// Step 4: `value` has `Ready` from `readies` distinct links in total;
+    /// it is `accepted` iff `readies ≥ quorum`.
+    fn accept_threshold(
+        &mut self,
+        step: u32,
+        value: &V,
+        readies: usize,
+        quorum: usize,
+        accepted: bool,
+    ) {
+        let _ = (step, value, readies, quorum, accepted);
+    }
+}
+
+/// The do-nothing observer plain [`deliver`](EchoReadyFlood::deliver)
+/// delegates through.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoopFloodObserver;
+
+impl<V> FloodObserver<V> for NoopFloodObserver {}
+
 /// State machine for the 4-step flood, meant to be *embedded*: the owner
 /// forwards [`send`](EchoReadyFlood::send) and
 /// [`deliver`](EchoReadyFlood::deliver) for relative steps `1 ⋯ 4` and reads
@@ -137,11 +193,28 @@ impl<V: Ord + Clone + Debug> EchoReadyFlood<V> {
         V: 'a,
         I: IntoIterator<Item = (LinkId, &'a FloodMsg<V>)>,
     {
+        self.deliver_observed(step, inbox, &mut NoopFloodObserver);
+    }
+
+    /// [`deliver`](EchoReadyFlood::deliver), reporting every threshold
+    /// decision to `observer`. The observer sees counts in the value's
+    /// `Ord` order, so emission order is deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics on steps outside `1..=4`.
+    pub fn deliver_observed<'a, I, O>(&mut self, step: u32, inbox: I, observer: &mut O)
+    where
+        V: 'a,
+        I: IntoIterator<Item = (LinkId, &'a FloodMsg<V>)>,
+        O: FloodObserver<V> + ?Sized,
+    {
         match step {
             1 => {
                 // Collect one announced value per distinct link.
-                for (_, msg) in inbox {
+                for (link, msg) in inbox {
                     if let FloodMsg::Init(v) = msg {
+                        observer.id_seen(step, link, v);
                         self.working.insert(v.clone());
                     }
                 }
@@ -159,7 +232,11 @@ impl<V: Ord + Clone + Debug> EchoReadyFlood<V> {
                 let quorum = self.quorum();
                 self.working = echo_links
                     .into_iter()
-                    .filter(|(_, links)| *links >= quorum)
+                    .filter(|(v, links)| {
+                        let kept = *links >= quorum;
+                        observer.echo_threshold(step, v, *links, quorum, kept);
+                        kept
+                    })
                     .map(|(v, _)| v.clone())
                     .collect();
             }
@@ -181,6 +258,17 @@ impl<V: Ord + Clone + Debug> EchoReadyFlood<V> {
                     .filter(|(v, links)| links.len() >= weak && !self.ready_sent.contains(*v))
                     .map(|(v, _)| v.clone())
                     .collect();
+                for (v, links) in &self.ready_links {
+                    observer.ready_threshold(
+                        step,
+                        v,
+                        links.len(),
+                        quorum,
+                        weak,
+                        self.result.timely.contains(v),
+                        self.working.contains(v),
+                    );
+                }
             }
             4 => {
                 self.accumulate_ready(inbox);
@@ -191,6 +279,15 @@ impl<V: Ord + Clone + Debug> EchoReadyFlood<V> {
                     .filter(|(_, links)| links.len() >= quorum)
                     .map(|(v, _)| v.clone())
                     .collect();
+                for (v, links) in &self.ready_links {
+                    observer.accept_threshold(
+                        step,
+                        v,
+                        links.len(),
+                        quorum,
+                        self.result.accepted.contains(v),
+                    );
+                }
                 self.finished = true;
             }
             _ => panic!("flood has exactly 4 steps, got step {step}"),
@@ -393,6 +490,93 @@ mod tests {
     fn result_unavailable_before_step_4() {
         let flood: EchoReadyFlood<Val> = EchoReadyFlood::new(4, 1, Some(Val(1)));
         assert!(flood.result().is_none());
+    }
+
+    #[derive(Default)]
+    struct CountingObserver {
+        seen: usize,
+        echo: Vec<(u64, usize, bool)>,
+        ready: Vec<(u64, usize, bool, bool)>,
+        accept: Vec<(u64, usize, bool)>,
+    }
+
+    impl FloodObserver<Val> for CountingObserver {
+        fn id_seen(&mut self, _step: u32, _link: LinkId, _value: &Val) {
+            self.seen += 1;
+        }
+        fn echo_threshold(&mut self, _s: u32, v: &Val, echoes: usize, _q: usize, kept: bool) {
+            self.echo.push((v.0, echoes, kept));
+        }
+        fn ready_threshold(
+            &mut self,
+            _s: u32,
+            v: &Val,
+            readies: usize,
+            _q: usize,
+            _w: usize,
+            timely: bool,
+            relayed: bool,
+        ) {
+            self.ready.push((v.0, readies, timely, relayed));
+        }
+        fn accept_threshold(
+            &mut self,
+            _s: u32,
+            v: &Val,
+            readies: usize,
+            _q: usize,
+            accepted: bool,
+        ) {
+            self.accept.push((v.0, readies, accepted));
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_threshold_decision() {
+        // Drive one flood participant by hand through all four steps in a
+        // 4-process system with t = 1 where everyone behaves.
+        let n = 4usize;
+        let vals = [Val(1), Val(2), Val(3), Val(4)];
+        let mut floods: Vec<EchoReadyFlood<Val>> = (0..n)
+            .map(|i| EchoReadyFlood::new(n, 1, Some(vals[i])))
+            .collect();
+        let mut obs = CountingObserver::default();
+        for step in 1..=4u32 {
+            let outgoing: Vec<FloodMsg<Val>> =
+                floods.iter_mut().map(|f| f.send(step).unwrap()).collect();
+            let inbox: Vec<(LinkId, FloodMsg<Val>)> = outgoing
+                .iter()
+                .enumerate()
+                .map(|(i, m)| (LinkId::new(i + 1), m.clone()))
+                .collect();
+            for (i, flood) in floods.iter_mut().enumerate() {
+                let view = inbox.iter().map(|(l, m)| (*l, m));
+                if i == 0 {
+                    flood.deliver_observed(step, view, &mut obs);
+                } else {
+                    flood.deliver(step, view);
+                }
+            }
+        }
+        // All four announcements seen, every value judged at each threshold
+        // with the full quorum count, and everything admitted.
+        assert_eq!(obs.seen, 4);
+        assert_eq!(
+            obs.echo,
+            vec![(1, 4, true), (2, 4, true), (3, 4, true), (4, 4, true)]
+        );
+        assert_eq!(obs.ready.len(), 4);
+        assert!(obs
+            .ready
+            .iter()
+            .all(|&(_, r, timely, relayed)| r == 4 && timely && !relayed));
+        assert_eq!(obs.accept.len(), 4);
+        assert!(obs
+            .accept
+            .iter()
+            .all(|&(_, r, accepted)| r == 4 && accepted));
+        let result = floods[0].result().unwrap();
+        assert_eq!(result.timely.len(), 4);
     }
 
     #[test]

@@ -24,4 +24,6 @@
 
 pub mod flood;
 
-pub use flood::{EchoReadyFlood, FloodActor, FloodMsg, FloodResult};
+pub use flood::{
+    EchoReadyFlood, FloodActor, FloodMsg, FloodObserver, FloodResult, NoopFloodObserver,
+};

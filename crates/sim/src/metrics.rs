@@ -42,9 +42,10 @@ impl RunMetrics {
         self.rounds.push(round);
     }
 
-    /// Number of rounds executed.
+    /// Number of rounds executed, saturating at `u32::MAX` (no real run gets
+    /// near that, but a bare `as` cast would silently wrap).
     pub fn rounds_executed(&self) -> u32 {
-        self.rounds.len() as u32
+        u32::try_from(self.rounds.len()).unwrap_or(u32::MAX)
     }
 
     /// Per-round counters, in execution order.

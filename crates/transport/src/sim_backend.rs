@@ -22,11 +22,13 @@ where
             max_rounds,
             faults,
             trace_capacity,
+            trace_mode,
             payload_cap,
+            spans,
         } = job;
         let mut net = Network::with_faults(actors, correct, topology);
         if let Some(capacity) = trace_capacity {
-            net.enable_trace(capacity);
+            net.enable_trace_mode(capacity, trace_mode);
         }
         net.set_payload_cap(payload_cap);
         if !faults.is_empty() {
@@ -34,7 +36,29 @@ where
                 faults.delivers(round, sender, link)
             }));
         }
-        let report = net.run(max_rounds);
+        let report = match &spans {
+            None => net.run(max_rounds),
+            Some(log) => {
+                // Network::run is cumulative, so raising the budget by one
+                // round at a time yields a per-round span without touching
+                // the engine's semantics.
+                let mut report = net.run(0);
+                for budget in 1..=max_rounds {
+                    let start = std::time::Instant::now();
+                    report = net.run(budget);
+                    if report.rounds_executed == budget {
+                        log.lock()
+                            .unwrap()
+                            .record_since(format!("round {budget}"), start);
+                    }
+                    if report.completed {
+                        break;
+                    }
+                }
+                report
+            }
+        };
+        net.normalize_trace();
         ExecutionReport {
             rounds_executed: report.rounds_executed,
             completed: report.completed,

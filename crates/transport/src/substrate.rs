@@ -2,7 +2,8 @@
 
 use crate::faults::FaultPlan;
 use crate::{SimBackend, ThreadedBackend};
-use opr_sim::{Actor, RunMetrics, Topology, Trace, WireSize};
+use opr_obs::SharedSpanLog;
+use opr_sim::{Actor, RunMetrics, Topology, Trace, TraceMode, WireSize};
 use opr_types::MalformedSend;
 use std::fmt;
 use std::fmt::Debug;
@@ -24,9 +25,15 @@ pub struct Job<M, O> {
     pub faults: FaultPlan,
     /// When `Some(cap)`, record up to `cap` delivery events.
     pub trace_capacity: Option<usize>,
+    /// What a full trace buffer sacrifices (oldest vs. newest events).
+    pub trace_mode: TraceMode,
     /// When `Some(cap)`, sends wider than `cap` bits are rejected and
     /// recorded as malformed instead of delivered.
     pub payload_cap: Option<u64>,
+    /// When attached, backends record per-round wall-clock spans here.
+    /// Wall timings are *not* part of the deterministic contract — they
+    /// never appear in [`ExecutionReport`] equality checks.
+    pub spans: Option<SharedSpanLog>,
 }
 
 impl<M, O> Job<M, O> {
@@ -69,7 +76,9 @@ impl<M, O> Job<M, O> {
             max_rounds,
             faults: FaultPlan::default(),
             trace_capacity: None,
+            trace_mode: TraceMode::KeepFirst,
             payload_cap: None,
+            spans: None,
         }
     }
 
@@ -82,6 +91,18 @@ impl<M, O> Job<M, O> {
     /// Enables delivery tracing with the given event capacity.
     pub fn trace(mut self, capacity: usize) -> Self {
         self.trace_capacity = Some(capacity);
+        self
+    }
+
+    /// Selects which events a full trace buffer keeps.
+    pub fn trace_mode(mut self, mode: TraceMode) -> Self {
+        self.trace_mode = mode;
+        self
+    }
+
+    /// Attaches a wall-clock span log; backends record one span per round.
+    pub fn spans(mut self, spans: SharedSpanLog) -> Self {
+        self.spans = Some(spans);
         self
     }
 

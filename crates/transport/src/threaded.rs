@@ -36,6 +36,7 @@
 //! [`MalformedSend`]s and dropped, exactly as in the reference backend.
 
 use crate::substrate::{ExecutionReport, Job, Substrate};
+use opr_obs::SharedSpanLog;
 use opr_sim::{
     Actor, Inbox, Outbox, RoundMetrics, RunMetrics, Sealed, Trace, TraceEvent, WireSize,
 };
@@ -84,7 +85,9 @@ where
             max_rounds,
             faults,
             trace_capacity,
+            trace_mode,
             payload_cap,
+            spans,
         } = job;
         let n = actors.len();
         assert!(n >= 1, "threaded backend needs at least one process");
@@ -119,6 +122,9 @@ where
             let faults = Arc::clone(&faults);
             let txs = txs.clone();
             let trace_enabled = trace_capacity.is_some();
+            // The barrier leader (thread 0) owns round timing; wall spans are
+            // best-effort observability, not part of the deterministic report.
+            let spans = if me == 0 { spans.clone() } else { None };
             let handle = std::thread::Builder::new()
                 .name(format!("opr-proc-{me}"))
                 .spawn(move || {
@@ -132,6 +138,7 @@ where
                         faults,
                         trace_enabled,
                         payload_cap,
+                        spans,
                     )
                 })
                 .expect("spawn process thread");
@@ -187,10 +194,11 @@ where
 
         let trace = trace_capacity.map(|capacity| {
             trace_events.sort_by_key(|&(round, sender, seq, _)| (round, sender, seq));
-            let mut trace = Trace::with_capacity(capacity);
+            let mut trace = Trace::with_mode(capacity, trace_mode);
             for (_, _, _, event) in trace_events {
                 trace.record(event);
             }
+            trace.normalize();
             trace
         });
 
@@ -223,6 +231,7 @@ fn process_thread<M, O>(
     faults: Arc<crate::FaultPlan>,
     trace_enabled: bool,
     payload_cap: Option<u64>,
+    spans: Option<SharedSpanLog>,
 ) -> ThreadReport<O>
 where
     M: Clone + Debug + WireSize,
@@ -258,6 +267,7 @@ where
         if shared.stop.load(Ordering::SeqCst) {
             break;
         }
+        let span_start = spans.as_ref().map(|_| std::time::Instant::now());
 
         // Phase 2: send.
         let mut round_metrics = RoundMetrics::default();
@@ -383,6 +393,11 @@ where
         }
         if me == 0 {
             shared.executed.store(round.number(), Ordering::SeqCst);
+            if let (Some(log), Some(start)) = (&spans, span_start) {
+                log.lock()
+                    .unwrap()
+                    .record_since(format!("round {}", round.number()), start);
+            }
         }
         round = round.next();
     }

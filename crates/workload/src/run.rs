@@ -7,7 +7,8 @@ use opr_core::runner::{
     TwoStepOptions,
 };
 use opr_core::{Alg1Probe, TwoStepProbe};
-use opr_sim::{Actor, Inbox, Outbox, RunMetrics, Topology, Trace, WireSize};
+use opr_obs::{RunLog, SharedSpanLog};
+use opr_sim::{Actor, Inbox, Outbox, RunMetrics, Topology, Trace, TraceMode, WireSize};
 use opr_transport::{BackendKind, FaultPlan, Job};
 use opr_types::{
     DegradedOutcome, MalformedSend, NewName, OriginalId, Regime, RenamingError, RenamingOutcome,
@@ -552,6 +553,9 @@ pub struct RenamingRun {
     allow_fault_overrun: bool,
     payload_cap: Option<u64>,
     trace_capacity: Option<usize>,
+    trace_mode: TraceMode,
+    record_events: bool,
+    spans: Option<SharedSpanLog>,
 }
 
 /// The structured result of [`RenamingRun::run_diagnosed`]: what happened,
@@ -581,6 +585,10 @@ pub struct DiagnosedRun {
     pub excluded: Vec<OriginalId>,
     /// Delivery events, present iff [`RenamingRun::trace`] requested them.
     pub trace: Option<Trace>,
+    /// Per-process protocol event streams, present iff
+    /// [`RenamingRun::record_events`] requested them. Deterministic:
+    /// bit-identical across backends and job counts for the same run.
+    pub events: Option<RunLog>,
 }
 
 impl DiagnosedRun {
@@ -621,6 +629,9 @@ impl RenamingRun {
             allow_fault_overrun: false,
             payload_cap: None,
             trace_capacity: None,
+            trace_mode: TraceMode::KeepFirst,
+            record_events: false,
+            spans: None,
         }
     }
 
@@ -691,6 +702,28 @@ impl RenamingRun {
         self
     }
 
+    /// Selects which events a full trace buffer keeps (default: the oldest;
+    /// [`TraceMode::KeepLast`] keeps a ring of the newest for forensics).
+    pub fn trace_mode(mut self, mode: TraceMode) -> Self {
+        self.trace_mode = mode;
+        self
+    }
+
+    /// Attaches a deterministic protocol-event recorder to every correct
+    /// actor; [`DiagnosedRun::events`] then carries the per-process streams.
+    pub fn record_events(mut self) -> Self {
+        self.record_events = true;
+        self
+    }
+
+    /// Attaches a wall-clock span log; the substrate records one span per
+    /// executed round (observability only, never part of the deterministic
+    /// result).
+    pub fn spans(mut self, spans: SharedSpanLog) -> Self {
+        self.spans = Some(spans);
+        self
+    }
+
     /// Executes the run.
     ///
     /// # Errors
@@ -719,6 +752,7 @@ impl RenamingRun {
                         allow_fault_overrun: self.allow_fault_overrun,
                         payload_cap: self.payload_cap,
                         trace_capacity: None,
+                        ..Alg1Options::default()
                     },
                 )?;
                 let algorithm = if self.regime == Regime::LogTime {
@@ -805,6 +839,7 @@ impl RenamingRun {
             malformed,
             faulty_mask,
             trace,
+            events,
             correct_malformed,
         ) = match self.regime {
             Regime::LogTime | Regime::ConstantTime => {
@@ -826,6 +861,9 @@ impl RenamingRun {
                         allow_fault_overrun: self.allow_fault_overrun,
                         payload_cap: self.payload_cap,
                         trace_capacity: self.trace_capacity,
+                        trace_mode: self.trace_mode,
+                        record_events: self.record_events,
+                        spans: self.spans.clone(),
                     },
                 )?;
                 let cm = o.correct_malformed();
@@ -837,6 +875,7 @@ impl RenamingRun {
                     o.malformed,
                     o.faulty_mask,
                     o.trace,
+                    o.events,
                     cm,
                 )
             }
@@ -853,6 +892,9 @@ impl RenamingRun {
                         allow_fault_overrun: self.allow_fault_overrun,
                         payload_cap: self.payload_cap,
                         trace_capacity: self.trace_capacity,
+                        trace_mode: self.trace_mode,
+                        record_events: self.record_events,
+                        spans: self.spans.clone(),
                         ..TwoStepOptions::default()
                     },
                 )?;
@@ -865,6 +907,7 @@ impl RenamingRun {
                     o.malformed,
                     o.faulty_mask,
                     o.trace,
+                    o.events,
                     cm,
                 )
             }
@@ -906,6 +949,7 @@ impl RenamingRun {
             faulty_mask,
             excluded,
             trace,
+            events,
         })
     }
 }

@@ -50,6 +50,16 @@ bench-exec:
 bench-fanout:
     cargo run --release -p opr-bench --bin fanout -- --out crates/bench/BENCH_fanout.json
 
+# Replay a repro with the protocol recorder attached and print every
+# process's decision waterfall (`just explain my-repro.json --events e.jsonl`).
+explain FILE="tests/data/chaos-repro.json" *ARGS:
+    cargo run --release -p opr-bench --bin chaos -- explain {{FILE}} {{ARGS}}
+
+# Recorder overhead profile: the `obs` group of BENCH_fanout.json (full
+# Alg1 runs, recorder off vs on, with the zero-cost-when-off assertion).
+bench-obs:
+    cargo run --release -p opr-bench --bin fanout -- --out crates/bench/BENCH_fanout.json
+
 # Regenerate every experiment table (add `--backend threaded` to switch substrate).
 tables *ARGS:
     cargo run --release -p opr-bench --bin tables -- {{ARGS}}

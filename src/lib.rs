@@ -25,6 +25,10 @@
 //! * [`exec`] — run-level parallel execution: a std-only [`RunPool`]
 //!   (fixed workers + `mpsc` queue) that reassembles batch results in
 //!   submission order so multi-run drivers stay observably serial.
+//! * [`obs`] — deterministic protocol telemetry: a decision-point event
+//!   recorder threaded through the protocol layers, JSONL and Perfetto
+//!   (Chrome trace-event) exporters, and a wall-clock span layer kept
+//!   strictly separate from the deterministic stream.
 //!
 //! [`RunPool`]: exec::RunPool
 //!
@@ -57,6 +61,7 @@ pub use opr_chaos as chaos;
 pub use opr_consensus as consensus;
 pub use opr_core as core;
 pub use opr_exec as exec;
+pub use opr_obs as obs;
 pub use opr_rbcast as rbcast;
 pub use opr_sim as sim;
 pub use opr_transport as transport;
@@ -67,6 +72,7 @@ pub use opr_workload as workload;
 pub mod prelude {
     pub use opr_adversary::AdversarySpec;
     pub use opr_exec::RunPool;
+    pub use opr_obs::{ProtocolEvent, RunLog};
     pub use opr_transport::{BackendKind, FaultPlan};
     pub use opr_types::{
         ConfigError, LinkId, NewName, OriginalId, ProcessIndex, Rank, Regime, RenamingError,

@@ -136,6 +136,71 @@ proptest! {
     }
 }
 
+// The telemetry determinism gate: a correct process's protocol event
+// stream is a pure function of its delivered messages, so attaching the
+// recorder to both backends must yield bit-identical `RunLog`s — and, by
+// extension, byte-identical JSONL renderings (the exporter is a pure
+// function of the log). Network metrics are part of the same contract
+// (satellite of the observability PR): the per-round counters must agree
+// exactly for any chaos schedule, in and out of budget.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn protocol_event_streams_are_bit_identical_across_backends(
+        seed in 0u64..100_000,
+        budget in proptest::sample::select(opr::chaos::BudgetRegime::ALL.to_vec()),
+    ) {
+        let schedule = opr::chaos::generate_schedule(seed, budget);
+        let run = |backend: BackendKind| {
+            schedule
+                .run_observed(backend, None)
+                .expect("chaos schedules are legal by construction")
+        };
+        let sim = run(BackendKind::Sim);
+        let threaded = run(BackendKind::Threaded);
+        let tag = schedule.describe();
+        let sim_log = sim.events.as_ref().expect("recorder attached");
+        let threaded_log = threaded.events.as_ref().expect("recorder attached");
+        prop_assert_eq!(sim_log, threaded_log, "event streams: {}", tag);
+        prop_assert_eq!(
+            opr::obs::render_jsonl(sim_log),
+            opr::obs::render_jsonl(threaded_log),
+            "JSONL bytes: {}",
+            tag
+        );
+        // One log per correct process, every process attributed.
+        prop_assert_eq!(
+            sim_log.processes.len(),
+            schedule.n - schedule.byzantine,
+            "process coverage: {}",
+            tag
+        );
+    }
+
+    #[test]
+    fn run_metrics_agree_across_backends(
+        seed in 0u64..100_000,
+        budget in proptest::sample::select(opr::chaos::BudgetRegime::ALL.to_vec()),
+    ) {
+        let schedule = opr::chaos::generate_schedule(seed, budget);
+        let sim = schedule
+            .run_on(BackendKind::Sim)
+            .expect("chaos schedules are legal by construction");
+        let threaded = schedule
+            .run_on(BackendKind::Threaded)
+            .expect("chaos schedules are legal by construction");
+        let tag = schedule.describe();
+        prop_assert_eq!(&sim.metrics, &threaded.metrics, "metrics: {}", tag);
+        prop_assert_eq!(
+            sim.metrics.rounds_executed(),
+            sim.rounds,
+            "round counters: {}",
+            tag
+        );
+    }
+}
+
 /// Every adversary in both suites, deterministically (not sampled): the
 /// equivalence must hold for each strategy, not just most of them.
 #[test]

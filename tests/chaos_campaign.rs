@@ -114,6 +114,7 @@ fn injected_failure_shrinks_and_round_trips_through_repro() {
         backend,
         digest,
         schedule: result.schedule,
+        metrics: None,
     };
     let text = repro.to_json();
     let reread = Repro::from_json(&text).expect("repro must parse back");

@@ -9,8 +9,11 @@
 //! the chaos, sweep and tables binaries: parallelism is an execution
 //! strategy, never an observable.
 
-use opr::chaos::engine::{execute_campaign, run_campaign};
+use opr::chaos::engine::{execute_campaign, per_run_seed, run_campaign};
 use opr::chaos::{standard_suite, BackendChoice, BudgetRegime, CampaignConfig};
+use opr::exec::RunPool;
+use opr::obs::{render_jsonl, RunLog};
+use opr::transport::BackendKind;
 use proptest::prelude::*;
 use proptest::sample::select;
 
@@ -89,5 +92,47 @@ proptest! {
         prop_assert_eq!(serial.clean, parallel.clean);
         prop_assert_eq!(serial.degraded, parallel.degraded);
         prop_assert_eq!(serial.failures, parallel.failures);
+        prop_assert_eq!(serial.metrics, parallel.metrics);
+    }
+
+    /// The telemetry gate for parallel execution: recording protocol
+    /// events on pool workers must be unobservable too. A batch of
+    /// recorded runs yields bit-identical `RunLog`s — and byte-identical
+    /// JSONL renderings — at one worker and at four.
+    #[test]
+    fn recorded_event_streams_are_identical_at_any_worker_count(
+        seed in 0u64..u64::MAX,
+        budget in select(BudgetRegime::ALL.to_vec()),
+    ) {
+        let schedules: Vec<_> = (0..6)
+            .map(|index| opr::chaos::generate_schedule(per_run_seed(seed, index), budget))
+            .collect();
+        let run_all = |jobs: usize| -> Vec<RunLog> {
+            let pool = RunPool::new(jobs);
+            let tasks: Vec<_> = schedules
+                .iter()
+                .map(|schedule| {
+                    let schedule = schedule.clone();
+                    move || {
+                        schedule
+                            .run_observed(BackendKind::Sim, None)
+                            .expect("chaos schedules are legal by construction")
+                            .events
+                            .expect("recorder attached")
+                    }
+                })
+                .collect();
+            pool.run_batch(tasks)
+                .into_iter()
+                .map(|slot| slot.expect("recorded runs do not panic"))
+                .collect()
+        };
+        let serial = run_all(1);
+        let parallel = run_all(PARALLEL_JOBS);
+        prop_assert_eq!(&serial, &parallel);
+        let rendered = |logs: &[RunLog]| -> Vec<String> {
+            logs.iter().map(render_jsonl).collect()
+        };
+        prop_assert_eq!(rendered(&serial), rendered(&parallel));
     }
 }
