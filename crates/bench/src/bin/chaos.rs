@@ -21,6 +21,13 @@
 //!
 //! # Measure serial-vs-parallel executor throughput into BENCH_exec.json:
 //! cargo run --release -p opr-bench --bin chaos -- --bench-exec crates/bench/BENCH_exec.json
+//!
+//! # Service-layer smoke: seeded multi-epoch service specs judged by the
+//! # ledger oracle suite, with a jobs-determinism cross-check per spec:
+//! cargo run --release -p opr-bench --bin chaos -- --service --seed 42 --runs 20
+//!
+//! # Replay a service repro captured by a failing smoke:
+//! cargo run --release -p opr-bench --bin chaos -- --service --repro service-repro.json
 //! ```
 //!
 //! Exit status: 0 when the campaign (or replay, or self-test) passes,
@@ -48,7 +55,11 @@ fn usage() -> ! {
          \x20      chaos --repro <file>      replay a captured failure\n\
          \x20      chaos --self-test         inject a failure, shrink it, round-trip the repro\n\
          \x20      chaos --bench <file>      measure runs/sec per backend into <file>\n\
-         \x20      chaos --bench-exec <file> measure runs/sec at 1/2/4/8 jobs into <file>"
+         \x20      chaos --bench-exec <file> measure runs/sec at 1/2/4/8 jobs into <file>\n\
+         \x20      chaos --service [--seed S] [--runs K] [--repro-out <file>]\n\
+         \x20                                service-layer smoke: seeded epoch-engine specs\n\
+         \x20                                judged by the ledger oracles + jobs determinism\n\
+         \x20      chaos --service --repro <file>  replay a captured service failure"
     );
     std::process::exit(2);
 }
@@ -159,6 +170,18 @@ fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.first().map(String::as_str) == Some("explain") {
         std::process::exit(explain(&parse_explain_args(&raw[1..])));
+    }
+    if raw.iter().any(|flag| flag == "--service") {
+        let rest: Vec<String> = raw.into_iter().filter(|flag| flag != "--service").collect();
+        let mut args = parse_args(&rest);
+        if args.repro_out == "chaos-repro.json" {
+            args.repro_out = "service-repro.json".to_string();
+        }
+        let exit = match &args.repro {
+            Some(path) => service_replay(path),
+            None => service_smoke(&args),
+        };
+        std::process::exit(exit);
     }
     let args = parse_args(&raw);
     let oracles = standard_suite();
@@ -531,6 +554,152 @@ fn bench(args: &Args, path: &str, oracles: &[Box<dyn opr_chaos::Oracle>]) -> i32
         }
         Err(e) => {
             eprintln!("chaos: could not write {path}: {e}");
+            1
+        }
+    }
+}
+
+/// Draws a small legal service spec from a run seed: 1–4 shards, every
+/// regime at `t = 1`, 0–1 Byzantine actors under a regime-legal adversary,
+/// both backends, a tiny client universe (so clients wrap around and
+/// produce duplicate-acquire/re-acquire traffic) and holds short enough to
+/// recycle names within the schedule.
+fn service_spec_for(seed: u64) -> opr_service::ServiceSpec {
+    use opr_adversary::AdversarySpec;
+    use opr_transport::BackendKind;
+    use opr_types::{Regime, SystemConfig};
+    let regime = Regime::ALL[(seed % 3) as usize];
+    let n = 4 + ((seed >> 8) % 3) as usize; // 4..=6, legal for every regime at t = 1
+    let byzantine = ((seed >> 16) % 2) as usize;
+    let suite = AdversarySpec::suite(regime);
+    let adversary = suite[((seed >> 24) as usize) % suite.len()];
+    let backend = if (seed >> 32) % 2 == 0 {
+        BackendKind::Sim
+    } else {
+        BackendKind::Threaded
+    };
+    let shards = 1 + (seed % 4) as usize;
+    opr_service::ServiceSpec {
+        service: opr_service::ServiceConfig {
+            shards,
+            epoch_cfg: SystemConfig::new(n, 1).expect("legal config"),
+            regime,
+            byzantine,
+            adversary,
+            backend,
+            queue_capacity: 64,
+            shard_span: 16,
+            seed,
+        },
+        workload: opr_workload::ServiceWorkload {
+            clients: 20,
+            epochs: 10,
+            arrivals_per_epoch: 2 * shards + 1,
+            max_hold: 1 + ((seed >> 40) % 3),
+            seed: seed ^ 0x736d_6f6b_65,
+        },
+        jobs: 1,
+    }
+}
+
+/// The service-layer smoke: `--runs` seeded specs, each executed serially
+/// and at 4 workers, judged by the ledger oracle suite, with the two
+/// reports compared bit for bit. The first failure is captured as a
+/// replayable `service-repro.json`.
+fn service_smoke(args: &Args) -> i32 {
+    use opr_service::{judge_ledger, ServiceRepro};
+    eprintln!(
+        "chaos: service smoke: seed={} runs={}",
+        args.seed, args.runs
+    );
+    let started = std::time::Instant::now();
+    let mut grants = 0u64;
+    let mut recycled = 0u64;
+    let fail = |spec: opr_service::ServiceSpec, index: usize, why: &str| -> i32 {
+        eprintln!("chaos: service spec #{index} failed: {why}");
+        let repro = ServiceRepro {
+            spec,
+            campaign_seed: args.seed,
+            run_index: index,
+        };
+        match std::fs::write(&args.repro_out, repro.to_json()) {
+            Ok(()) => eprintln!("chaos: wrote {}", args.repro_out),
+            Err(e) => eprintln!("chaos: could not write {}: {e}", args.repro_out),
+        }
+        1
+    };
+    for index in 0..args.runs {
+        let spec = service_spec_for(per_run_seed(args.seed, index));
+        let serial = match spec.run() {
+            Ok(report) => report,
+            Err(e) => return fail(spec, index, &format!("run error: {e}")),
+        };
+        let violations = judge_ledger(&spec.service, &serial.ledger);
+        if !violations.is_empty() {
+            let (oracle, first) = &violations[0];
+            return fail(
+                spec,
+                index,
+                &format!(
+                    "{} violation(s), first [{oracle}] {first}",
+                    violations.len()
+                ),
+            );
+        }
+        let parallel_spec = opr_service::ServiceSpec { jobs: 4, ..spec };
+        match parallel_spec.run() {
+            Ok(report) if report == serial => {}
+            Ok(_) => return fail(parallel_spec, index, "jobs=4 report diverged from serial"),
+            Err(e) => return fail(parallel_spec, index, &format!("jobs=4 run error: {e}")),
+        }
+        grants += serial.grants;
+        recycled += serial.recycled;
+    }
+    eprintln!(
+        "chaos: service smoke passed: {} specs, {grants} grants ({recycled} recycled) in {:.1}s",
+        args.runs,
+        started.elapsed().as_secs_f64()
+    );
+    0
+}
+
+/// Replays a captured service repro: re-runs the spec and re-judges the
+/// ledger. Exit 0 when the behaviour reproduces deterministically.
+fn service_replay(path: &str) -> i32 {
+    use opr_service::ServiceRepro;
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("chaos: cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    let repro = match ServiceRepro::from_json(&text) {
+        Ok(repro) => repro,
+        Err(e) => {
+            eprintln!("chaos: {e}");
+            return 2;
+        }
+    };
+    eprintln!(
+        "chaos: replaying service spec (campaign seed {}, run #{})",
+        repro.campaign_seed, repro.run_index
+    );
+    match repro.replay() {
+        Ok((report, violations)) => {
+            eprintln!(
+                "chaos: service replay: {} grants, {} recycled, {} violation(s)",
+                report.grants,
+                report.recycled,
+                violations.len()
+            );
+            for (oracle, violation) in violations.iter().take(10) {
+                eprintln!("chaos: service replay: [{oracle}] {violation}");
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("chaos: service replay failed to run: {e}");
             1
         }
     }

@@ -1,0 +1,435 @@
+//! Renaming-as-a-service driver: soak gate, throughput benchmark and
+//! service-level Perfetto traces for the multi-tenant epoch engine.
+//!
+//! ```text
+//! # Quickstart: a small seeded service run with an oracle verdict:
+//! cargo run --release -p opr-bench --bin service
+//!
+//! # The CI soak gate: ≥1000 epochs across 4 shards with recycling,
+//! # oracle-clean and bit-identical across --jobs {1,4} and both backends:
+//! cargo run --release -p opr-bench --bin service -- --soak --epochs 1000
+//!
+//! # Throughput matrix (names-assigned/sec, shards × jobs × backend) into
+//! # the committed benchmark file:
+//! cargo run --release -p opr-bench --bin service -- --bench crates/bench/BENCH_service.json
+//!
+//! # Service-level wall-clock spans (admission / per-shard protocol /
+//! # grant publication per epoch) as Chrome trace-event JSON for Perfetto:
+//! cargo run --release -p opr-bench --bin service -- --perfetto service-trace.json
+//!
+//! # Replay a service repro captured by a failing soak or chaos smoke:
+//! cargo run --release -p opr-bench --bin service -- --repro service-repro.json
+//! ```
+//!
+//! Exit status: 0 on pass, 1 on gate failure, 2 on usage errors.
+
+use opr_adversary::AdversarySpec;
+use opr_obs::{render_trace_json, shared_span_log, RunLog};
+use opr_service::{judge_ledger, ServiceConfig, ServiceReport, ServiceRepro, ServiceSpec};
+use opr_transport::BackendKind;
+use opr_types::{Regime, SystemConfig};
+use opr_workload::ServiceWorkload;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: service [--seed S] [--epochs E] [--shards K]\n\
+         \x20       service --soak [--seed S] [--epochs E] [--shards K] [--repro-out <file>]\n\
+         \x20                                 oracle + determinism gate across jobs {{1,4}}\n\
+         \x20                                 and both backends (exit 1 on failure)\n\
+         \x20       service --bench <file>    names-assigned/sec matrix (shards x jobs x backend)\n\
+         \x20       service --perfetto <file> export service-level spans as a Perfetto trace\n\
+         \x20       service --repro <file>    replay a captured service failure"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    seed: u64,
+    epochs: u64,
+    shards: usize,
+    soak: bool,
+    bench: Option<String>,
+    perfetto: Option<String>,
+    repro: Option<String>,
+    repro_out: String,
+}
+
+fn parse_args(raw: &[String]) -> Args {
+    let mut args = Args {
+        seed: 0x5eed,
+        epochs: 1000,
+        shards: 4,
+        soak: false,
+        bench: None,
+        perfetto: None,
+        repro: None,
+        repro_out: "service-repro.json".to_string(),
+    };
+    let mut it = raw.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--epochs" => {
+                args.epochs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--shards" => {
+                args.shards = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--soak" => args.soak = true,
+            "--bench" => args.bench = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--perfetto" => args.perfetto = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--repro" => args.repro = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--repro-out" => args.repro_out = it.next().cloned().unwrap_or_else(|| usage()),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+/// The canonical soak/demo spec: `(N, t) = (7, 2)` log-time instances with
+/// 2 silent Byzantine actors, an open-loop workload over a 4000-client
+/// universe with 1–3-epoch holds, shards and epochs from the flags.
+fn soak_spec(
+    seed: u64,
+    epochs: u64,
+    shards: usize,
+    backend: BackendKind,
+    jobs: usize,
+) -> ServiceSpec {
+    ServiceSpec {
+        service: ServiceConfig {
+            shards,
+            epoch_cfg: SystemConfig::new(7, 2).expect("legal config"),
+            regime: Regime::LogTime,
+            byzantine: 2,
+            adversary: AdversarySpec::Silent,
+            backend,
+            queue_capacity: 64,
+            shard_span: 64,
+            seed,
+        },
+        workload: ServiceWorkload {
+            clients: 4000,
+            epochs,
+            arrivals_per_epoch: 4 * shards.max(1),
+            max_hold: 3,
+            seed: seed ^ 0x776f_726b,
+        },
+        jobs,
+    }
+}
+
+/// Throughput spec: fault-free instances (`byzantine = 0`, so every slot
+/// carries demand) over a million-client universe, demand matched to the
+/// aggregate epoch capacity so every shard runs a full instance each epoch.
+fn bench_spec(seed: u64, shards: usize, backend: BackendKind, jobs: usize) -> ServiceSpec {
+    let arrivals = 7 * shards;
+    ServiceSpec {
+        service: ServiceConfig {
+            shards,
+            epoch_cfg: SystemConfig::new(7, 2).expect("legal config"),
+            regime: Regime::LogTime,
+            byzantine: 0,
+            adversary: AdversarySpec::Silent,
+            backend,
+            queue_capacity: 2 * arrivals + 16,
+            shard_span: 64,
+            seed,
+        },
+        workload: ServiceWorkload {
+            clients: 1_000_000,
+            epochs: 120,
+            arrivals_per_epoch: arrivals,
+            max_hold: 2,
+            seed: seed ^ 0x6265_6e63,
+        },
+        jobs,
+    }
+}
+
+fn summarize(label: &str, spec: &ServiceSpec, report: &ServiceReport) {
+    let a = report.admission;
+    eprintln!(
+        "service: {label}: {} epochs, {} grants, {} releases, {} recycled, backlog-rejects {} \
+         (duplicates {}, unknown-releases {}, cancelled-pending {})",
+        report.epochs,
+        report.grants,
+        report.releases,
+        report.recycled,
+        a.rejected_queue_full,
+        a.rejected_duplicate,
+        a.rejected_unknown_release,
+        a.cancelled_pending,
+    );
+    let _ = spec;
+}
+
+fn write_repro(spec: &ServiceSpec, args: &Args) {
+    let repro = ServiceRepro {
+        spec: *spec,
+        campaign_seed: args.seed,
+        run_index: 0,
+    };
+    match std::fs::write(&args.repro_out, repro.to_json()) {
+        Ok(()) => eprintln!("service: wrote {}", args.repro_out),
+        Err(e) => eprintln!("service: could not write {}: {e}", args.repro_out),
+    }
+}
+
+/// Runs one spec and judges its ledger; on violations, prints them and
+/// writes a repro. Returns the report on success.
+fn run_judged(spec: &ServiceSpec, label: &str, args: &Args) -> Result<ServiceReport, ()> {
+    let report = match spec.run() {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("service: {label}: run failed: {e}");
+            write_repro(spec, args);
+            return Err(());
+        }
+    };
+    let violations = judge_ledger(&spec.service, &report.ledger);
+    if !violations.is_empty() {
+        for (oracle, violation) in violations.iter().take(10) {
+            eprintln!("service: {label}: [{oracle}] {violation}");
+        }
+        eprintln!(
+            "service: {label}: {} oracle violation(s); writing repro",
+            violations.len()
+        );
+        write_repro(spec, args);
+        return Err(());
+    }
+    Ok(report)
+}
+
+/// The soak gate: the reference run (sim, serial) must be oracle-clean and
+/// actually recycle names, and every other execution strategy — jobs 4,
+/// the threaded backend, and both combined — must reproduce it bit for bit.
+fn soak(args: &Args) -> i32 {
+    let reference_spec = soak_spec(args.seed, args.epochs, args.shards, BackendKind::Sim, 1);
+    eprintln!(
+        "service: soak: {} epochs x {} shards, seed {}",
+        args.epochs, args.shards, args.seed
+    );
+    let start = Instant::now();
+    let Ok(reference) = run_judged(&reference_spec, "sim/jobs1", args) else {
+        return 1;
+    };
+    summarize("sim/jobs1", &reference_spec, &reference);
+    if reference.recycled == 0 {
+        eprintln!("service: soak: no name was ever recycled — the gate is vacuous");
+        write_repro(&reference_spec, args);
+        return 1;
+    }
+    for (backend, jobs) in [
+        (BackendKind::Sim, 4),
+        (BackendKind::Threaded, 1),
+        (BackendKind::Threaded, 4),
+    ] {
+        let spec = soak_spec(args.seed, args.epochs, args.shards, backend, jobs);
+        let label = format!("{}/jobs{jobs}", backend.label());
+        let Ok(report) = run_judged(&spec, &label, args) else {
+            return 1;
+        };
+        if report != reference {
+            eprintln!("service: soak: {label} diverged from the sim/jobs1 reference");
+            write_repro(&spec, args);
+            return 1;
+        }
+    }
+    eprintln!(
+        "service: soak passed in {:.1}s (all strategies bit-identical, oracle-clean)",
+        start.elapsed().as_secs_f64()
+    );
+    0
+}
+
+/// The throughput matrix: names-assigned/sec for shards × jobs × backend,
+/// written in the workspace's BENCH row format.
+fn bench(args: &Args, path: &str) -> i32 {
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut rows = Vec::new();
+    for backend in BackendKind::ALL {
+        for shards in [1usize, 4, 8] {
+            for jobs in [1usize, 4] {
+                let spec = bench_spec(args.seed, shards, backend, jobs);
+                let start = Instant::now();
+                let report = match run_judged(&spec, "bench", args) {
+                    Ok(report) => report,
+                    Err(()) => return 1,
+                };
+                let elapsed = start.elapsed().as_secs_f64();
+                let names_per_sec = report.names_per_sec(elapsed);
+                eprintln!(
+                    "service: bench {}/shards{shards}/jobs{jobs}: {} grants in {elapsed:.2}s \
+                     ({names_per_sec:.0} names/sec)",
+                    backend.label(),
+                    report.grants,
+                );
+                rows.push(format!(
+                    "  {{\"group\": \"service\", \"name\": \"{}/shards{shards}/jobs{jobs}\", \
+                     \"backend\": \"{}\", \"shards\": {shards}, \"jobs\": {jobs}, \"cpus\": {cpus}, \
+                     \"epochs\": {}, \"grants\": {}, \"recycled\": {}, \
+                     \"names_per_sec\": {names_per_sec:.1}}}",
+                    backend.label(),
+                    backend.label(),
+                    report.epochs,
+                    report.grants,
+                    report.recycled,
+                ));
+            }
+        }
+    }
+    let body = format!("[\n{}\n]\n", rows.join(",\n"));
+    match std::fs::write(path, body) {
+        Ok(()) => {
+            eprintln!("service: wrote {path}");
+            0
+        }
+        Err(e) => {
+            eprintln!("service: could not write {path}: {e}");
+            1
+        }
+    }
+}
+
+/// Runs a short service schedule with the span log attached and exports the
+/// service-level timing (per-epoch admission / per-shard protocol / grant
+/// publication spans) as Chrome trace-event JSON loadable in Perfetto.
+fn perfetto(args: &Args, path: &str) -> i32 {
+    let spec = soak_spec(
+        args.seed,
+        args.epochs.clamp(1, 8),
+        args.shards,
+        BackendKind::Sim,
+        2,
+    );
+    let spans = shared_span_log();
+    let report = match spec.run_with_spans(Some(spans.clone())) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("service: perfetto run failed: {e}");
+            return 1;
+        }
+    };
+    summarize("perfetto", &spec, &report);
+    let spans = spans.lock().expect("span log poisoned").spans().to_vec();
+    eprintln!("service: {} spans recorded", spans.len());
+    // No protocol event stream here — the trace carries the wall lane only.
+    let trace = render_trace_json(&RunLog::default(), Some(&spans));
+    match std::fs::write(path, trace) {
+        Ok(()) => {
+            eprintln!("service: wrote {path}");
+            0
+        }
+        Err(e) => {
+            eprintln!("service: could not write {path}: {e}");
+            1
+        }
+    }
+}
+
+fn replay(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("service: cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    let repro = match ServiceRepro::from_json(&text) {
+        Ok(repro) => repro,
+        Err(e) => {
+            eprintln!("service: {e}");
+            return 2;
+        }
+    };
+    let s = repro.spec.service;
+    eprintln!(
+        "service: replaying shards={} n={} t={} {} byz={} {} backend={} jobs={} \
+         (campaign seed {}, run #{})",
+        s.shards,
+        s.epoch_cfg.n(),
+        s.epoch_cfg.t(),
+        opr_chaos::repro::regime_label(s.regime),
+        s.byzantine,
+        s.adversary.label(),
+        s.backend.label(),
+        repro.spec.jobs,
+        repro.campaign_seed,
+        repro.run_index,
+    );
+    match repro.replay() {
+        Ok((report, violations)) => {
+            eprintln!(
+                "service: replay: {} grants, {} releases, {} recycled, {} violation(s)",
+                report.grants,
+                report.releases,
+                report.recycled,
+                violations.len()
+            );
+            for (oracle, violation) in violations.iter().take(10) {
+                eprintln!("service: replay: [{oracle}] {violation}");
+            }
+            if violations.is_empty() {
+                eprintln!("service: replay clean (fixed, or captured for determinism only)");
+                0
+            } else {
+                eprintln!("service: failure reproduced");
+                0
+            }
+        }
+        Err(e) => {
+            eprintln!("service: replay failed to run: {e}");
+            1
+        }
+    }
+}
+
+/// The quickstart: one small seeded run, summarized and judged.
+fn demo(args: &Args) -> i32 {
+    let spec = soak_spec(
+        args.seed,
+        args.epochs.clamp(1, 50),
+        args.shards,
+        BackendKind::default(),
+        2,
+    );
+    match run_judged(&spec, "demo", args) {
+        Ok(report) => {
+            summarize("demo", &spec, &report);
+            eprintln!("service: oracle-clean");
+            0
+        }
+        Err(()) => 1,
+    }
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&raw);
+    let exit = if let Some(path) = &args.repro {
+        replay(path)
+    } else if args.soak {
+        soak(&args)
+    } else if let Some(path) = args.bench.clone() {
+        bench(&args, &path)
+    } else if let Some(path) = args.perfetto.clone() {
+        perfetto(&args, &path)
+    } else {
+        demo(&args)
+    };
+    std::process::exit(exit);
+}

@@ -135,8 +135,9 @@ fn field_usize(doc: &Json, key: &str) -> Result<usize, ReproError> {
         .ok_or_else(|| bad(format!("missing or non-integer field '{key}'")))
 }
 
-/// Stable regime labels for the file format.
-fn regime_label(regime: Regime) -> &'static str {
+/// Stable regime labels for the file format (also used by the service
+/// repro format in `opr-service`).
+pub fn regime_label(regime: Regime) -> &'static str {
     match regime {
         Regime::LogTime => "log-time",
         Regime::ConstantTime => "constant-time",
@@ -144,11 +145,13 @@ fn regime_label(regime: Regime) -> &'static str {
     }
 }
 
-fn parse_regime(label: &str) -> Option<Regime> {
+/// Inverse of [`regime_label`].
+pub fn parse_regime(label: &str) -> Option<Regime> {
     Regime::ALL.into_iter().find(|&r| regime_label(r) == label)
 }
 
-fn parse_adversary(label: &str) -> Option<AdversarySpec> {
+/// Looks an adversary up by its stable [`AdversarySpec::label`].
+pub fn parse_adversary(label: &str) -> Option<AdversarySpec> {
     AdversarySpec::ALG1
         .into_iter()
         .chain(AdversarySpec::TWO_STEP)

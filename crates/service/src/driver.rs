@@ -1,0 +1,151 @@
+//! The seeded service driver: runs a [`ServiceEngine`] against a
+//! [`ServiceWorkload`] for its full schedule and folds the outcome into a
+//! comparable [`ServiceReport`].
+//!
+//! The driver is the replayability boundary: a [`ServiceSpec`] is a pure
+//! value, and `run()` is a deterministic function of it — same spec, same
+//! report, bit for bit, across `jobs` counts and backends. Everything the
+//! soak/reduction/chaos gates compare is in the report; wall-clock spans are
+//! deliberately outside it.
+
+use crate::config::{ServiceConfig, ServiceError};
+use crate::engine::{AdmissionStats, EpochStats, LedgerEvent, ServiceEngine, ServiceOp};
+use opr_exec::RunPool;
+use opr_obs::SharedSpanLog;
+use opr_workload::{ClientId, ServiceWorkload};
+use std::collections::BTreeMap;
+
+/// A complete, replayable service experiment: engine configuration, demand
+/// schedule, and dispatch parallelism.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ServiceSpec {
+    /// Engine configuration.
+    pub service: ServiceConfig,
+    /// Open-loop demand schedule.
+    pub workload: ServiceWorkload,
+    /// `RunPool` parallelism for shard dispatch (`≤ 1` runs inline).
+    pub jobs: usize,
+}
+
+/// What a full service run produced — the deterministic result the gates
+/// compare (spans and wall time are intentionally absent).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ServiceReport {
+    /// Epochs executed.
+    pub epochs: u64,
+    /// Total names granted.
+    pub grants: u64,
+    /// Total names released back to the pools.
+    pub releases: u64,
+    /// Grants of a name that had already served an earlier client — the
+    /// recycling traffic (0 means no name was ever reused).
+    pub recycled: u64,
+    /// Admission counters.
+    pub admission: AdmissionStats,
+    /// The full chronological ledger.
+    pub ledger: Vec<LedgerEvent>,
+    /// Per-epoch counters.
+    pub epoch_stats: Vec<EpochStats>,
+}
+
+impl ServiceSpec {
+    /// Runs the full schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError`] on invalid configuration or a failed
+    /// protocol instance.
+    pub fn run(&self) -> Result<ServiceReport, ServiceError> {
+        self.run_with_spans(None)
+    }
+
+    /// [`ServiceSpec::run`] with an optional wall-clock span log attached to
+    /// both the engine (admission/protocol/grant spans) and the dispatch
+    /// pool (stage spans).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError`] on invalid configuration or a failed
+    /// protocol instance.
+    pub fn run_with_spans(
+        &self,
+        spans: Option<SharedSpanLog>,
+    ) -> Result<ServiceReport, ServiceError> {
+        let mut pool = RunPool::new(self.jobs);
+        let mut engine = ServiceEngine::new(self.service)?;
+        if let Some(log) = spans {
+            pool = pool.with_spans(log.clone());
+            engine = engine.with_spans(log);
+        }
+
+        // Releases are materialized from observed grants: a client granted
+        // in epoch `g` releases at the start of epoch `g + hold(client)`.
+        // Holds are ≥ 1, so a release never races its own grant's epoch.
+        let mut due_releases: BTreeMap<u64, Vec<ClientId>> = BTreeMap::new();
+        let mut ledger_seen = 0usize;
+        for epoch in 0..self.workload.epochs {
+            for client in due_releases.remove(&epoch).unwrap_or_default() {
+                // A full queue drops the release; the client simply holds
+                // its name for the rest of the run (counted as
+                // rejected_queue_full backpressure).
+                engine.submit(ServiceOp::Release { client });
+            }
+            for arrival in self.workload.arrivals(epoch) {
+                engine.submit(ServiceOp::Acquire {
+                    client: arrival.client,
+                    original: arrival.original,
+                });
+            }
+            engine.run_epoch(&pool)?;
+            for event in &engine.ledger()[ledger_seen..] {
+                if let LedgerEvent::Grant(grant) = event {
+                    let due = epoch + self.workload.hold_epochs(grant.client);
+                    // Releases falling past the schedule are dropped: the
+                    // run ends with those names still live.
+                    if due < self.workload.epochs {
+                        due_releases.entry(due).or_default().push(grant.client);
+                    }
+                }
+            }
+            ledger_seen = engine.ledger().len();
+        }
+
+        let ledger = engine.ledger().to_vec();
+        let (mut grants, mut releases, mut recycled) = (0u64, 0u64, 0u64);
+        let mut granted_before: BTreeMap<(usize, u64), bool> = BTreeMap::new();
+        for event in &ledger {
+            match event {
+                LedgerEvent::Grant(grant) => {
+                    grants += 1;
+                    if granted_before
+                        .insert((grant.shard, grant.name), true)
+                        .is_some()
+                    {
+                        recycled += 1;
+                    }
+                }
+                LedgerEvent::Release { .. } => releases += 1,
+            }
+        }
+        Ok(ServiceReport {
+            epochs: engine.epochs_run(),
+            grants,
+            releases,
+            recycled,
+            admission: engine.admission(),
+            ledger,
+            epoch_stats: engine.epoch_stats().to_vec(),
+        })
+    }
+}
+
+impl ServiceReport {
+    /// Names granted per wall-clock second given an elapsed duration —
+    /// the bench binary's headline metric.
+    pub fn names_per_sec(&self, elapsed_secs: f64) -> f64 {
+        if elapsed_secs <= 0.0 {
+            return 0.0;
+        }
+        self.grants as f64 / elapsed_secs
+    }
+}

@@ -1,0 +1,510 @@
+//! The multi-tenant epoch engine: admission queue, sharded free pools,
+//! per-epoch protocol instances and the cross-epoch grant ledger.
+//!
+//! One engine multiplexes many renaming instances over time (epochs) and
+//! space (shards). Within an epoch each non-empty shard runs one full
+//! protocol instance — the paper's one-shot guarantees (uniqueness, order
+//! preservation, tight namespace) hold per instance — and the engine maps
+//! the instance's protocol names onto the shard's free pool, preserving
+//! order. Released names return to the pool, so a name can serve many
+//! clients over the run while never being live twice; the chronological
+//! [`LedgerEvent`] stream is the auditable record the service oracles judge.
+
+use crate::config::{epoch_seed, ServiceConfig, ServiceError};
+use opr_exec::RunPool;
+use opr_obs::SharedSpanLog;
+use opr_types::{NewName, OriginalId, RenamingError, RenamingOutcome};
+use opr_workload::{ClientId, RenamingRun};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::time::Instant;
+
+/// A client-facing operation submitted to the admission queue.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ServiceOp {
+    /// Acquire a service name, presenting an original id to the protocol.
+    Acquire {
+        /// The requesting client.
+        client: ClientId,
+        /// The original id it presents.
+        original: OriginalId,
+    },
+    /// Release the name the client currently holds (or cancel its queued
+    /// acquire).
+    Release {
+        /// The releasing client.
+        client: ClientId,
+    },
+}
+
+impl ServiceOp {
+    /// The client behind the operation.
+    pub fn client(&self) -> ClientId {
+        match *self {
+            ServiceOp::Acquire { client, .. } | ServiceOp::Release { client } => client,
+        }
+    }
+}
+
+/// Admission-side counters: what the queue accepted, rejected and cancelled.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct AdmissionStats {
+    /// Acquires that entered the queue.
+    pub accepted_acquires: u64,
+    /// Releases that entered the queue.
+    pub accepted_releases: u64,
+    /// Operations bounced because the queue was full (backpressure).
+    pub rejected_queue_full: u64,
+    /// Acquires dropped at drain time because the client already holds a
+    /// grant or already has an acquire pending.
+    pub rejected_duplicate: u64,
+    /// Releases dropped at drain time because the client neither holds a
+    /// grant nor has an acquire pending.
+    pub rejected_unknown_release: u64,
+    /// Releases that arrived before the grant and cancelled the client's
+    /// queued acquire instead of freeing a name.
+    pub cancelled_pending: u64,
+}
+
+/// One service-level name grant.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Grant {
+    /// The epoch the grant was published in.
+    pub epoch: u64,
+    /// The shard that served it.
+    pub shard: usize,
+    /// The granted client.
+    pub client: ClientId,
+    /// The original id the client presented.
+    pub original: OriginalId,
+    /// The raw protocol output before pool compaction — what a direct
+    /// `RenamingRun` on the same instance decides.
+    pub protocol_name: NewName,
+    /// The service-level name: the k-th smallest protocol name of the epoch
+    /// maps to the k-th smallest free name of the shard, so protocol order
+    /// is preserved while gaps are compacted onto the recycled pool.
+    pub name: u64,
+}
+
+/// One entry of the chronological service ledger.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LedgerEvent {
+    /// A name went live.
+    Grant(Grant),
+    /// A name returned to its shard's free pool.
+    Release {
+        /// The epoch the release was processed in.
+        epoch: u64,
+        /// The shard the name belongs to.
+        shard: usize,
+        /// The client that held it.
+        client: ClientId,
+        /// The freed service-level name.
+        name: u64,
+    },
+}
+
+/// Per-epoch outcome counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct EpochStats {
+    /// The epoch index.
+    pub epoch: u64,
+    /// Names granted this epoch.
+    pub grants: u64,
+    /// Names released this epoch.
+    pub releases: u64,
+    /// Protocol instances executed (one per non-empty shard).
+    pub protocol_runs: u64,
+    /// Shards skipped because they had no admitted demand (empty-epoch
+    /// skip: no protocol instance is spent on an idle shard).
+    pub skipped_shards: u64,
+    /// Requests pushed back to the head of their shard's backlog — batch
+    /// collisions on the same original id, or (defensively) an instance
+    /// that left a request undecided.
+    pub deferred: u64,
+}
+
+/// A shard: a disjoint name range with its own free pool, backlog of
+/// admitted acquires, and live-grant table.
+struct Shard {
+    /// Names currently free, ascending.
+    free: BTreeSet<u64>,
+    /// Admitted acquires waiting for an epoch slot, FIFO.
+    backlog: VecDeque<(ClientId, OriginalId)>,
+    /// Clients present in `backlog` (duplicate-acquire detection).
+    backlog_clients: BTreeSet<ClientId>,
+    /// Live grants: client → (original, service name).
+    live: BTreeMap<ClientId, (OriginalId, u64)>,
+}
+
+impl Shard {
+    fn new(range: (u64, u64)) -> Self {
+        Shard {
+            free: (range.0..=range.1).collect(),
+            backlog: VecDeque::new(),
+            backlog_clients: BTreeSet::new(),
+            live: BTreeMap::new(),
+        }
+    }
+}
+
+/// The long-running service engine. Drive it by [`ServiceEngine::submit`]ing
+/// operations and calling [`ServiceEngine::run_epoch`]; read the results off
+/// [`ServiceEngine::ledger`].
+pub struct ServiceEngine {
+    cfg: ServiceConfig,
+    shards: Vec<Shard>,
+    /// The bounded admission queue, shared across shards.
+    queue: VecDeque<ServiceOp>,
+    admission: AdmissionStats,
+    ledger: Vec<LedgerEvent>,
+    epoch_stats: Vec<EpochStats>,
+    epoch: u64,
+    spans: Option<SharedSpanLog>,
+}
+
+impl ServiceEngine {
+    /// Builds an engine with full free pools and an empty queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError`] when the configuration is invalid.
+    pub fn new(cfg: ServiceConfig) -> Result<Self, ServiceError> {
+        cfg.validate()?;
+        Ok(ServiceEngine {
+            cfg,
+            shards: (0..cfg.shards)
+                .map(|s| Shard::new(cfg.shard_range(s)))
+                .collect(),
+            queue: VecDeque::new(),
+            admission: AdmissionStats::default(),
+            ledger: Vec::new(),
+            epoch_stats: Vec::new(),
+            epoch: 0,
+            spans: None,
+        })
+    }
+
+    /// Attaches a wall-clock span log; the engine records per-epoch
+    /// admission/grant spans and per-shard protocol spans (observability
+    /// only, never part of the deterministic result).
+    pub fn with_spans(mut self, spans: SharedSpanLog) -> Self {
+        self.spans = Some(spans);
+        self
+    }
+
+    /// Offers an operation to the admission queue. Returns `false` (and
+    /// counts backpressure) when the queue is at capacity; the caller owns
+    /// the retry policy.
+    pub fn submit(&mut self, op: ServiceOp) -> bool {
+        if self.queue.len() >= self.cfg.queue_capacity {
+            self.admission.rejected_queue_full += 1;
+            return false;
+        }
+        match op {
+            ServiceOp::Acquire { .. } => self.admission.accepted_acquires += 1,
+            ServiceOp::Release { .. } => self.admission.accepted_releases += 1,
+        }
+        self.queue.push_back(op);
+        true
+    }
+
+    /// Runs one epoch: drains the admission queue into the shards, runs one
+    /// protocol instance per non-empty shard (dispatched over `pool`), and
+    /// publishes the grants. Returns the epoch's counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Protocol`] when an instance fails — with an
+    /// in-budget adversary this indicates a harness bug, so the epoch is not
+    /// silently absorbed.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises panics from protocol instances executed on the pool.
+    pub fn run_epoch(&mut self, pool: &RunPool) -> Result<EpochStats, ServiceError> {
+        let epoch = self.epoch;
+        let mut stats = EpochStats {
+            epoch,
+            ..EpochStats::default()
+        };
+
+        let admission_start = Instant::now();
+        self.drain_queue(epoch, &mut stats);
+        self.record_span(format!("epoch {epoch} admission"), admission_start);
+
+        let (batches, outcomes) = self.run_shard_instances(pool, epoch, &mut stats)?;
+
+        let grant_start = Instant::now();
+        for (shard_index, batch, outcome) in batches
+            .into_iter()
+            .zip(outcomes)
+            .map(|((s, b), o)| (s, b, o))
+        {
+            self.publish_grants(epoch, shard_index, batch, &outcome?, &mut stats);
+        }
+        self.record_span(format!("epoch {epoch} grants"), grant_start);
+
+        self.epoch_stats.push(stats);
+        self.epoch += 1;
+        Ok(stats)
+    }
+
+    /// Applies every queued operation to its shard's state.
+    fn drain_queue(&mut self, epoch: u64, stats: &mut EpochStats) {
+        while let Some(op) = self.queue.pop_front() {
+            let shard_index = self.cfg.shard_of(op.client());
+            let shard = &mut self.shards[shard_index];
+            match op {
+                ServiceOp::Acquire { client, original } => {
+                    if shard.live.contains_key(&client) || shard.backlog_clients.contains(&client) {
+                        self.admission.rejected_duplicate += 1;
+                    } else {
+                        shard.backlog.push_back((client, original));
+                        shard.backlog_clients.insert(client);
+                    }
+                }
+                ServiceOp::Release { client } => {
+                    if let Some((_, name)) = shard.live.remove(&client) {
+                        shard.free.insert(name);
+                        self.ledger.push(LedgerEvent::Release {
+                            epoch,
+                            shard: shard_index,
+                            client,
+                            name,
+                        });
+                        stats.releases += 1;
+                    } else if shard.backlog_clients.remove(&client) {
+                        shard.backlog.retain(|&(c, _)| c != client);
+                        self.admission.cancelled_pending += 1;
+                    } else {
+                        self.admission.rejected_unknown_release += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Forms one batch per shard and runs the non-empty ones as protocol
+    /// instances on the pool. Returns the batches (with their shard index)
+    /// and the instance outcomes in the same order.
+    #[allow(clippy::type_complexity)]
+    fn run_shard_instances(
+        &mut self,
+        pool: &RunPool,
+        epoch: u64,
+        stats: &mut EpochStats,
+    ) -> Result<
+        (
+            Vec<(usize, Vec<(ClientId, OriginalId)>)>,
+            Vec<Result<RenamingOutcome, RenamingError>>,
+        ),
+        ServiceError,
+    > {
+        let mut batches = Vec::new();
+        for shard_index in 0..self.shards.len() {
+            let batch = self.form_batch(shard_index, stats);
+            if batch.is_empty() {
+                stats.skipped_shards += 1;
+            } else {
+                batches.push((shard_index, batch));
+            }
+        }
+
+        let cfg = self.cfg;
+        let tasks: Vec<_> = batches
+            .iter()
+            .map(|(shard_index, batch)| {
+                let shard_index = *shard_index;
+                let originals: Vec<OriginalId> = batch.iter().map(|&(_, o)| o).collect();
+                let spans = self.spans.clone();
+                move || {
+                    let start = Instant::now();
+                    let result = run_instance(&cfg, epoch, shard_index, &originals);
+                    if let Some(log) = spans {
+                        log.lock().expect("span log poisoned").record_since(
+                            format!("epoch {epoch} shard {shard_index} protocol"),
+                            start,
+                        );
+                    }
+                    result
+                }
+            })
+            .collect();
+        stats.protocol_runs = tasks.len() as u64;
+        let outcomes = pool
+            .run_batch(tasks)
+            .into_iter()
+            .map(|task| match task {
+                Ok(outcome) => outcome,
+                // A panicking instance is a harness bug; surface it exactly
+                // like `run_grid` does instead of absorbing it into a slot.
+                Err(panic) => std::panic::panic_any(panic.message),
+            })
+            .collect();
+        Ok((batches, outcomes))
+    }
+
+    /// Takes up to `min(backlog, epoch capacity, free pool)` requests off a
+    /// shard's backlog, FIFO, skipping (and re-queueing in order) requests
+    /// whose original id already appears in the batch — a protocol instance
+    /// needs distinct ids.
+    fn form_batch(
+        &mut self,
+        shard_index: usize,
+        stats: &mut EpochStats,
+    ) -> Vec<(ClientId, OriginalId)> {
+        let shard = &mut self.shards[shard_index];
+        let limit = self
+            .cfg
+            .epoch_capacity()
+            .min(shard.free.len())
+            .min(shard.backlog.len());
+        let mut batch: Vec<(ClientId, OriginalId)> = Vec::with_capacity(limit);
+        let mut originals = BTreeSet::new();
+        let mut deferred = VecDeque::new();
+        while batch.len() < limit {
+            let Some((client, original)) = shard.backlog.pop_front() else {
+                break;
+            };
+            if originals.insert(original) {
+                batch.push((client, original));
+            } else {
+                deferred.push_back((client, original));
+                stats.deferred += 1;
+            }
+        }
+        // Deferred collisions go back to the head, before the untouched
+        // backlog tail, so overall FIFO order is preserved.
+        for entry in deferred.into_iter().rev() {
+            shard.backlog.push_front(entry);
+        }
+        // Batched clients leave the backlog set; they re-enter `live` at
+        // grant time (or the backlog, if the instance leaves them undecided).
+        for &(client, _) in &batch {
+            shard.backlog_clients.remove(&client);
+        }
+        batch
+    }
+
+    /// Maps an instance's protocol names onto the shard's free pool and
+    /// publishes the grants: k-th smallest protocol name → k-th smallest
+    /// free name. Order preservation of the instance makes the per-original
+    /// order of both sides identical.
+    fn publish_grants(
+        &mut self,
+        epoch: u64,
+        shard_index: usize,
+        batch: Vec<(ClientId, OriginalId)>,
+        outcome: &RenamingOutcome,
+        stats: &mut EpochStats,
+    ) {
+        // Decided batch entries ordered by protocol name. Order preservation
+        // means sorting by name and sorting by original agree; sorting by
+        // the raw name keeps the compaction monotone even if an instance
+        // (buggily) inverted a pair — the oracle then reports the inversion
+        // on the protocol names rather than it being masked by the pool.
+        let mut decided: Vec<(ClientId, OriginalId, NewName)> = Vec::with_capacity(batch.len());
+        let shard = &mut self.shards[shard_index];
+        for (client, original) in batch {
+            match outcome.name_of(original) {
+                Some(name) => decided.push((client, original, name)),
+                None => {
+                    // Defensive: an undecided correct slot would be a
+                    // protocol bug; re-queue the request so demand is not
+                    // silently lost, and let the grant-count gates notice.
+                    shard.backlog.push_front((client, original));
+                    shard.backlog_clients.insert(client);
+                    stats.deferred += 1;
+                }
+            }
+        }
+        decided.sort_by_key(|&(_, _, name)| name);
+        let names: Vec<u64> = shard.free.iter().take(decided.len()).copied().collect();
+        for ((client, original, protocol_name), name) in decided.into_iter().zip(names) {
+            shard.free.remove(&name);
+            shard.live.insert(client, (original, name));
+            self.ledger.push(LedgerEvent::Grant(Grant {
+                epoch,
+                shard: shard_index,
+                client,
+                original,
+                protocol_name,
+                name,
+            }));
+            stats.grants += 1;
+        }
+    }
+
+    fn record_span(&self, name: String, start: Instant) {
+        if let Some(log) = &self.spans {
+            log.lock()
+                .expect("span log poisoned")
+                .record_since(name, start);
+        }
+    }
+
+    /// The configuration the engine runs.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// The chronological grant/release ledger so far.
+    pub fn ledger(&self) -> &[LedgerEvent] {
+        &self.ledger
+    }
+
+    /// Admission counters so far.
+    pub fn admission(&self) -> AdmissionStats {
+        self.admission
+    }
+
+    /// Per-epoch counters so far.
+    pub fn epoch_stats(&self) -> &[EpochStats] {
+        &self.epoch_stats
+    }
+
+    /// Epochs executed so far.
+    pub fn epochs_run(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Currently live grants across all shards.
+    pub fn live_count(&self) -> usize {
+        self.shards.iter().map(|s| s.live.len()).sum()
+    }
+
+    /// Currently free names in `shard`'s pool.
+    pub fn free_count(&self, shard: usize) -> usize {
+        self.shards[shard].free.len()
+    }
+
+    /// Requests admitted but not yet granted, across all shards.
+    pub fn backlog_len(&self) -> usize {
+        self.shards.iter().map(|s| s.backlog.len()).sum()
+    }
+}
+
+/// Runs one shard-epoch protocol instance: the batch's original ids plus
+/// filler ids above them (so order preservation keeps every filler name
+/// above every real name), under the configured adversary.
+fn run_instance(
+    cfg: &ServiceConfig,
+    epoch: u64,
+    shard: usize,
+    originals: &[OriginalId],
+) -> Result<RenamingOutcome, RenamingError> {
+    let max_real = originals.iter().map(|o| o.raw()).max().unwrap_or(0);
+    let fillers = cfg.epoch_capacity() - originals.len();
+    let ids: Vec<OriginalId> = originals
+        .iter()
+        .copied()
+        .chain((1..=fillers as u64).map(|i| OriginalId::new(max_real + i)))
+        .collect();
+    let run = RenamingRun::builder(cfg.epoch_cfg, cfg.regime)
+        .correct_ids(ids)
+        .adversary(cfg.adversary, cfg.byzantine)
+        .seed(epoch_seed(cfg.seed, epoch, shard))
+        .backend(cfg.backend)
+        .run()?;
+    Ok(run.outcome)
+}

@@ -24,13 +24,17 @@
 //! Supporting pieces: [`IdDistribution`] generates original-id workloads,
 //! [`Algorithm`] gives every implementation (paper + baselines) a uniform
 //! run interface producing [`RunStats`], [`RenamingRun`] is the builder
-//! used in examples, and [`ExperimentTable`] renders markdown/CSV.
+//! used in examples, [`ServiceWorkload`] generates the open-loop
+//! acquire/release schedules the service layer (`opr-service`) consumes,
+//! and [`ExperimentTable`] renders markdown/CSV.
 
 pub mod experiments;
 pub mod id_dist;
 pub mod run;
+pub mod service_load;
 pub mod table;
 
 pub use id_dist::IdDistribution;
 pub use run::{run_grid, Algorithm, DiagnosedRun, GridPoint, RenamingRun, RunOutput, RunStats};
+pub use service_load::{Arrival, ClientId, ServiceWorkload};
 pub use table::ExperimentTable;

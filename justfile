@@ -60,6 +60,26 @@ explain FILE="tests/data/chaos-repro.json" *ARGS:
 bench-obs:
     cargo run --release -p opr-bench --bin fanout -- --out crates/bench/BENCH_fanout.json
 
+# Renaming-as-a-service demo: a short multi-shard epoch run with recycling,
+# judged by the ledger oracle suite.
+service:
+    cargo run --release -p opr-bench --bin service
+
+# Service soak gate: seeded ≥1000-epoch run across 4 shards with recycling;
+# must be oracle-clean and bit-identical across jobs and backends.
+service-soak EPOCHS="1000":
+    cargo run --release -p opr-bench --bin service -- --soak --epochs {{EPOCHS}}
+
+# Service-layer chaos smoke: seeded epoch-engine specs judged by the ledger
+# oracles, with a jobs-determinism cross-check per spec.
+chaos-service RUNS="40":
+    cargo run --release -p opr-bench --bin chaos -- --service --seed 42 --runs {{RUNS}}
+
+# Service throughput matrix: names-assigned/sec over shards x jobs x backend
+# (writes crates/bench/BENCH_service.json).
+bench-service:
+    cargo run --release -p opr-bench --bin service -- --bench crates/bench/BENCH_service.json
+
 # Regenerate every experiment table (add `--backend threaded` to switch substrate).
 tables *ARGS:
     cargo run --release -p opr-bench --bin tables -- {{ARGS}}

@@ -29,6 +29,10 @@
 //!   recorder threaded through the protocol layers, JSONL and Perfetto
 //!   (Chrome trace-event) exporters, and a wall-clock span layer kept
 //!   strictly separate from the deterministic stream.
+//! * [`service`] — renaming-as-a-service: a multi-tenant epoch engine with
+//!   a bounded admission queue, sharded namespaces, per-epoch protocol
+//!   instances dispatched over the [`RunPool`], name recycling with a
+//!   cross-epoch uniqueness ledger, and its own oracle/repro layer.
 //!
 //! [`RunPool`]: exec::RunPool
 //!
@@ -63,6 +67,7 @@ pub use opr_core as core;
 pub use opr_exec as exec;
 pub use opr_obs as obs;
 pub use opr_rbcast as rbcast;
+pub use opr_service as service;
 pub use opr_sim as sim;
 pub use opr_transport as transport;
 pub use opr_types as types;
@@ -73,12 +78,14 @@ pub mod prelude {
     pub use opr_adversary::AdversarySpec;
     pub use opr_exec::RunPool;
     pub use opr_obs::{ProtocolEvent, RunLog};
+    pub use opr_service::{ServiceConfig, ServiceReport, ServiceSpec};
     pub use opr_transport::{BackendKind, FaultPlan};
     pub use opr_types::{
         ConfigError, LinkId, NewName, OriginalId, ProcessIndex, Rank, Regime, RenamingError,
         RenamingOutcome, Round, SystemConfig,
     };
     pub use opr_workload::{
-        Algorithm, DiagnosedRun, ExperimentTable, IdDistribution, RenamingRun, RunOutput, RunStats,
+        Algorithm, ClientId, DiagnosedRun, ExperimentTable, IdDistribution, RenamingRun, RunOutput,
+        RunStats, ServiceWorkload,
     };
 }
