@@ -37,11 +37,15 @@ use opr_chaos::engine::{
     execute_schedule, judge_schedule, per_run_seed, run_campaign, BackendChoice, CampaignConfig,
 };
 use opr_chaos::explain::explain_repro;
+use opr_chaos::fitness::{evaluate, FitnessKind};
 use opr_chaos::generator::generate_schedule;
 use opr_chaos::oracle::standard_suite;
 use opr_chaos::repro::Repro;
 use opr_chaos::schedule::{BudgetRegime, ChaosSchedule};
+use opr_chaos::search::{random_search_on, render_search_json, repro_for, run_search_on};
 use opr_chaos::shrink::shrink;
+use opr_chaos::SearchConfig;
+use opr_exec::RunPool;
 use opr_obs::{render_jsonl, render_trace_json};
 use opr_sim::RunMetrics;
 
@@ -59,7 +63,15 @@ fn usage() -> ! {
          \x20      chaos --service [--seed S] [--runs K] [--repro-out <file>]\n\
          \x20                                service-layer smoke: seeded epoch-engine specs\n\
          \x20                                judged by the ledger oracles + jobs determinism\n\
-         \x20      chaos --service --repro <file>  replay a captured service failure"
+         \x20      chaos --service --repro <file>  replay a captured service failure\n\
+         \x20      chaos --search [--seed S] [--budget in|at|over] [--backend sim|threaded|both]\n\
+         \x20                     [--jobs N] [--fitness margin|rounds|namespace|spread|drops]\n\
+         \x20                     [--beam B] [--generations G] [--evals E] [--init I] [--top-k K]\n\
+         \x20                     [--out-dir DIR] [--search-report <file>] [--baseline] [--timing]\n\
+         \x20                                guided adversary search: optimize attack schedules,\n\
+         \x20                                emit the top-K as replayable repro files\n\
+         \x20      chaos --search --service  hill-climb over service-spec seeds, judged by\n\
+         \x20                                ledger-oracle shard-pressure margins"
     );
     std::process::exit(2);
 }
@@ -76,6 +88,17 @@ struct Args {
     bench: Option<String>,
     bench_exec: Option<String>,
     events_out: Option<String>,
+    search: bool,
+    fitness: FitnessKind,
+    beam: usize,
+    generations: usize,
+    evals: usize,
+    init: usize,
+    top_k: usize,
+    out_dir: String,
+    search_report: Option<String>,
+    baseline: bool,
+    timing: bool,
 }
 
 /// `chaos explain <file> [--events <file>] [--perfetto <file>]`.
@@ -119,6 +142,17 @@ fn parse_args(raw: &[String]) -> Args {
         bench: None,
         bench_exec: None,
         events_out: None,
+        search: false,
+        fitness: FitnessKind::Margin,
+        beam: 4,
+        generations: 6,
+        evals: 96,
+        init: 24,
+        top_k: 3,
+        out_dir: ".".to_string(),
+        search_report: None,
+        baseline: false,
+        timing: false,
     };
     let mut it = raw.iter();
     while let Some(flag) = it.next() {
@@ -160,6 +194,49 @@ fn parse_args(raw: &[String]) -> Args {
             "--bench" => args.bench = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--bench-exec" => args.bench_exec = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--events" => args.events_out = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--search" => args.search = true,
+            "--fitness" => {
+                args.fitness = it
+                    .next()
+                    .and_then(|v| FitnessKind::parse(v))
+                    .unwrap_or_else(|| usage())
+            }
+            "--beam" => {
+                args.beam = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--generations" => {
+                args.generations = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--evals" => {
+                args.evals = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--init" => {
+                args.init = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--top-k" => {
+                args.top_k = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--out-dir" => args.out_dir = it.next().cloned().unwrap_or_else(|| usage()),
+            "--search-report" => {
+                args.search_report = Some(it.next().cloned().unwrap_or_else(|| usage()))
+            }
+            "--baseline" => args.baseline = true,
+            "--timing" => args.timing = true,
             _ => usage(),
         }
     }
@@ -177,9 +254,10 @@ fn main() {
         if args.repro_out == "chaos-repro.json" {
             args.repro_out = "service-repro.json".to_string();
         }
-        let exit = match &args.repro {
-            Some(path) => service_replay(path),
-            None => service_smoke(&args),
+        let exit = match (&args.repro, args.search) {
+            (Some(path), _) => service_replay(path),
+            (None, true) => service_search(&args),
+            (None, false) => service_smoke(&args),
         };
         std::process::exit(exit);
     }
@@ -187,6 +265,8 @@ fn main() {
     let oracles = standard_suite();
     let exit = if let Some(path) = &args.repro {
         replay(path, &oracles)
+    } else if args.search {
+        search_cmd(&args)
     } else if args.self_test {
         self_test(&args, &oracles)
     } else if let Some(path) = &args.bench {
@@ -333,6 +413,7 @@ fn campaign(args: &Args, oracles: &[Box<dyn opr_chaos::Oracle>]) -> i32 {
         digest,
         schedule: result.schedule,
         metrics,
+        fitness: None,
     };
     match std::fs::write(&args.repro_out, repro.to_json()) {
         Ok(()) => eprintln!("chaos: wrote {}", args.repro_out),
@@ -372,13 +453,34 @@ fn replay(path: &str, oracles: &[Box<dyn opr_chaos::Oracle>]) -> i32 {
     let verdict = repro.replay(oracles);
     let digest = verdict.digest();
     eprintln!("chaos: replay digest '{digest}'");
-    if digests_overlap(&digest, &repro.digest) {
-        eprintln!("chaos: failure reproduced");
-        0
-    } else {
+    if !digests_overlap(&digest, &repro.digest) {
         eprintln!("chaos: failure did NOT reproduce (fixed, or environment drift)");
-        1
+        return 1;
     }
+    // Search-found repros also record a fitness score; the replay must
+    // reproduce it exactly (the regression contract of worst-*.json seeds).
+    if let Some(record) = &repro.fitness {
+        let (reference, _) = repro.backend.backends();
+        match repro.schedule.run_observed(reference, None) {
+            Ok(run) => {
+                let got = evaluate(record.kind, &repro.schedule, &run, reference).0;
+                if got != record.score {
+                    eprintln!(
+                        "chaos: recorded fitness {}={} but replay scored {got}",
+                        record.kind, record.score
+                    );
+                    return 1;
+                }
+                eprintln!("chaos: fitness {}={} reproduced", record.kind, record.score);
+            }
+            Err(e) => {
+                eprintln!("chaos: could not re-observe for fitness check: {e}");
+                return 1;
+            }
+        }
+    }
+    eprintln!("chaos: recorded digest reproduced");
+    0
 }
 
 /// Injects a real failure (an over-budget schedule judged under at-budget
@@ -419,6 +521,7 @@ fn self_test(args: &Args, oracles: &[Box<dyn opr_chaos::Oracle>]) -> i32 {
             digest: digest.clone(),
             schedule: result.schedule,
             metrics,
+            fitness: None,
         };
         let text = repro.to_json();
         let reread = match Repro::from_json(&text) {
@@ -559,6 +662,95 @@ fn bench(args: &Args, path: &str, oracles: &[Box<dyn opr_chaos::Oracle>]) -> i32
     }
 }
 
+/// Guided adversary search over protocol schedule space: beam-search the
+/// configured fitness signal, print per-generation progress, emit the
+/// top-K finds as replayable repro files and (optionally) the report JSON.
+/// Exit 1 when the search surfaces a genuine budget-respecting failure.
+fn search_cmd(args: &Args) -> i32 {
+    let config = SearchConfig {
+        seed: args.seed,
+        budget: args.budget.unwrap_or(BudgetRegime::AtBudget),
+        backend: args.backend,
+        fitness: args.fitness,
+        beam: args.beam,
+        generations: args.generations,
+        evals: args.evals,
+        init: args.init,
+        top_k: args.top_k,
+        jobs: args.jobs,
+    };
+    eprintln!(
+        "chaos: search: seed={} budget={} backend={} fitness={} beam={} generations={} evals={} jobs={}",
+        config.seed,
+        config.budget,
+        config.backend,
+        config.fitness,
+        config.beam,
+        config.generations,
+        config.evals,
+        config.jobs
+    );
+    let pool = RunPool::new(args.jobs);
+    let report = run_search_on(&pool, &config);
+    for g in &report.outcome.generations {
+        eprintln!(
+            "chaos: gen {:>2}: best {:>12} after {:>4} evals ({} duplicates skipped)",
+            g.generation, g.best, g.evaluated, g.deduped
+        );
+    }
+    let random = if args.baseline {
+        let baseline = random_search_on(&pool, &config);
+        let best = baseline.best().map_or(i64::MIN, |s| s.fitness.0);
+        let guided = report.best().map_or(i64::MIN, |s| s.fitness.0);
+        eprintln!(
+            "chaos: random baseline best {best} vs guided {guided} at {} evals",
+            baseline.outcome.evaluated
+        );
+        if guided < best {
+            eprintln!("chaos: guided search lost to random at equal budget — selection bug");
+            return 1;
+        }
+        Some(baseline)
+    } else {
+        None
+    };
+    for (rank, scored) in report.outcome.top.iter().enumerate() {
+        let repro = repro_for(&config, rank, scored);
+        let path = format!("{}/chaos-search-top-{rank}.json", args.out_dir);
+        match std::fs::write(&path, repro.to_json()) {
+            Ok(()) => eprintln!(
+                "chaos: wrote {path} (fitness {}, digest '{}')",
+                scored.fitness.0, scored.digest
+            ),
+            Err(e) => {
+                eprintln!("chaos: could not write {path}: {e}");
+                return 1;
+            }
+        }
+    }
+    if let Some(path) = &args.search_report {
+        let payload = render_search_json(&report, random.as_ref(), args.timing);
+        match std::fs::write(path, payload) {
+            Ok(()) => eprintln!("chaos: wrote {path}"),
+            Err(e) => {
+                eprintln!("chaos: could not write {path}: {e}");
+                return 1;
+            }
+        }
+    }
+    eprintln!(
+        "chaos: search done: {} evaluated, {} deduped, {:.1} evals/sec",
+        report.outcome.evaluated,
+        report.outcome.deduped,
+        report.evals_per_sec()
+    );
+    if report.found_failure() {
+        eprintln!("chaos: search surfaced a genuine failure — inspect the top repro files");
+        return 1;
+    }
+    0
+}
+
 /// Draws a small legal service spec from a run seed: 1–4 shards, every
 /// regime at `t = 1`, 0–1 Byzantine actors under a regime-legal adversary,
 /// both backends, a tiny client universe (so clients wrap around and
@@ -573,7 +765,7 @@ fn service_spec_for(seed: u64) -> opr_service::ServiceSpec {
     let byzantine = ((seed >> 16) % 2) as usize;
     let suite = AdversarySpec::suite(regime);
     let adversary = suite[((seed >> 24) as usize) % suite.len()];
-    let backend = if (seed >> 32) % 2 == 0 {
+    let backend = if (seed >> 32).is_multiple_of(2) {
         BackendKind::Sim
     } else {
         BackendKind::Threaded
@@ -596,10 +788,120 @@ fn service_spec_for(seed: u64) -> opr_service::ServiceSpec {
             epochs: 10,
             arrivals_per_epoch: 2 * shards + 1,
             max_hold: 1 + ((seed >> 40) % 3),
-            seed: seed ^ 0x736d_6f6b_65,
+            seed: seed ^ 0x0073_6d6f_6b65,
         },
         jobs: 1,
     }
+}
+
+/// splitmix64: the deterministic seed-mixing step the service search uses
+/// to derive child seeds (no RNG dependency in the binary).
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Guided search over service-spec seed space: hill-climb toward the spec
+/// whose ledger comes closest to exhausting a shard namespace, judged by
+/// [`opr_service::ledger_margin`]. A spec whose ledger *violates* an
+/// oracle outranks every near-miss and fails the search (exit 1), with
+/// the offending spec written as a replayable service repro.
+fn service_search(args: &Args) -> i32 {
+    use opr_service::{judge_ledger, ledger_margin, ServiceRepro};
+    eprintln!(
+        "chaos: service search: seed={} beam={} generations={} evals={}",
+        args.seed, args.beam, args.generations, args.evals
+    );
+    // One scored candidate: (fitness, seed). Higher fitness = more
+    // adversarial: oracle violations dominate, then lower shard margin.
+    let evaluate_seed = |seed: u64| -> (i64, usize) {
+        let spec = service_spec_for(seed);
+        match spec.run() {
+            Ok(report) => {
+                let violations = judge_ledger(&spec.service, &report.ledger);
+                if !violations.is_empty() {
+                    return (i64::MAX, violations.len());
+                }
+                match ledger_margin(&spec.service, &report.ledger) {
+                    Some(margin) => (-margin, 0),
+                    None => (i64::MIN, 0),
+                }
+            }
+            // A spec that refuses to run exercises nothing.
+            Err(_) => (i64::MIN, 0),
+        }
+    };
+    let mut seen = std::collections::BTreeSet::new();
+    let mut scored: Vec<(i64, usize, u64)> = Vec::new();
+    let mut evaluated = 0usize;
+    let mut admit = |seed: u64, scored: &mut Vec<(i64, usize, u64)>, evaluated: &mut usize| {
+        if seen.insert(seed) && *evaluated < args.evals {
+            *evaluated += 1;
+            let (fitness, violations) = evaluate_seed(seed);
+            scored.push((fitness, violations, seed));
+        }
+    };
+    for index in 0..args.init.min(args.evals) {
+        admit(per_run_seed(args.seed, index), &mut scored, &mut evaluated);
+    }
+    let rank = |scored: &mut Vec<(i64, usize, u64)>| {
+        scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.2.cmp(&b.2)));
+    };
+    rank(&mut scored);
+    for generation in 1..=args.generations {
+        if evaluated >= args.evals || scored.is_empty() {
+            break;
+        }
+        let beam: Vec<u64> = scored.iter().take(args.beam.max(1)).map(|s| s.2).collect();
+        for (slot, parent) in beam.iter().cycle().take(args.beam.max(1) * 4).enumerate() {
+            let child = splitmix(parent ^ splitmix((generation as u64) << 32 | slot as u64));
+            admit(child, &mut scored, &mut evaluated);
+        }
+        rank(&mut scored);
+        let best = scored.first().expect("non-empty");
+        eprintln!(
+            "chaos: service gen {generation:>2}: best fitness {} after {evaluated} evals",
+            best.0
+        );
+    }
+    scored.truncate(args.top_k.max(1));
+    let mut violated = false;
+    for (rank, (fitness, violations, seed)) in scored.iter().enumerate() {
+        let spec = service_spec_for(*seed);
+        let margin = *violations == 0 && *fitness > i64::MIN;
+        eprintln!(
+            "chaos: service top {rank}: seed {seed}, {}",
+            if *violations > 0 {
+                violated = true;
+                format!("{violations} ledger violation(s)")
+            } else if margin {
+                format!("shard margin {}", -fitness)
+            } else {
+                "no grants exercised".to_string()
+            }
+        );
+        let repro = ServiceRepro {
+            spec,
+            campaign_seed: args.seed,
+            run_index: rank,
+        };
+        let path = format!("{}/service-search-top-{rank}.json", args.out_dir);
+        match std::fs::write(&path, repro.to_json()) {
+            Ok(()) => eprintln!("chaos: wrote {path}"),
+            Err(e) => {
+                eprintln!("chaos: could not write {path}: {e}");
+                return 1;
+            }
+        }
+    }
+    if violated {
+        eprintln!("chaos: service search surfaced ledger violations — inspect the repro files");
+        return 1;
+    }
+    eprintln!("chaos: service search done: {evaluated} specs evaluated");
+    0
 }
 
 /// The service-layer smoke: `--runs` seeded specs, each executed serially

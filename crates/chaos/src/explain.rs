@@ -81,6 +81,14 @@ pub fn render_waterfall(repro: &Repro, run: &DiagnosedRun) -> String {
         "faults:   byzantine indices {faulty:?}, transport-excluded ids {excluded:?}, {} malformed sends",
         run.malformed.len()
     );
+    let margins = crate::oracle::suite_margins(&repro.schedule, run, reference);
+    if !margins.is_empty() {
+        let rendered: Vec<String> = margins
+            .iter()
+            .map(|(name, margin)| format!("{name}={margin}"))
+            .collect();
+        let _ = writeln!(out, "margins:  {}", rendered.join(", "));
+    }
     match &run.events {
         None => {
             out.push_str("\n(no event log recorded)\n");
@@ -269,6 +277,7 @@ mod tests {
             digest: "clean".into(),
             schedule: generate_schedule(per_seed(), BudgetRegime::InBudget),
             metrics: None,
+            fitness: None,
         }
     }
 
@@ -293,6 +302,23 @@ mod tests {
         }
         assert!(a.text.starts_with("schedule: "), "{}", a.text);
         assert!(a.text.contains("replayed: "), "{}", a.text);
+    }
+
+    #[test]
+    fn waterfall_surfaces_oracle_margins() {
+        let explained = explain_repro(&sample()).unwrap();
+        assert!(
+            explained.text.contains("margins:  "),
+            "no margins line in:\n{}",
+            explained.text
+        );
+        for name in ["namespace=", "termination=", "quorum-edge="] {
+            assert!(
+                explained.text.contains(name),
+                "{name} missing:\n{}",
+                explained.text
+            );
+        }
     }
 
     #[test]

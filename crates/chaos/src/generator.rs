@@ -34,7 +34,7 @@ fn shape_pool(regime: Regime) -> &'static [(usize, usize)] {
 /// A payload cap no correct message approaches (ids are 48-bit, sets hold at
 /// most `N ≤ 11` of them) — present on a fraction of schedules so the
 /// oversized-payload path stays exercised without framing correct traffic.
-const GENEROUS_CAP_BITS: u64 = 1 << 20;
+pub(crate) const GENEROUS_CAP_BITS: u64 = 1 << 20;
 
 /// Generates the deterministic schedule for `(seed, budget)`.
 pub fn generate_schedule(seed: u64, budget: BudgetRegime) -> ChaosSchedule {

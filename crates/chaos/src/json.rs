@@ -76,6 +76,17 @@ impl Json {
         self.as_u64().and_then(|u| usize::try_from(u).ok())
     }
 
+    /// The value as `i64`, if it is an integer that fits (the parser
+    /// yields [`Json::UInt`] for non-negative literals, so signed readers
+    /// must accept both variants).
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Json::Int(i) => Some(i),
+            Json::UInt(u) => i64::try_from(u).ok(),
+            _ => None,
+        }
+    }
+
     /// The boolean payload, if this is a boolean.
     pub fn as_bool(&self) -> Option<bool> {
         match *self {
@@ -394,6 +405,17 @@ mod tests {
             let text = Json::UInt(seed).render();
             assert_eq!(Json::parse(&text).unwrap().as_u64(), Some(seed));
         }
+    }
+
+    #[test]
+    fn signed_reads_accept_both_integer_variants() {
+        for value in [i64::MIN, -1, 0, 1, i64::MAX] {
+            let text = Json::Int(value).render();
+            assert_eq!(Json::parse(&text).unwrap().as_i64(), Some(value), "{text}");
+        }
+        // Beyond i64 the signed view refuses rather than wrapping.
+        assert_eq!(Json::UInt(u64::MAX).as_i64(), None);
+        assert_eq!(Json::Str("7".into()).as_i64(), None);
     }
 
     #[test]

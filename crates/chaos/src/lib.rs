@@ -38,14 +38,23 @@
 //! 7. [`explain`] replays a repro with the protocol event recorder attached
 //!    ([`opr_obs`]) and renders every correct process's decision waterfall
 //!    — which thresholds crossed, which votes were rejected and why.
+//! 8. [`search`] closes the loop into an optimizer: [`genome`] mutates and
+//!    recombines schedules inside a budget regime, [`fitness`] scores each
+//!    observed run (rounds, namespace pressure, AA spread, admission
+//!    drops, near-violation margin from [`Oracle::margin`]), and a seeded
+//!    beam search climbs toward the most adversarial attacks — emitting
+//!    the worst as replayable repro files and regression seeds.
 
 pub mod engine;
 pub mod explain;
+pub mod fitness;
 pub mod generator;
+pub mod genome;
 pub mod json;
 pub mod oracle;
 pub mod repro;
 pub mod schedule;
+pub mod search;
 pub mod shrink;
 
 pub use engine::{
@@ -53,8 +62,14 @@ pub use engine::{
     Failure, RunVerdict,
 };
 pub use explain::{explain_repro, render_waterfall, Explained};
+pub use fitness::{evaluate, Fitness, FitnessKind, FitnessRecord};
 pub use generator::generate_schedule;
-pub use oracle::{standard_suite, Oracle, OracleInput};
+pub use genome::{crossover, genome_key, mutate};
+pub use oracle::{standard_suite, suite_margins, Oracle, OracleInput};
 pub use repro::Repro;
 pub use schedule::{BudgetRegime, ChaosSchedule};
+pub use search::{
+    random_search_on, render_search_json, repro_for, run_search, run_search_on, GenerationStat,
+    ScoredSchedule, SearchConfig, SearchOutcome, SearchReport,
+};
 pub use shrink::{shrink, ShrinkResult};

@@ -7,8 +7,15 @@
 //! already judges the healthy correct processes); the cross-backend oracle
 //! compares the two executions observable-by-observable and demands
 //! bit-equality.
+//!
+//! Beyond the boolean verdict, oracles with a numeric notion of slack
+//! expose [`Oracle::margin`] — the distance to violation. A margin of `0`
+//! means "on the edge" (one name, round or message from breaking), negative
+//! means "violated by that much". The guided adversary search
+//! ([`crate::search`]) maximizes pressure by *minimizing* these margins.
 
 use crate::schedule::ChaosSchedule;
+use opr_obs::ProtocolEvent;
 use opr_transport::BackendKind;
 use opr_types::{PropertyViolation, Violation};
 use opr_workload::DiagnosedRun;
@@ -31,6 +38,13 @@ pub trait Oracle {
     fn name(&self) -> &'static str;
     /// The violations of this oracle's invariant, empty when it holds.
     fn check(&self, input: &OracleInput<'_>) -> Vec<Violation>;
+    /// The distance to violation, when this oracle has a numeric notion of
+    /// slack: `0` is on the edge, negative is violated by that much, `None`
+    /// when the invariant is purely boolean or the run carries no signal
+    /// (e.g. no decisions, no recorded events).
+    fn margin(&self, _input: &OracleInput<'_>) -> Option<i64> {
+        None
+    }
 }
 
 /// The stable kind tag of a violation (matching
@@ -97,6 +111,17 @@ impl Oracle for NamespaceOracle {
     fn check(&self, input: &OracleInput<'_>) -> Vec<Violation> {
         project(input, &["namespace", "validity"])
     }
+    /// Names left below the bound: `bound − max_name` over every decided
+    /// correct process (excluded ones included — they consume namespace).
+    fn margin(&self, input: &OracleInput<'_>) -> Option<i64> {
+        let bound = input
+            .schedule
+            .cfg()
+            .ok()?
+            .namespace_bound(input.schedule.regime) as i64;
+        let max = input.reference.full_outcome.max_name()?;
+        Some(bound - max.raw())
+    }
 }
 
 /// The run took the algorithm's exact step count.
@@ -109,6 +134,21 @@ impl Oracle for StepCountOracle {
     fn check(&self, input: &OracleInput<'_>) -> Vec<Violation> {
         project(input, &["steps"])
     }
+    /// `−|got − expected|`: the step-count contract is exact, so the only
+    /// slack is zero and any drift is already a violation by that much.
+    /// `None` while the run has not completed (the contract is unjudged).
+    fn margin(&self, input: &OracleInput<'_>) -> Option<i64> {
+        if !input.reference.degraded.completed {
+            return None;
+        }
+        let expected = input
+            .schedule
+            .cfg()
+            .ok()?
+            .total_steps(input.schedule.regime) as i64;
+        let got = input.reference.rounds as i64;
+        Some(-(expected - got).abs())
+    }
 }
 
 /// Every healthy correct process decided within the round budget.
@@ -120,6 +160,34 @@ impl Oracle for TerminationOracle {
     }
     fn check(&self, input: &OracleInput<'_>) -> Vec<Violation> {
         project(input, &["termination", "missed-termination"])
+    }
+    /// Rounds of budget left when the last process decided (`budget −
+    /// latest decision step`, from the event stream); `−1` when some
+    /// recorded process never decided. `None` without recorded events.
+    fn margin(&self, input: &OracleInput<'_>) -> Option<i64> {
+        let log = input.reference.events.as_ref()?;
+        let budget = input
+            .schedule
+            .cfg()
+            .ok()?
+            .total_steps(input.schedule.regime) as i64;
+        let mut worst: Option<i64> = None;
+        for process in &log.processes {
+            let decided = process
+                .events
+                .iter()
+                .filter_map(|e| match e {
+                    ProtocolEvent::Decided { step, .. } => Some(i64::from(*step)),
+                    _ => None,
+                })
+                .max();
+            let slack = match decided {
+                Some(step) => budget - step,
+                None => -1,
+            };
+            worst = Some(worst.map_or(slack, |w: i64| w.min(slack)));
+        }
+        worst
     }
 }
 
@@ -195,9 +263,85 @@ impl Oracle for CrossBackendOracle {
     }
 }
 
+/// How far one threshold decision sat from flipping: `count − quorum` when
+/// it passed, `quorum − count − 1` when it failed. Both are `≥ 0`; `0`
+/// means one message either way would have changed the admission.
+fn flip_distance(count: usize, quorum: usize, passed: bool) -> i64 {
+    if passed {
+        count as i64 - quorum as i64
+    } else {
+        quorum as i64 - count as i64 - 1
+    }
+}
+
+/// The flip distance of one event's quorum comparison, for the variants
+/// that carry one (ECHO/READY/ACCEPT thresholds and AA vote admission).
+pub fn event_flip_distance(event: &ProtocolEvent) -> Option<i64> {
+    match *event {
+        ProtocolEvent::EchoThreshold {
+            echoes,
+            quorum,
+            kept,
+            ..
+        } => Some(flip_distance(echoes, quorum, kept)),
+        ProtocolEvent::ReadyThreshold {
+            readies,
+            quorum,
+            timely,
+            ..
+        } => Some(flip_distance(readies, quorum, timely)),
+        ProtocolEvent::AcceptThreshold {
+            readies,
+            quorum,
+            accepted,
+            ..
+        } => Some(flip_distance(readies, quorum, accepted)),
+        ProtocolEvent::IdDropped { votes, needed, .. } => Some(flip_distance(votes, needed, false)),
+        _ => None,
+    }
+}
+
+/// The quorum landscape of one recorded run: the minimum flip distance
+/// across every threshold decision, and how many decisions sat exactly on
+/// the edge. `None` when the run carries no events or no threshold events.
+pub fn quorum_pressure(run: &DiagnosedRun) -> Option<(i64, usize)> {
+    let log = run.events.as_ref()?;
+    let mut min: Option<i64> = None;
+    let mut edges = 0usize;
+    for process in &log.processes {
+        for event in &process.events {
+            if let Some(d) = event_flip_distance(event) {
+                if d == 0 {
+                    edges += 1;
+                }
+                min = Some(min.map_or(d, |m: i64| m.min(d)));
+            }
+        }
+    }
+    min.map(|m| (m, edges))
+}
+
+/// Every quorum comparison held with room to spare — or didn't. No boolean
+/// invariant of its own (a quorum exactly met is legal); exists for its
+/// [`Oracle::margin`]: the minimum flip distance over all recorded
+/// threshold decisions.
+pub struct QuorumEdgeOracle;
+
+impl Oracle for QuorumEdgeOracle {
+    fn name(&self) -> &'static str {
+        "quorum-edge"
+    }
+    fn check(&self, _input: &OracleInput<'_>) -> Vec<Violation> {
+        Vec::new()
+    }
+    fn margin(&self, input: &OracleInput<'_>) -> Option<i64> {
+        quorum_pressure(input.reference).map(|(min, _)| min)
+    }
+}
+
 /// The full standard suite, in reporting order: the four renaming
-/// properties, the step count, correct-process hygiene, and cross-backend
-/// bit-equality.
+/// properties, the step count, correct-process hygiene, cross-backend
+/// bit-equality, and the (margin-only) quorum edge.
 pub fn standard_suite() -> Vec<Box<dyn Oracle>> {
     vec![
         Box::new(UniquenessOracle),
@@ -207,7 +351,27 @@ pub fn standard_suite() -> Vec<Box<dyn Oracle>> {
         Box::new(StepCountOracle),
         Box::new(MalformedOracle),
         Box::new(CrossBackendOracle),
+        Box::new(QuorumEdgeOracle),
     ]
+}
+
+/// Every oracle's margin for one single-backend execution, in suite order,
+/// skipping oracles with no numeric slack on this run.
+pub fn suite_margins(
+    schedule: &ChaosSchedule,
+    run: &DiagnosedRun,
+    backend: BackendKind,
+) -> Vec<(&'static str, i64)> {
+    let input = OracleInput {
+        schedule,
+        reference: run,
+        reference_backend: backend,
+        other: None,
+    };
+    standard_suite()
+        .iter()
+        .filter_map(|oracle| oracle.margin(&input).map(|m| (oracle.name(), m)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -291,6 +455,49 @@ mod tests {
         let mut names: Vec<&str> = standard_suite().iter().map(|o| o.name()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 7);
+        assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn margins_are_positive_on_a_clean_observed_run() {
+        let mut saw_quorum_edge = false;
+        for seed in 0..8u64 {
+            let schedule = generate_schedule(seed, BudgetRegime::InBudget);
+            let run = schedule.run_observed(BackendKind::Sim, None).unwrap();
+            let margins = suite_margins(&schedule, &run, BackendKind::Sim);
+            let lookup = |name: &str| margins.iter().find(|(n, _)| *n == name).map(|&(_, m)| m);
+            // A clean in-budget run sits inside every numeric bound.
+            assert!(lookup("namespace").unwrap() >= 0, "seed {seed}");
+            assert!(lookup("termination").unwrap() >= 0, "seed {seed}");
+            assert_eq!(lookup("step-count").unwrap(), 0, "seed {seed}");
+            // Two-step schedules record no quorum-threshold events, so the
+            // quorum-edge margin is present only for Algorithm 1 regimes.
+            if let Some(edge) = lookup("quorum-edge") {
+                assert!(edge >= 0, "seed {seed}");
+                saw_quorum_edge = true;
+            }
+        }
+        assert!(saw_quorum_edge, "no seed exercised the quorum-edge margin");
+    }
+
+    #[test]
+    fn margins_need_events_where_events_are_the_signal() {
+        let schedule = generate_schedule(3, BudgetRegime::InBudget);
+        let run = schedule.run_on(BackendKind::Sim).unwrap();
+        let margins = suite_margins(&schedule, &run, BackendKind::Sim);
+        // Without a recorded event stream the event-derived margins vanish
+        // but the outcome-derived ones survive.
+        assert!(margins.iter().any(|(n, _)| *n == "namespace"));
+        assert!(margins.iter().all(|(n, _)| *n != "termination"));
+        assert!(margins.iter().all(|(n, _)| *n != "quorum-edge"));
+    }
+
+    #[test]
+    fn flip_distance_is_zero_exactly_on_the_edge() {
+        // Passed with exactly the quorum, or failed one short of it.
+        assert_eq!(flip_distance(5, 5, true), 0);
+        assert_eq!(flip_distance(4, 5, false), 0);
+        assert_eq!(flip_distance(7, 5, true), 2);
+        assert_eq!(flip_distance(2, 5, false), 2);
     }
 }

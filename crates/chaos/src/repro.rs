@@ -6,6 +6,7 @@
 //! re-judges it with the same oracle suite — the digest must reproduce.
 
 use crate::engine::{judge_schedule, BackendChoice, RunVerdict};
+use crate::fitness::{FitnessKind, FitnessRecord};
 use crate::json::Json;
 use crate::oracle::Oracle;
 use crate::schedule::{BudgetRegime, ChaosSchedule};
@@ -40,6 +41,12 @@ pub struct Repro {
     /// its own — but lets a repro file document how much traffic the
     /// failure took. Absent in files written by older builds.
     pub metrics: Option<RunMetrics>,
+    /// The fitness the guided adversary search recorded for the schedule,
+    /// when the file came from a search rather than a random campaign.
+    /// Replay recomputes the score and must reproduce it — the regression
+    /// contract of `tests/data/worst-*.json`. Absent in campaign repros and
+    /// files written by older builds.
+    pub fitness: Option<FitnessRecord>,
 }
 
 /// Why a repro file could not be decoded.
@@ -74,6 +81,15 @@ impl Repro {
         if let Some(metrics) = &self.metrics {
             fields.push(("metrics".into(), metrics_to_json(metrics)));
         }
+        if let Some(fitness) = &self.fitness {
+            fields.push((
+                "fitness".into(),
+                Json::Obj(vec![
+                    ("kind".into(), Json::Str(fitness.kind.label().into())),
+                    ("score".into(), Json::Int(fitness.score)),
+                ]),
+            ));
+        }
         Json::Obj(fields).render()
     }
 
@@ -105,6 +121,17 @@ impl Repro {
             metrics: match doc.get("metrics") {
                 None | Some(Json::Null) => None,
                 Some(v) => Some(metrics_from_json(v)?),
+            },
+            fitness: match doc.get("fitness") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(FitnessRecord {
+                    kind: FitnessKind::parse(field_str(v, "kind")?)
+                        .ok_or_else(|| bad("unknown fitness kind"))?,
+                    score: v
+                        .get("score")
+                        .and_then(Json::as_i64)
+                        .ok_or_else(|| bad("missing or non-integer fitness score"))?,
+                }),
             },
         })
     }
@@ -340,6 +367,7 @@ mod tests {
             digest: "missed-termination".into(),
             schedule: generate_schedule(seed, BudgetRegime::OverBudget),
             metrics: None,
+            fitness: None,
         }
     }
 
@@ -374,6 +402,31 @@ mod tests {
         // Files from builds that predate the field still parse.
         let without = sample_repro(3).to_json();
         assert_eq!(Repro::from_json(&without).unwrap().metrics, None);
+    }
+
+    #[test]
+    fn fitness_round_trips_and_stays_optional() {
+        // Negative scores (e.g. a namespace signal that never decided)
+        // must survive the integer-only JSON dialect.
+        for score in [i64::MIN, -7, 0, 42, i64::MAX] {
+            let repro = Repro {
+                fitness: Some(FitnessRecord {
+                    kind: FitnessKind::Margin,
+                    score,
+                }),
+                ..sample_repro(5)
+            };
+            let reread = Repro::from_json(&repro.to_json()).unwrap();
+            assert_eq!(reread, repro);
+        }
+        let without = sample_repro(5).to_json();
+        assert_eq!(Repro::from_json(&without).unwrap().fitness, None);
+        // An unknown fitness kind is rejected, not silently dropped.
+        let forged = sample_repro(5).to_json().replace(
+            "\"digest\"",
+            "\"fitness\": {\"kind\": \"luck\", \"score\": 1}, \"digest\"",
+        );
+        assert!(Repro::from_json(&forged).is_err());
     }
 
     #[test]

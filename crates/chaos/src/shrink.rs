@@ -278,6 +278,55 @@ mod tests {
     }
 
     #[test]
+    fn ddmin_on_an_empty_fault_plan_reduces_only_byzantine_count() {
+        // The failure comes from the Byzantine placement alone: there are
+        // no events to delta-debug, and the shrinker must not invent any.
+        let schedule = dense_schedule(Vec::new());
+        let result = shrink(&schedule, |s| s.byzantine >= 1);
+        assert!(result.schedule.events.is_empty());
+        assert_eq!(result.original_events, 0);
+        assert_eq!(result.events, 0);
+        assert_eq!(result.schedule.byzantine, 1, "minimal failing count");
+    }
+
+    #[test]
+    fn ddmin_on_a_single_fault_plan_keeps_the_needed_event() {
+        let culprit = FaultEvent::Drop {
+            sender: 2,
+            link: 4,
+            round: 6,
+        };
+        let schedule = dense_schedule(vec![culprit]);
+        let result = shrink(&schedule, |s| s.events.contains(&culprit));
+        assert_eq!(result.schedule.events, vec![culprit]);
+        assert_eq!(result.events, 1);
+    }
+
+    #[test]
+    fn non_reproducing_mutants_mid_shrink_never_leak_into_the_result() {
+        // A predicate with a "hole": schedules with exactly two events do
+        // NOT reproduce, everything else containing the culprit does. The
+        // shrinker must reject the non-reproducing intermediates and still
+        // end on a failing schedule.
+        let culprit = FaultEvent::Crash { sender: 3, from: 2 };
+        let mut events = vec![culprit];
+        events.extend((0..5).map(|i| FaultEvent::Drop {
+            sender: i % 2,
+            link: 1 + i,
+            round: 1,
+        }));
+        let schedule = dense_schedule(events);
+        let still_fails = |s: &ChaosSchedule| s.events.contains(&culprit) && s.events.len() != 2;
+        let result = shrink(&schedule, still_fails);
+        assert!(
+            still_fails(&result.schedule),
+            "shrink returned a non-failing schedule: {:?}",
+            result.schedule.events
+        );
+        assert_eq!(result.schedule.events, vec![culprit]);
+    }
+
+    #[test]
     fn non_failing_input_is_returned_untouched() {
         let schedule = generate_schedule(5, BudgetRegime::AtBudget);
         let result = shrink(&schedule, |_| false);

@@ -45,8 +45,8 @@ pub use config::{epoch_seed, ServiceConfig, ServiceError};
 pub use driver::{ServiceReport, ServiceSpec};
 pub use engine::{AdmissionStats, EpochStats, Grant, LedgerEvent, ServiceEngine, ServiceOp};
 pub use oracle::{
-    judge_ledger, service_suite, CrossEpochUniqueness, EpochOrder, EpochUniqueness, ServiceOracle,
-    ServiceViolation, ShardRange,
+    judge_ledger, ledger_margin, service_suite, CrossEpochUniqueness, EpochOrder, EpochUniqueness,
+    ServiceOracle, ServiceViolation, ShardRange,
 };
 pub use repro::{ServiceRepro, ServiceReproError, SERVICE_REPRO_VERSION};
 
@@ -162,7 +162,7 @@ mod tests {
             .collect();
         assert_eq!(grants.len(), 3);
         // Fresh pool: compaction grants names 1..=3, ordered by original id.
-        let mut by_original = grants.clone();
+        let mut by_original = grants;
         by_original.sort_by_key(|g| g.original);
         assert_eq!(
             by_original.iter().map(|g| g.name).collect::<Vec<_>>(),
@@ -242,6 +242,42 @@ mod tests {
             "{names:?}"
         );
         assert!(names.contains(&"epoch 0 grants".to_string()), "{names:?}");
+    }
+
+    #[test]
+    fn ledger_margin_tracks_peak_shard_pressure() {
+        use opr_types::NewName;
+        let cfg = small_cfg(); // one shard, span 8 → names 1..=8
+        assert_eq!(ledger_margin(&cfg, &[]), None, "no grants, no margin");
+        let grant = |epoch, original: u64, name| {
+            LedgerEvent::Grant(Grant {
+                epoch,
+                shard: 0,
+                client: ClientId::new(original),
+                original: OriginalId::new(original),
+                protocol_name: NewName::new(original as i64),
+                name,
+            })
+        };
+        let release = |epoch, client: u64, name| LedgerEvent::Release {
+            epoch,
+            shard: 0,
+            client: ClientId::new(client),
+            name,
+        };
+        // Peak of 3 live names against a span of 8 → margin 5, and the
+        // margin tracks the *peak*, not the final live count.
+        let ledger = vec![
+            grant(0, 1, 1),
+            grant(0, 2, 2),
+            grant(0, 3, 3),
+            release(1, 1, 1),
+            release(1, 2, 2),
+        ];
+        assert_eq!(ledger_margin(&cfg, &ledger), Some(5));
+        // A completely full shard sits exactly on the edge.
+        let full: Vec<LedgerEvent> = (1..=8).map(|i| grant(0, i, i)).collect();
+        assert_eq!(ledger_margin(&cfg, &full), Some(0));
     }
 
     #[test]

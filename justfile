@@ -75,6 +75,21 @@ service-soak EPOCHS="1000":
 chaos-service RUNS="40":
     cargo run --release -p opr-bench --bin chaos -- --service --seed 42 --runs {{RUNS}}
 
+# Guided adversary search: beam-search the attack-schedule space for the
+# configured fitness signal, emit the top-K finds as replayable repro files
+# (`just search FITNESS=rounds EVALS=256`).
+search SEED="42" FITNESS="margin" EVALS="96" JOBS="4":
+    cargo run --release -p opr-bench --bin chaos -- --search --seed {{SEED}} --budget at --backend both --jobs {{JOBS}} --fitness {{FITNESS}} --evals {{EVALS}} --baseline
+
+# Guided search over service-spec space, judged by ledger shard-pressure
+# margins.
+search-service SEED="42" EVALS="48":
+    cargo run --release -p opr-bench --bin chaos -- --search --service --seed {{SEED}} --evals {{EVALS}}
+
+# Search throughput + trajectory report (writes crates/bench/BENCH_search.json).
+bench-search:
+    cargo run --release -p opr-bench --bin chaos -- --search --seed 42 --budget at --backend both --jobs 4 --evals 96 --generations 6 --beam 4 --init 24 --top-k 3 --out-dir target --search-report crates/bench/BENCH_search.json --baseline --timing
+
 # Service throughput matrix: names-assigned/sec over shards x jobs x backend
 # (writes crates/bench/BENCH_service.json).
 bench-service:

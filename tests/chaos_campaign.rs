@@ -115,6 +115,7 @@ fn injected_failure_shrinks_and_round_trips_through_repro() {
         digest,
         schedule: result.schedule,
         metrics: None,
+        fitness: None,
     };
     let text = repro.to_json();
     let reread = Repro::from_json(&text).expect("repro must parse back");
