@@ -51,7 +51,8 @@ use opr_sim::RunMetrics;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: chaos [--seed S] [--runs K] [--budget in|at|over|mixed] [--backend sim|threaded|both]\n\
+        "usage: chaos [--seed S] [--runs K] [--budget in|at|over|mixed]\n\
+         \x20            [--backend sim|threaded|pooled|both|all]\n\
          \x20            [--jobs N] [--repro-out <file>] [--events <file>]\n\
          \x20      chaos explain <file> [--events <file>] [--perfetto <file>]\n\
          \x20                                replay a repro with the recorder attached and\n\
@@ -64,7 +65,8 @@ fn usage() -> ! {
          \x20                                service-layer smoke: seeded epoch-engine specs\n\
          \x20                                judged by the ledger oracles + jobs determinism\n\
          \x20      chaos --service --repro <file>  replay a captured service failure\n\
-         \x20      chaos --search [--seed S] [--budget in|at|over] [--backend sim|threaded|both]\n\
+         \x20      chaos --search [--seed S] [--budget in|at|over]\n\
+         \x20                     [--backend sim|threaded|pooled|both|all]\n\
          \x20                     [--jobs N] [--fitness margin|rounds|namespace|spread|drops]\n\
          \x20                     [--beam B] [--generations G] [--evals E] [--init I] [--top-k K]\n\
          \x20                     [--out-dir DIR] [--search-report <file>] [--baseline] [--timing]\n\
@@ -623,7 +625,11 @@ fn bench_exec(args: &Args, path: &str, oracles: &[Box<dyn opr_chaos::Oracle>]) -
 
 fn bench(args: &Args, path: &str, oracles: &[Box<dyn opr_chaos::Oracle>]) -> i32 {
     let mut rows = Vec::new();
-    for backend in [BackendChoice::Sim, BackendChoice::Threaded] {
+    for backend in [
+        BackendChoice::Sim,
+        BackendChoice::Threaded,
+        BackendChoice::Pooled,
+    ] {
         let report = run_campaign(
             &CampaignConfig {
                 seed: args.seed,

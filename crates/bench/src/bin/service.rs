@@ -6,7 +6,7 @@
 //! cargo run --release -p opr-bench --bin service
 //!
 //! # The CI soak gate: ≥1000 epochs across 4 shards with recycling,
-//! # oracle-clean and bit-identical across --jobs {1,4} and both backends:
+//! # oracle-clean and bit-identical across --jobs {1,4} and every backend:
 //! cargo run --release -p opr-bench --bin service -- --soak --epochs 1000
 //!
 //! # Throughput matrix (names-assigned/sec, shards × jobs × backend) into
@@ -36,7 +36,7 @@ fn usage() -> ! {
         "usage: service [--seed S] [--epochs E] [--shards K]\n\
          \x20       service --soak [--seed S] [--epochs E] [--shards K] [--repro-out <file>]\n\
          \x20                                 oracle + determinism gate across jobs {{1,4}}\n\
-         \x20                                 and both backends (exit 1 on failure)\n\
+         \x20                                 and every backend (exit 1 on failure)\n\
          \x20       service --bench <file>    names-assigned/sec matrix (shards x jobs x backend)\n\
          \x20       service --perfetto <file> export service-level spans as a Perfetto trace\n\
          \x20       service --repro <file>    replay a captured service failure"
@@ -216,7 +216,8 @@ fn run_judged(spec: &ServiceSpec, label: &str, args: &Args) -> Result<ServiceRep
 
 /// The soak gate: the reference run (sim, serial) must be oracle-clean and
 /// actually recycle names, and every other execution strategy — jobs 4,
-/// the threaded backend, and both combined — must reproduce it bit for bit.
+/// the threaded and pooled backends, and their jobs-4 combinations — must
+/// reproduce it bit for bit.
 fn soak(args: &Args) -> i32 {
     let reference_spec = soak_spec(args.seed, args.epochs, args.shards, BackendKind::Sim, 1);
     eprintln!(
@@ -237,6 +238,8 @@ fn soak(args: &Args) -> i32 {
         (BackendKind::Sim, 4),
         (BackendKind::Threaded, 1),
         (BackendKind::Threaded, 4),
+        (BackendKind::Pooled, 1),
+        (BackendKind::Pooled, 4),
     ] {
         let spec = soak_spec(args.seed, args.epochs, args.shards, backend, jobs);
         let label = format!("{}/jobs{jobs}", backend.label());

@@ -51,7 +51,7 @@ fn main() {
         match args.get(pos + 1).and_then(|v| BackendKind::parse(v)) {
             Some(kind) => BackendKind::set_process_default(kind),
             None => {
-                eprintln!("--backend takes one of: sim, threaded");
+                eprintln!("--backend takes one of: sim, threaded, pooled");
                 std::process::exit(2);
             }
         }

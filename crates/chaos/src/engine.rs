@@ -39,24 +39,35 @@ pub enum BackendChoice {
     Sim,
     /// The thread-per-process backend only.
     Threaded,
-    /// Both, with the cross-backend oracle comparing them run by run.
+    /// The task-scheduled worker-pool backend only.
+    Pooled,
+    /// Sim and threaded, with the cross-backend oracle comparing them run
+    /// by run.
     Both,
+    /// Every backend: the sim reference compared against threaded *and*
+    /// pooled, run by run.
+    All,
 }
 
 impl BackendChoice {
     /// All choices.
-    pub const ALL: [BackendChoice; 3] = [
+    pub const ALL: [BackendChoice; 5] = [
         BackendChoice::Sim,
         BackendChoice::Threaded,
+        BackendChoice::Pooled,
         BackendChoice::Both,
+        BackendChoice::All,
     ];
 
-    /// A short stable label (`"sim"`, `"threaded"`, `"both"`).
+    /// A short stable label (`"sim"`, `"threaded"`, `"pooled"`, `"both"`,
+    /// `"all"`).
     pub fn label(&self) -> &'static str {
         match self {
             BackendChoice::Sim => "sim",
             BackendChoice::Threaded => "threaded",
+            BackendChoice::Pooled => "pooled",
             BackendChoice::Both => "both",
+            BackendChoice::All => "all",
         }
     }
 
@@ -68,12 +79,17 @@ impl BackendChoice {
             .find(|b| b.label() == label)
     }
 
-    /// The reference backend and the optional second backend to compare.
-    pub fn backends(&self) -> (BackendKind, Option<BackendKind>) {
+    /// The reference backend and the second backends to compare against it.
+    pub fn backends(&self) -> (BackendKind, &'static [BackendKind]) {
         match self {
-            BackendChoice::Sim => (BackendKind::Sim, None),
-            BackendChoice::Threaded => (BackendKind::Threaded, None),
-            BackendChoice::Both => (BackendKind::Sim, Some(BackendKind::Threaded)),
+            BackendChoice::Sim => (BackendKind::Sim, &[]),
+            BackendChoice::Threaded => (BackendKind::Threaded, &[]),
+            BackendChoice::Pooled => (BackendKind::Pooled, &[]),
+            BackendChoice::Both => (BackendKind::Sim, &[BackendKind::Threaded]),
+            BackendChoice::All => (
+                BackendKind::Sim,
+                &[BackendKind::Threaded, BackendKind::Pooled],
+            ),
         }
     }
 }
@@ -292,7 +308,7 @@ pub fn per_run_seed(campaign_seed: u64, index: usize) -> u64 {
 }
 
 /// The executed-but-not-yet-judged form of one schedule: the diagnosed
-/// reference run plus the optional second backend's run. Splitting
+/// reference run plus the runs of any second backends. Splitting
 /// execution from judging lets campaigns execute on pool workers (pure
 /// data in, pure data out) while the oracle suite — whose trait objects
 /// are not `Send` — judges serially on the collector.
@@ -300,8 +316,9 @@ pub fn per_run_seed(campaign_seed: u64, index: usize) -> u64 {
 pub struct ExecutedRun {
     /// The run on the reference backend.
     pub reference: DiagnosedRun,
-    /// The run on the second backend, when the choice compares two.
-    pub other: Option<(BackendKind, DiagnosedRun)>,
+    /// The runs on every second backend, in [`BackendChoice::backends`]
+    /// order, when the choice compares more than one.
+    pub others: Vec<(BackendKind, DiagnosedRun)>,
 }
 
 /// One campaign slot after execution: the schedule's provenance and either
@@ -331,13 +348,13 @@ pub fn execute_schedule(
     schedule: &ChaosSchedule,
     backend: BackendChoice,
 ) -> Result<ExecutedRun, RunVerdict> {
-    let (reference_backend, other_backend) = backend.backends();
+    let (reference_backend, other_backends) = backend.backends();
     let reference = execute_contained(schedule, reference_backend)?;
-    let other = match other_backend {
-        None => None,
-        Some(kind) => Some((kind, execute_contained(schedule, kind)?)),
-    };
-    Ok(ExecutedRun { reference, other })
+    let mut others = Vec::with_capacity(other_backends.len());
+    for &kind in other_backends {
+        others.push((kind, execute_contained(schedule, kind)?));
+    }
+    Ok(ExecutedRun { reference, others })
 }
 
 /// Runs the oracle suite over an executed schedule.
@@ -352,7 +369,7 @@ pub fn judge_executed(
         schedule,
         reference: &run.reference,
         reference_backend,
-        other: run.other.as_ref().map(|(kind, run)| (*kind, run)),
+        others: run.others.iter().map(|(kind, run)| (*kind, run)).collect(),
     };
     let violations: Vec<Violation> = oracles
         .iter()

@@ -28,8 +28,9 @@ pub struct OracleInput<'a> {
     pub reference: &'a DiagnosedRun,
     /// Which backend produced the reference.
     pub reference_backend: BackendKind,
-    /// The second execution (when the campaign runs both backends).
-    pub other: Option<(BackendKind, &'a DiagnosedRun)>,
+    /// The second executions (when the campaign compares backends), in
+    /// [`BackendChoice::backends`](crate::BackendChoice::backends) order.
+    pub others: Vec<(BackendKind, &'a DiagnosedRun)>,
 }
 
 /// One paper invariant, checkable against an executed schedule.
@@ -205,8 +206,9 @@ impl Oracle for MalformedOracle {
     }
 }
 
-/// The two backends produced bit-equal observables: outcome, rounds,
-/// message/bit metrics, the malformed-send ledger and the diagnosis itself.
+/// Every compared backend produced observables bit-equal to the reference:
+/// outcome, rounds, message/bit metrics, the malformed-send ledger and the
+/// diagnosis itself.
 pub struct CrossBackendOracle;
 
 impl Oracle for CrossBackendOracle {
@@ -214,51 +216,50 @@ impl Oracle for CrossBackendOracle {
         "cross-backend"
     }
     fn check(&self, input: &OracleInput<'_>) -> Vec<Violation> {
-        let Some((_, other)) = input.other else {
-            return Vec::new();
-        };
         let a = input.reference;
         let mut out = Vec::new();
-        let mut diverge = |observable: &'static str, left: String, right: String| {
-            if left != right {
-                out.push(Violation::BackendDivergence {
-                    observable,
-                    reference: left,
-                    other: right,
-                });
-            }
-        };
-        diverge(
-            "outcome",
-            format!("{:?}", a.full_outcome),
-            format!("{:?}", other.full_outcome),
-        );
-        diverge("rounds", a.rounds.to_string(), other.rounds.to_string());
-        diverge(
-            "messages",
-            a.metrics.messages_total().to_string(),
-            other.metrics.messages_total().to_string(),
-        );
-        diverge(
-            "bits",
-            a.metrics.bits_correct().to_string(),
-            other.metrics.bits_correct().to_string(),
-        );
-        diverge(
-            "max-message-bits",
-            a.metrics.max_message_bits().to_string(),
-            other.metrics.max_message_bits().to_string(),
-        );
-        diverge(
-            "malformed",
-            format!("{:?}", a.malformed),
-            format!("{:?}", other.malformed),
-        );
-        diverge(
-            "diagnosis",
-            format!("{:?}", a.degraded.violations),
-            format!("{:?}", other.degraded.violations),
-        );
+        for (_, other) in &input.others {
+            let mut diverge = |observable: &'static str, left: String, right: String| {
+                if left != right {
+                    out.push(Violation::BackendDivergence {
+                        observable,
+                        reference: left,
+                        other: right,
+                    });
+                }
+            };
+            diverge(
+                "outcome",
+                format!("{:?}", a.full_outcome),
+                format!("{:?}", other.full_outcome),
+            );
+            diverge("rounds", a.rounds.to_string(), other.rounds.to_string());
+            diverge(
+                "messages",
+                a.metrics.messages_total().to_string(),
+                other.metrics.messages_total().to_string(),
+            );
+            diverge(
+                "bits",
+                a.metrics.bits_correct().to_string(),
+                other.metrics.bits_correct().to_string(),
+            );
+            diverge(
+                "max-message-bits",
+                a.metrics.max_message_bits().to_string(),
+                other.metrics.max_message_bits().to_string(),
+            );
+            diverge(
+                "malformed",
+                format!("{:?}", a.malformed),
+                format!("{:?}", other.malformed),
+            );
+            diverge(
+                "diagnosis",
+                format!("{:?}", a.degraded.violations),
+                format!("{:?}", other.degraded.violations),
+            );
+        }
         out
     }
 }
@@ -366,7 +367,7 @@ pub fn suite_margins(
         schedule,
         reference: run,
         reference_backend: backend,
-        other: None,
+        others: Vec::new(),
     };
     standard_suite()
         .iter()
@@ -389,7 +390,10 @@ mod tests {
             schedule,
             reference,
             reference_backend: BackendKind::Sim,
-            other: other.map(|o| (BackendKind::Threaded, o)),
+            others: other
+                .map(|o| (BackendKind::Threaded, o))
+                .into_iter()
+                .collect(),
         }
     }
 

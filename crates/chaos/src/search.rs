@@ -210,13 +210,13 @@ fn observe_schedule(
     schedule: &ChaosSchedule,
     backend: BackendChoice,
 ) -> Result<ExecutedRun, RunVerdict> {
-    let (reference_backend, other_backend) = backend.backends();
+    let (reference_backend, other_backends) = backend.backends();
     let reference = observe_contained(schedule, reference_backend)?;
-    let other = match other_backend {
-        None => None,
-        Some(kind) => Some((kind, observe_contained(schedule, kind)?)),
-    };
-    Ok(ExecutedRun { reference, other })
+    let mut others = Vec::with_capacity(other_backends.len());
+    for &kind in other_backends {
+        others.push((kind, observe_contained(schedule, kind)?));
+    }
+    Ok(ExecutedRun { reference, others })
 }
 
 /// Executes a batch on the pool and scores each result serially (the

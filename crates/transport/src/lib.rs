@@ -15,6 +15,11 @@
 //!   link-id order so a given seed produces **identical**
 //!   outcomes, traces and [`RunMetrics`](opr_sim::RunMetrics) on both
 //!   backends.
+//! * [`PooledBackend`] — a fixed worker pool executing actor round-steps as
+//!   tasks over a flat slab of inbox slots, with two phase fences per round.
+//!   The scalable engine for N ≥ 1024: no per-process threads, no
+//!   per-process channels, same observable behaviour bit-for-bit at any
+//!   worker count.
 //!
 //! The substrate boundary is also where the model's link-anonymity lives:
 //! receivers observe *link labels*, never sender identities, on every
@@ -59,11 +64,13 @@
 //! ```
 
 pub mod faults;
+pub mod pooled;
 pub mod sim_backend;
 pub mod substrate;
 pub mod threaded;
 
 pub use faults::{FaultEvent, FaultPlan};
+pub use pooled::PooledBackend;
 pub use sim_backend::SimBackend;
 pub use substrate::{BackendKind, ExecutionReport, Job, Substrate};
 pub use threaded::ThreadedBackend;

@@ -1,7 +1,7 @@
 //! The substrate contract: what it means to execute a lock-step job.
 
 use crate::faults::FaultPlan;
-use crate::{SimBackend, ThreadedBackend};
+use crate::{PooledBackend, SimBackend, ThreadedBackend};
 use opr_obs::SharedSpanLog;
 use opr_sim::{Actor, RunMetrics, Topology, Trace, TraceMode, WireSize};
 use opr_types::MalformedSend;
@@ -155,6 +155,9 @@ pub enum BackendKind {
     Sim,
     /// One OS thread per process, barrier-synchronized rounds.
     Threaded,
+    /// Fixed worker pool executing round-steps as tasks over a flat inbox
+    /// slab — the scalable engine for large N.
+    Pooled,
 }
 
 /// The process-wide default backend; see [`BackendKind::set_process_default`].
@@ -164,16 +167,34 @@ impl Default for BackendKind {
     /// The process default: [`BackendKind::Sim`] unless a binary overrode it
     /// via [`BackendKind::set_process_default`] (e.g. a `--backend` flag).
     fn default() -> Self {
-        match PROCESS_DEFAULT.load(std::sync::atomic::Ordering::Relaxed) {
-            1 => BackendKind::Threaded,
-            _ => BackendKind::Sim,
-        }
+        BackendKind::from_tag(PROCESS_DEFAULT.load(std::sync::atomic::Ordering::Relaxed))
     }
 }
 
 impl BackendKind {
     /// Every backend, reference first.
-    pub const ALL: [BackendKind; 2] = [BackendKind::Sim, BackendKind::Threaded];
+    pub const ALL: [BackendKind; 3] =
+        [BackendKind::Sim, BackendKind::Threaded, BackendKind::Pooled];
+
+    /// The stable atomic discriminant used by the process-default cell. The
+    /// exhaustive match is the point: adding a variant without assigning it
+    /// a distinct tag is a compile error, not a silent alias of `Sim`.
+    const fn tag(self) -> u8 {
+        match self {
+            BackendKind::Sim => 0,
+            BackendKind::Threaded => 1,
+            BackendKind::Pooled => 2,
+        }
+    }
+
+    /// Inverse of [`BackendKind::tag`]; unknown tags fall back to the
+    /// reference backend (the cell starts at `Sim`'s tag anyway).
+    fn from_tag(tag: u8) -> BackendKind {
+        BackendKind::ALL
+            .into_iter()
+            .find(|kind| kind.tag() == tag)
+            .unwrap_or(BackendKind::Sim)
+    }
 
     /// Overrides what `BackendKind::default()` returns for the rest of the
     /// process. Intended for binaries translating a `--backend` flag once at
@@ -182,11 +203,7 @@ impl BackendKind {
     /// Backends are observationally equivalent, so this changes how runs
     /// execute, never what they produce.
     pub fn set_process_default(kind: BackendKind) {
-        let tag = match kind {
-            BackendKind::Sim => 0,
-            BackendKind::Threaded => 1,
-        };
-        PROCESS_DEFAULT.store(tag, std::sync::atomic::Ordering::Relaxed);
+        PROCESS_DEFAULT.store(kind.tag(), std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Stable label (accepted by [`BackendKind::parse`]).
@@ -194,6 +211,7 @@ impl BackendKind {
         match self {
             BackendKind::Sim => "sim",
             BackendKind::Threaded => "threaded",
+            BackendKind::Pooled => "pooled",
         }
     }
 
@@ -211,6 +229,7 @@ impl BackendKind {
         match self {
             BackendKind::Sim => SimBackend.execute(job),
             BackendKind::Threaded => ThreadedBackend.execute(job),
+            BackendKind::Pooled => PooledBackend::default().execute(job),
         }
     }
 }
@@ -234,7 +253,26 @@ mod tests {
     }
 
     #[test]
-    fn default_is_the_reference_backend() {
+    fn tags_are_distinct_and_round_trip() {
+        let mut seen = std::collections::BTreeSet::new();
+        for kind in BackendKind::ALL {
+            assert!(seen.insert(kind.tag()), "{kind}: tag collision");
+            assert_eq!(BackendKind::from_tag(kind.tag()), kind);
+        }
+        assert_eq!(BackendKind::from_tag(200), BackendKind::Sim);
+    }
+
+    /// One test covers both the initial default and the override round-trip:
+    /// they share the process-wide cell, so probing them in sequence (and
+    /// restoring `Sim`) avoids a race between parallel `#[test]`s.
+    #[test]
+    fn default_is_the_reference_backend_and_overrides_round_trip() {
+        assert_eq!(BackendKind::default(), BackendKind::Sim);
+        for kind in BackendKind::ALL {
+            BackendKind::set_process_default(kind);
+            assert_eq!(BackendKind::default(), kind);
+        }
+        BackendKind::set_process_default(BackendKind::Sim);
         assert_eq!(BackendKind::default(), BackendKind::Sim);
     }
 }

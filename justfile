@@ -33,9 +33,9 @@ equivalence:
 exec-equivalence:
     cargo test -q --test exec_equivalence
 
-# Bounded chaos smoke campaign (fixed seed, both backends) — the CI gate.
+# Bounded chaos smoke campaign (fixed seed, all three backends) — the CI gate.
 chaos:
-    cargo run --release -p opr-bench --bin chaos -- --seed 42 --runs 200 --budget mixed --backend both --jobs 4
+    cargo run --release -p opr-bench --bin chaos -- --seed 42 --runs 200 --budget mixed --backend all --jobs 4
 
 # Long randomized chaos soak (override with `just chaos-soak SEED=7 RUNS=50000 JOBS=8`).
 chaos-soak SEED="1" RUNS="20000" JOBS="4":
@@ -49,6 +49,18 @@ bench-exec:
 # payloads (writes crates/bench/BENCH_fanout.json).
 bench-fanout:
     cargo run --release -p opr-bench --bin fanout -- --out crates/bench/BENCH_fanout.json
+
+# Round-engine comparison: PooledBackend vs sim vs thread-per-process at
+# N in {128, 512, 1024} (writes crates/bench/BENCH_pool.json). `--check`
+# gates on pooled-w1 being >=5x threaded at N=128.
+bench-pool:
+    cargo run --release -p opr-bench --bin pool -- --out crates/bench/BENCH_pool.json --check
+
+# Large-N soak: full Alg1 at N=1024, t=300 on the pooled backend under a
+# wall-clock ceiling, bit-identical to the simulator, plus the N=512
+# sim-vs-pooled cross-check over adversaries and worker counts.
+pool-soak:
+    cargo test --release -q --test large_n -- --ignored --nocapture
 
 # Replay a repro with the protocol recorder attached and print every
 # process's decision waterfall (`just explain my-repro.json --events e.jsonl`).

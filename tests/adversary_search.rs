@@ -100,9 +100,13 @@ fn committed_worst_seeds_replay_green_with_exact_fitness() {
             !verdict.is_failure(repro.budget),
             "{name}: a committed worst seed must replay green"
         );
-        // The recorded fitness reproduces exactly, on both backends.
+        // The recorded fitness reproduces exactly, on every backend.
         let record = repro.fitness.expect("search seeds carry fitness");
-        for backend in [BackendChoice::Sim, BackendChoice::Threaded] {
+        for backend in [
+            BackendChoice::Sim,
+            BackendChoice::Threaded,
+            BackendChoice::Pooled,
+        ] {
             let (reference, _) = backend.backends();
             let run = repro
                 .schedule

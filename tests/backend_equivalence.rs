@@ -1,8 +1,9 @@
-//! Cross-backend equivalence: the thread-per-process substrate must be
-//! observationally indistinguishable from the single-threaded reference
-//! simulator. For any legal `(N, t, seed, adversary, id distribution)`, both
-//! backends must produce identical renaming outcomes, round counts and
-//! message/bit metrics — the tentpole guarantee of `opr-transport`.
+//! Cross-backend equivalence: the thread-per-process substrate *and* the
+//! task-scheduled worker-pool substrate must be observationally
+//! indistinguishable from the single-threaded reference simulator. For any
+//! legal `(N, t, seed, adversary, id distribution)`, all three backends
+//! must produce identical renaming outcomes, round counts and message/bit
+//! metrics — the tentpole guarantee of `opr-transport`.
 
 use opr::prelude::*;
 use opr::workload::RenamingRun;
@@ -26,8 +27,8 @@ fn distribution() -> impl Strategy<Value = IdDistribution> {
     proptest::sample::select(IdDistribution::ALL.to_vec())
 }
 
-/// Runs the same configuration on both backends and asserts every
-/// observable is equal.
+/// Runs the same configuration on every backend and asserts each
+/// observable equals the sim reference's.
 fn assert_backends_agree(
     regime: Regime,
     n: usize,
@@ -48,19 +49,18 @@ fn assert_backends_agree(
             .unwrap()
     };
     let sim = run(BackendKind::Sim);
-    let threaded = run(BackendKind::Threaded);
-    let tag = format!("{spec}/{dist}/N{n}t{t}s{seed}");
-    assert_eq!(sim.outcome, threaded.outcome, "outcome: {tag}");
-    assert_eq!(sim.stats.rounds, threaded.stats.rounds, "rounds: {tag}");
-    assert_eq!(
-        sim.stats.messages, threaded.stats.messages,
-        "messages: {tag}"
-    );
-    assert_eq!(sim.stats.bits, threaded.stats.bits, "bits: {tag}");
-    assert_eq!(
-        sim.stats.max_message_bits, threaded.stats.max_message_bits,
-        "max bits: {tag}"
-    );
+    for backend in [BackendKind::Threaded, BackendKind::Pooled] {
+        let other = run(backend);
+        let tag = format!("{backend}: {spec}/{dist}/N{n}t{t}s{seed}");
+        assert_eq!(sim.outcome, other.outcome, "outcome: {tag}");
+        assert_eq!(sim.stats.rounds, other.stats.rounds, "rounds: {tag}");
+        assert_eq!(sim.stats.messages, other.stats.messages, "messages: {tag}");
+        assert_eq!(sim.stats.bits, other.stats.bits, "bits: {tag}");
+        assert_eq!(
+            sim.stats.max_message_bits, other.stats.max_message_bits,
+            "max bits: {tag}"
+        );
+    }
 }
 
 proptest! {
@@ -120,9 +120,7 @@ proptest! {
                 .expect("chaos schedules are legal by construction")
         };
         let sim = run(BackendKind::Sim);
-        let threaded = run(BackendKind::Threaded);
         let tag = schedule.describe();
-        prop_assert_eq!(&sim, &threaded, "diagnosed run: {}", tag);
         let rendered = |run: &opr::workload::DiagnosedRun| -> Vec<String> {
             run.trace
                 .as_ref()
@@ -132,7 +130,11 @@ proptest! {
                 .map(|event| event.to_string())
                 .collect()
         };
-        prop_assert_eq!(rendered(&sim), rendered(&threaded), "trace: {}", tag);
+        for backend in [BackendKind::Threaded, BackendKind::Pooled] {
+            let other = run(backend);
+            prop_assert_eq!(&sim, &other, "diagnosed run on {}: {}", backend, tag);
+            prop_assert_eq!(rendered(&sim), rendered(&other), "trace on {}: {}", backend, tag);
+        }
     }
 }
 
@@ -158,17 +160,20 @@ proptest! {
                 .expect("chaos schedules are legal by construction")
         };
         let sim = run(BackendKind::Sim);
-        let threaded = run(BackendKind::Threaded);
         let tag = schedule.describe();
         let sim_log = sim.events.as_ref().expect("recorder attached");
-        let threaded_log = threaded.events.as_ref().expect("recorder attached");
-        prop_assert_eq!(sim_log, threaded_log, "event streams: {}", tag);
-        prop_assert_eq!(
-            opr::obs::render_jsonl(sim_log),
-            opr::obs::render_jsonl(threaded_log),
-            "JSONL bytes: {}",
-            tag
-        );
+        for backend in [BackendKind::Threaded, BackendKind::Pooled] {
+            let other = run(backend);
+            let other_log = other.events.as_ref().expect("recorder attached");
+            prop_assert_eq!(sim_log, other_log, "event streams on {}: {}", backend, tag);
+            prop_assert_eq!(
+                opr::obs::render_jsonl(sim_log),
+                opr::obs::render_jsonl(other_log),
+                "JSONL bytes on {}: {}",
+                backend,
+                tag
+            );
+        }
         // One log per correct process, every process attributed.
         prop_assert_eq!(
             sim_log.processes.len(),
@@ -187,11 +192,13 @@ proptest! {
         let sim = schedule
             .run_on(BackendKind::Sim)
             .expect("chaos schedules are legal by construction");
-        let threaded = schedule
-            .run_on(BackendKind::Threaded)
-            .expect("chaos schedules are legal by construction");
         let tag = schedule.describe();
-        prop_assert_eq!(&sim.metrics, &threaded.metrics, "metrics: {}", tag);
+        for backend in [BackendKind::Threaded, BackendKind::Pooled] {
+            let other = schedule
+                .run_on(backend)
+                .expect("chaos schedules are legal by construction");
+            prop_assert_eq!(&sim.metrics, &other.metrics, "metrics on {}: {}", backend, tag);
+        }
         prop_assert_eq!(
             sim.metrics.rounds_executed(),
             sim.rounds,
@@ -388,7 +395,7 @@ fn crash_at_first_round_composes_as_removal_from_correct_set() {
     }
 }
 
-/// Baselines execute on both substrates too (they go through the same
+/// Baselines execute on every substrate too (they go through the same
 /// `Job`/`Substrate` path in the workload harness).
 #[test]
 fn baselines_agree_across_backends() {
@@ -401,20 +408,15 @@ fn baselines_agree_across_backends() {
         let sim = alg
             .run_on(BackendKind::Sim, cfg, &ids, t, AdversarySpec::Silent, 4)
             .unwrap();
-        let threaded = alg
-            .run_on(
-                BackendKind::Threaded,
-                cfg,
-                &ids,
-                t,
-                AdversarySpec::Silent,
-                4,
-            )
-            .unwrap();
-        assert_eq!(sim.rounds, threaded.rounds, "{alg}");
-        assert_eq!(sim.messages, threaded.messages, "{alg}");
-        assert_eq!(sim.bits, threaded.bits, "{alg}");
-        assert_eq!(sim.max_name, threaded.max_name, "{alg}");
-        assert_eq!(sim.violations, threaded.violations, "{alg}");
+        for backend in [BackendKind::Threaded, BackendKind::Pooled] {
+            let other = alg
+                .run_on(backend, cfg, &ids, t, AdversarySpec::Silent, 4)
+                .unwrap();
+            assert_eq!(sim.rounds, other.rounds, "{alg} on {backend}");
+            assert_eq!(sim.messages, other.messages, "{alg} on {backend}");
+            assert_eq!(sim.bits, other.bits, "{alg} on {backend}");
+            assert_eq!(sim.max_name, other.max_name, "{alg} on {backend}");
+            assert_eq!(sim.violations, other.violations, "{alg} on {backend}");
+        }
     }
 }

@@ -132,6 +132,25 @@ fn injected_failure_shrinks_and_round_trips_through_repro() {
     assert!(digests_overlap(&first.digest(), &repro.digest));
 }
 
+/// The pooled-backend smoke campaign: a mixed-budget campaign judged with
+/// the cross-backend oracle comparing the simulator against *both* the
+/// threaded and the pooled substrate. Any pooled divergence — outcome,
+/// metrics or diagnosis — surfaces as a campaign failure here.
+#[test]
+fn mixed_budget_campaign_is_clean_on_all_backends() {
+    let config = CampaignConfig {
+        seed: 0x900_1ED,
+        runs: 200,
+        budget: None,
+        backend: BackendChoice::All,
+        jobs: 4,
+    };
+    let report = run_campaign(&config, &standard_suite());
+    assert!(report.passed(), "{report}");
+    assert_eq!(report.total, 200);
+    assert!(report.failures.is_empty(), "{report}");
+}
+
 /// Campaigns are a pure function of their seed: the same configuration
 /// twice yields the same counts and the same failure set.
 #[test]

@@ -46,10 +46,10 @@ fn budgets() -> impl Strategy<Value = Option<BudgetRegime>> {
     ])
 }
 
-/// `Both` executes the simulator *and* the threaded backend per schedule,
-/// so these two choices cover every backend.
+/// `All` executes the simulator, the threaded backend *and* the pooled
+/// backend per schedule, so these two choices cover every backend.
 fn backends() -> impl Strategy<Value = BackendChoice> {
-    select(vec![BackendChoice::Sim, BackendChoice::Both])
+    select(vec![BackendChoice::Sim, BackendChoice::All])
 }
 
 proptest! {
@@ -134,5 +134,41 @@ proptest! {
             logs.iter().map(render_jsonl).collect()
         };
         prop_assert_eq!(rendered(&serial), rendered(&parallel));
+    }
+
+    /// The pooled substrate's *internal* worker pool is unobservable too:
+    /// the same chaos schedule executed with the process-default worker
+    /// count pinned to 1 and to `PARALLEL_JOBS` yields bit-identical
+    /// `DiagnosedRun`s and telemetry. (Worker-count invariance is also a
+    /// determinism property, so the global default racing with concurrent
+    /// pooled runs in this binary cannot perturb their assertions.)
+    #[test]
+    fn pooled_substrate_is_bit_identical_across_worker_counts(
+        seed in 0u64..100_000,
+        budget in select(BudgetRegime::ALL.to_vec()),
+    ) {
+        use opr::transport::PooledBackend;
+        let schedule = opr::chaos::generate_schedule(seed, budget);
+        let run = |workers: usize| {
+            PooledBackend::set_process_default_workers(workers);
+            let observed = schedule
+                .run_observed(BackendKind::Pooled, None)
+                .expect("chaos schedules are legal by construction");
+            PooledBackend::set_process_default_workers(0);
+            observed
+        };
+        let one = run(1);
+        let four = run(PARALLEL_JOBS);
+        let tag = schedule.describe();
+        prop_assert_eq!(&one, &four, "diagnosed run: {}", tag);
+        let one_log = one.events.as_ref().expect("recorder attached");
+        let four_log = four.events.as_ref().expect("recorder attached");
+        prop_assert_eq!(one_log, four_log, "event streams: {}", tag);
+        prop_assert_eq!(
+            render_jsonl(one_log),
+            render_jsonl(four_log),
+            "JSONL bytes: {}",
+            tag
+        );
     }
 }
