@@ -27,6 +27,14 @@ impl<T: Ord + Copy> OrderedMultiset<T> {
         OrderedMultiset { items: Vec::new() }
     }
 
+    /// Builds from an owned vector, sorting in place — the zero-copy
+    /// hand-off for callers that already bucketed their votes (e.g. the
+    /// per-id aggregation over flooded sets in `opr-core`).
+    pub fn from_vec(mut items: Vec<T>) -> Self {
+        items.sort_unstable();
+        OrderedMultiset { items }
+    }
+
     /// Inserts a value, keeping the multiset sorted.
     pub fn insert(&mut self, value: T) {
         let pos = self.items.partition_point(|x| *x <= value);

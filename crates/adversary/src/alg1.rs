@@ -2,10 +2,19 @@
 
 use crate::fakes::fake_ids;
 use opr_core::{AdversaryEnv, Alg1Msg};
-use opr_rbcast::FloodMsg;
+use opr_rbcast::{FloodMsg, IdInterner, IdSlotSet};
 use opr_sim::{Actor, Inbox, Outbox};
 use opr_types::{LinkId, NewName, OriginalId, Rank, Round};
 use std::collections::BTreeSet;
+
+/// Interns `ids` into a bitset payload against the run interner — how every
+/// strategy here ships its Echo/Ready sets.
+fn slot_set(
+    interner: &IdInterner<OriginalId>,
+    ids: &BTreeSet<OriginalId>,
+) -> IdSlotSet<OriginalId> {
+    IdSlotSet::from_values(interner, ids.iter().copied())
+}
 
 /// Builds a δ-spaced (hence always `isValid`) vote vector over `ids` with a
 /// constant `shift` added to every rank — the adversary's only lever that
@@ -29,6 +38,7 @@ pub struct IdForger {
     delta: f64,
     per_link_fakes: Vec<OriginalId>,
     known: BTreeSet<OriginalId>,
+    interner: IdInterner<OriginalId>,
 }
 
 impl IdForger {
@@ -46,6 +56,7 @@ impl IdForger {
             delta: env.cfg.delta(),
             per_link_fakes,
             known,
+            interner: env.interner.clone(),
         }
     }
 }
@@ -66,8 +77,14 @@ impl Actor for IdForger {
                     })
                     .collect(),
             ),
-            2 => Outbox::Broadcast(Alg1Msg::Flood(FloodMsg::Echo(self.known.clone()))),
-            3 | 4 => Outbox::Broadcast(Alg1Msg::Flood(FloodMsg::Ready(self.known.clone()))),
+            2 => Outbox::Broadcast(Alg1Msg::Flood(FloodMsg::Echo(slot_set(
+                &self.interner,
+                &self.known,
+            )))),
+            3 | 4 => Outbox::Broadcast(Alg1Msg::Flood(FloodMsg::Ready(slot_set(
+                &self.interner,
+                &self.known,
+            )))),
             _ => Outbox::Broadcast(Alg1Msg::Votes(shifted_votes(&self.known, self.delta, 0.0))),
         }
     }
@@ -79,7 +96,7 @@ impl Actor for IdForger {
                     self.known.insert(*id);
                 }
                 Alg1Msg::Flood(FloodMsg::Echo(set)) | Alg1Msg::Flood(FloodMsg::Ready(set)) => {
-                    self.known.extend(set.iter().copied());
+                    self.known.extend(set.values_sorted());
                 }
                 Alg1Msg::Votes(_) => {}
             }
@@ -164,7 +181,7 @@ impl Actor for EchoSplitter {
                     self.known.insert(*id);
                 }
                 Alg1Msg::Flood(FloodMsg::Echo(set)) | Alg1Msg::Flood(FloodMsg::Ready(set)) => {
-                    self.known.extend(set.iter().copied());
+                    self.known.extend(set.values_sorted());
                 }
                 Alg1Msg::Votes(_) => {}
             }
@@ -188,6 +205,7 @@ pub struct RankSkewer {
     delta: f64,
     fake: OriginalId,
     known: BTreeSet<OriginalId>,
+    interner: IdInterner<OriginalId>,
 }
 
 impl RankSkewer {
@@ -203,6 +221,7 @@ impl RankSkewer {
             delta: env.cfg.delta(),
             fake,
             known,
+            interner: env.interner.clone(),
         }
     }
 }
@@ -214,8 +233,14 @@ impl Actor for RankSkewer {
     fn send(&mut self, round: Round) -> Outbox<Alg1Msg> {
         match round.number() {
             1 => Outbox::Broadcast(Alg1Msg::Flood(FloodMsg::Init(self.fake))),
-            2 => Outbox::Broadcast(Alg1Msg::Flood(FloodMsg::Echo(self.known.clone()))),
-            3 | 4 => Outbox::Broadcast(Alg1Msg::Flood(FloodMsg::Ready(self.known.clone()))),
+            2 => Outbox::Broadcast(Alg1Msg::Flood(FloodMsg::Echo(slot_set(
+                &self.interner,
+                &self.known,
+            )))),
+            3 | 4 => Outbox::Broadcast(Alg1Msg::Flood(FloodMsg::Ready(slot_set(
+                &self.interner,
+                &self.known,
+            )))),
             _ => {
                 let amplitude = (self.t as f64 + 1.0) * self.delta;
                 let low = Alg1Msg::Votes(shifted_votes(&self.known, self.delta, -amplitude));
@@ -243,7 +268,7 @@ impl Actor for RankSkewer {
                     self.known.insert(*id);
                 }
                 Alg1Msg::Flood(FloodMsg::Echo(set)) | Alg1Msg::Flood(FloodMsg::Ready(set)) => {
-                    self.known.extend(set.iter().copied());
+                    self.known.extend(set.values_sorted());
                 }
                 Alg1Msg::Votes(_) => {}
             }
@@ -263,6 +288,7 @@ pub struct OrderInverter {
     fake: OriginalId,
     known: BTreeSet<OriginalId>,
     delta: f64,
+    interner: IdInterner<OriginalId>,
 }
 
 impl OrderInverter {
@@ -275,6 +301,7 @@ impl OrderInverter {
             fake: fakes[0],
             known,
             delta: env.cfg.delta(),
+            interner: env.interner.clone(),
         }
     }
 }
@@ -286,8 +313,14 @@ impl Actor for OrderInverter {
     fn send(&mut self, round: Round) -> Outbox<Alg1Msg> {
         match round.number() {
             1 => Outbox::Broadcast(Alg1Msg::Flood(FloodMsg::Init(self.fake))),
-            2 => Outbox::Broadcast(Alg1Msg::Flood(FloodMsg::Echo(self.known.clone()))),
-            3 | 4 => Outbox::Broadcast(Alg1Msg::Flood(FloodMsg::Ready(self.known.clone()))),
+            2 => Outbox::Broadcast(Alg1Msg::Flood(FloodMsg::Echo(slot_set(
+                &self.interner,
+                &self.known,
+            )))),
+            3 | 4 => Outbox::Broadcast(Alg1Msg::Flood(FloodMsg::Ready(slot_set(
+                &self.interner,
+                &self.known,
+            )))),
             r => {
                 let mut votes = shifted_votes(&self.known, self.delta, 0.0);
                 match r % 3 {
@@ -456,10 +489,11 @@ impl Actor for PairSqueezer {
                                 set.insert(plan.fake);
                             }
                         }
+                        let payload = slot_set(&self.plans[0].interner, &set);
                         let msg = if r == 2 {
-                            Alg1Msg::Flood(FloodMsg::Echo(set))
+                            Alg1Msg::Flood(FloodMsg::Echo(payload))
                         } else {
-                            Alg1Msg::Flood(FloodMsg::Ready(set))
+                            Alg1Msg::Flood(FloodMsg::Ready(payload))
                         };
                         (l, msg)
                     })
@@ -478,7 +512,15 @@ impl Actor for PairSqueezer {
                             .map(|plan| plan.fake)
                             .collect();
                         #[allow(clippy::unnecessary_lazy_evaluations)]
-                        (!set.is_empty()).then(|| (l, Alg1Msg::Flood(FloodMsg::Ready(set))))
+                        (!set.is_empty()).then(|| {
+                            (
+                                l,
+                                Alg1Msg::Flood(FloodMsg::Ready(slot_set(
+                                    &self.plans[0].interner,
+                                    &set,
+                                ))),
+                            )
+                        })
                     })
                     .collect();
                 if entries.is_empty() {
@@ -498,7 +540,7 @@ impl Actor for PairSqueezer {
                     self.known.insert(*id);
                 }
                 Alg1Msg::Flood(FloodMsg::Echo(set)) | Alg1Msg::Flood(FloodMsg::Ready(set)) => {
-                    self.known.extend(set.iter().copied());
+                    self.known.extend(set.values_sorted());
                 }
                 Alg1Msg::Votes(_) => {}
             }

@@ -26,7 +26,7 @@
 //! repair.
 
 use opr_core::{AdversaryEnv, Alg1Msg};
-use opr_rbcast::FloodMsg;
+use opr_rbcast::{FloodMsg, IdInterner, IdSlotSet};
 use opr_sim::Outbox;
 use opr_types::{LinkId, OriginalId};
 use std::collections::BTreeSet;
@@ -46,6 +46,9 @@ pub struct DivergencePlan {
     pub ready4_links: Vec<LinkId>,
     /// All correct links, in ascending order of the correct process's id.
     pub all_correct_links: Vec<LinkId>,
+    /// The run interner the forged bitset payloads are built against (so
+    /// they travel the receivers' zero-decode fast path).
+    pub interner: IdInterner<OriginalId>,
 }
 
 impl DivergencePlan {
@@ -75,6 +78,7 @@ impl DivergencePlan {
             ready3_links: links[tt..r_end].to_vec(),
             ready4_links: links[..favoured.min(c)].to_vec(),
             all_correct_links: links,
+            interner: env.interner.clone(),
         }
     }
 
@@ -91,11 +95,11 @@ impl DivergencePlan {
     ///
     /// Panics for steps outside `1..=4`.
     pub fn flood_outbox(&self, step: u32, base: &BTreeSet<OriginalId>) -> Outbox<Alg1Msg> {
-        let with_fake = |base: &BTreeSet<OriginalId>| -> BTreeSet<OriginalId> {
-            base.iter()
-                .copied()
-                .chain(std::iter::once(self.fake))
-                .collect()
+        let plain = IdSlotSet::from_values(&self.interner, base.iter().copied());
+        let spiked = {
+            let mut s = plain.clone();
+            s.insert(&self.fake);
+            s
         };
         match step {
             1 => Outbox::Multicast(
@@ -104,46 +108,38 @@ impl DivergencePlan {
                     .map(|&l| (l, Alg1Msg::Flood(FloodMsg::Init(self.fake))))
                     .collect(),
             ),
-            2 => {
-                let spiked = with_fake(base);
-                Outbox::Multicast(
-                    self.all_correct_links
-                        .iter()
-                        .map(|&l| {
-                            let set = if self.echo_links.contains(&l) {
-                                spiked.clone()
-                            } else {
-                                base.clone()
-                            };
-                            (l, Alg1Msg::Flood(FloodMsg::Echo(set)))
-                        })
-                        .collect(),
-                )
-            }
-            3 => {
-                let spiked = with_fake(base);
-                Outbox::Multicast(
-                    self.all_correct_links
-                        .iter()
-                        .map(|&l| {
-                            let set = if self.ready3_links.contains(&l) {
-                                spiked.clone()
-                            } else {
-                                base.clone()
-                            };
-                            (l, Alg1Msg::Flood(FloodMsg::Ready(set)))
-                        })
-                        .collect(),
-                )
-            }
+            2 => Outbox::Multicast(
+                self.all_correct_links
+                    .iter()
+                    .map(|&l| {
+                        let set = if self.echo_links.contains(&l) {
+                            spiked.clone()
+                        } else {
+                            plain.clone()
+                        };
+                        (l, Alg1Msg::Flood(FloodMsg::Echo(set)))
+                    })
+                    .collect(),
+            ),
+            3 => Outbox::Multicast(
+                self.all_correct_links
+                    .iter()
+                    .map(|&l| {
+                        let set = if self.ready3_links.contains(&l) {
+                            spiked.clone()
+                        } else {
+                            plain.clone()
+                        };
+                        (l, Alg1Msg::Flood(FloodMsg::Ready(set)))
+                    })
+                    .collect(),
+            ),
             4 => Outbox::Multicast(
                 self.ready4_links
                     .iter()
                     .map(|&l| {
-                        (
-                            l,
-                            Alg1Msg::Flood(FloodMsg::Ready(BTreeSet::from([self.fake]))),
-                        )
+                        let set = IdSlotSet::from_values(&self.interner, [self.fake]);
+                        (l, Alg1Msg::Flood(FloodMsg::Ready(set)))
                     })
                     .collect(),
             ),
@@ -173,6 +169,7 @@ mod tests {
             correct_assignments: &assignments,
             topology: &topo,
             seed: 1,
+            interner: IdInterner::new(),
         };
         DivergencePlan::new(&env, OriginalId::new(5))
     }

@@ -72,6 +72,7 @@ mod tests {
             correct_assignments: &assignments,
             topology: &topo,
             seed: 7,
+            interner: opr_rbcast::IdInterner::new(),
         };
         f(&env)
     }

@@ -4,7 +4,7 @@ use crate::alg1::{EchoSplitter, IdForger, OrderInverter, PairSqueezer, RankSkewe
 use crate::generic::{CrashAfter, Noise, Replay};
 use crate::two_step::{EchoWithholder, FakeFlooder, HalfEcho};
 use opr_core::{AdversaryEnv, Alg1Msg, TwoStepMsg};
-use opr_rbcast::FloodMsg;
+use opr_rbcast::{FloodMsg, IdSlotSet};
 use opr_sim::Actor;
 use opr_types::{NewName, OriginalId, Rank, Regime};
 use rand::Rng;
@@ -131,6 +131,7 @@ impl AdversarySpec {
                     .chain(crate::fakes::fake_ids(env, env.cfg.n()))
                     .collect();
                 let delta = env.cfg.delta();
+                let interner = env.interner.clone();
                 Some(Box::new(Noise::new(
                     env.cfg.n(),
                     per_actor_seed,
@@ -143,8 +144,14 @@ impl AdversarySpec {
                         }
                         let msg = match rng.gen_range(0..4) {
                             0 => Alg1Msg::Flood(FloodMsg::Init(pool[rng.gen_range(0..pool.len())])),
-                            1 => Alg1Msg::Flood(FloodMsg::Echo(set)),
-                            2 => Alg1Msg::Flood(FloodMsg::Ready(set)),
+                            1 => Alg1Msg::Flood(FloodMsg::Echo(IdSlotSet::from_values(
+                                &interner,
+                                set.iter().copied(),
+                            ))),
+                            2 => Alg1Msg::Flood(FloodMsg::Ready(IdSlotSet::from_values(
+                                &interner,
+                                set.iter().copied(),
+                            ))),
                             _ => Alg1Msg::Votes(
                                 set.iter()
                                     .map(|&id| (id, Rank::new(rng.gen_range(-10.0..10.0) * delta)))
@@ -191,6 +198,7 @@ impl AdversarySpec {
                     .chain(crate::fakes::fake_ids(env, env.cfg.n()))
                     .collect();
                 let n = env.cfg.n();
+                let interner = env.interner.clone();
                 Some(Box::new(Noise::new(
                     n,
                     per_actor_seed,
@@ -204,7 +212,10 @@ impl AdversarySpec {
                                     set.insert(id);
                                 }
                             }
-                            TwoStepMsg::MultiEcho(set)
+                            TwoStepMsg::MultiEcho(IdSlotSet::from_values(
+                                &interner,
+                                set.iter().copied(),
+                            ))
                         };
                         rng.gen_bool(0.9).then_some(msg)
                     },

@@ -2,6 +2,7 @@
 
 use crate::fakes::fake_ids;
 use opr_core::{AdversaryEnv, TwoStepMsg};
+use opr_rbcast::{IdInterner, IdSlotSet};
 use opr_sim::{Actor, Inbox, Outbox};
 use opr_types::{LinkId, NewName, OriginalId, Round};
 use std::collections::{BTreeMap, BTreeSet};
@@ -19,6 +20,7 @@ pub struct FakeFlooder {
     hidden_fakes: Vec<OriginalId>,
     correct_ids: Vec<OriginalId>,
     correct_links: Vec<LinkId>,
+    interner: IdInterner<OriginalId>,
 }
 
 impl FakeFlooder {
@@ -50,6 +52,7 @@ impl FakeFlooder {
             hidden_fakes,
             correct_ids: env.correct_ids.to_vec(),
             correct_links,
+            interner: env.interner.clone(),
         }
     }
 }
@@ -95,7 +98,13 @@ impl Actor for FakeFlooder {
                             None => break,
                         }
                     }
-                    entries.push((l, TwoStepMsg::MultiEcho(set)));
+                    entries.push((
+                        l,
+                        TwoStepMsg::MultiEcho(IdSlotSet::from_values(
+                            &self.interner,
+                            set.iter().copied(),
+                        )),
+                    ));
                 }
                 Outbox::Multicast(entries)
             }
@@ -119,6 +128,7 @@ pub struct EchoWithholder {
     correct_ids: Vec<OriginalId>,
     favoured: Vec<LinkId>,
     others: Vec<LinkId>,
+    interner: IdInterner<OriginalId>,
 }
 
 impl EchoWithholder {
@@ -134,6 +144,7 @@ impl EchoWithholder {
             correct_ids: env.correct_ids.to_vec(),
             favoured: links[..half].to_vec(),
             others: links[half..].to_vec(),
+            interner: env.interner.clone(),
         }
     }
 }
@@ -155,13 +166,13 @@ impl Actor for EchoWithholder {
                 )
             }
             2 => {
-                let with_fake: BTreeSet<OriginalId> = self
-                    .correct_ids
-                    .iter()
-                    .copied()
-                    .chain(std::iter::once(self.fake))
-                    .collect();
-                let without: BTreeSet<OriginalId> = self.correct_ids.iter().copied().collect();
+                let without =
+                    IdSlotSet::from_values(&self.interner, self.correct_ids.iter().copied());
+                let with_fake = {
+                    let mut s = without.clone();
+                    s.insert(&self.fake);
+                    s
+                };
                 let mut entries: Vec<(LinkId, TwoStepMsg)> = self
                     .favoured
                     .iter()
@@ -195,6 +206,7 @@ pub struct HalfEcho {
     fake: OriginalId,
     correct_ids: Vec<OriginalId>,
     favoured: Vec<LinkId>,
+    interner: IdInterner<OriginalId>,
 }
 
 impl HalfEcho {
@@ -206,6 +218,7 @@ impl HalfEcho {
             fake: fake_ids(env, 1)[0],
             correct_ids: env.correct_ids.to_vec(),
             favoured: links[..half].to_vec(),
+            interner: env.interner.clone(),
         }
     }
 }
@@ -219,12 +232,10 @@ impl Actor for HalfEcho {
             // Announce to everyone so our echoes pass the linkid ≠ ⊥ check.
             1 => Outbox::Broadcast(TwoStepMsg::Id(self.fake)),
             2 => {
-                let set: BTreeSet<OriginalId> = self
-                    .correct_ids
-                    .iter()
-                    .copied()
-                    .chain(std::iter::once(self.fake))
-                    .collect();
+                let set = IdSlotSet::from_values(
+                    &self.interner,
+                    self.correct_ids.iter().copied().chain([self.fake]),
+                );
                 Outbox::Multicast(
                     self.favoured
                         .iter()

@@ -52,7 +52,7 @@ use opr_sim::RunMetrics;
 fn usage() -> ! {
     eprintln!(
         "usage: chaos [--seed S] [--runs K] [--budget in|at|over|mixed]\n\
-         \x20            [--backend sim|threaded|pooled|both|all]\n\
+         \x20            [--backend sim|threaded|pooled|both|all|auto]\n\
          \x20            [--jobs N] [--repro-out <file>] [--events <file>]\n\
          \x20      chaos explain <file> [--events <file>] [--perfetto <file>]\n\
          \x20                                replay a repro with the recorder attached and\n\
@@ -66,7 +66,7 @@ fn usage() -> ! {
          \x20                                judged by the ledger oracles + jobs determinism\n\
          \x20      chaos --service --repro <file>  replay a captured service failure\n\
          \x20      chaos --search [--seed S] [--budget in|at|over]\n\
-         \x20                     [--backend sim|threaded|pooled|both|all]\n\
+         \x20                     [--backend sim|threaded|pooled|both|all|auto]\n\
          \x20                     [--jobs N] [--fitness margin|rounds|namespace|spread|drops]\n\
          \x20                     [--beam B] [--generations G] [--evals E] [--init I] [--top-k K]\n\
          \x20                     [--out-dir DIR] [--search-report <file>] [--baseline] [--timing]\n\

@@ -1,0 +1,274 @@
+//! Flood-core benchmark: the interned slot-bitset Echo/Ready accumulation
+//! (`EchoReadyFlood`) against the seed `BTreeSet`/`BTreeMap` path
+//! (`reference::SetFlood`) on identical inputs.
+//!
+//! ```text
+//! cargo run --release -p opr-bench --bin flood -- --out crates/bench/BENCH_flood.json
+//! ```
+//!
+//! One receiver is hand-driven through all four flood steps against
+//! pre-built inboxes simulating `N` senders whose `Echo`/`Ready` payloads
+//! each carry all `N` values — the O(N²) value-slots per step that made the
+//! seed's per-value ordered-tree accumulation the O(N³·log N) hot path of
+//! every protocol round. Both implementations consume the *same*
+//! `FloodMsg` payloads and must finish with the same `FloodResult`; only
+//! the accumulation machinery differs. Reported per variant and N ∈
+//! {128, 512, 1024}: mean ns per step ("round") and heap allocations per
+//! round, from a counting `#[global_allocator]`.
+//!
+//! The headline gate (`--check`, used by CI) holds the slot-bitset core to
+//! ≥4× the seed path at N = 1024. This is a single-threaded comparison of
+//! pure data-structure work, so — unlike the `pool` group's parallelism
+//! gate — it is meaningful on 1-core containers too.
+
+use opr_rbcast::reference::SetFlood;
+use opr_rbcast::{EchoReadyFlood, FloodMsg, FloodResult, IdInterner, IdSlotSet};
+use opr_sim::{WireSize, ID_BITS};
+use opr_types::LinkId;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Counts every heap allocation (including reallocations) made through the
+/// global allocator. Deallocation is free to stay out of the hot path's way.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Val(u64);
+
+impl WireSize for Val {
+    fn wire_bits(&self) -> u64 {
+        ID_BITS
+    }
+}
+
+const STEPS: u32 = 4;
+
+/// The four per-step inboxes one receiver sees in an all-correct N-process
+/// flood: N `Init`s, then N `Echo`s / `Ready`s each carrying all N values.
+/// Payloads are interned against `interner` — the shared-registry fast path
+/// a production run sets up — and reused across iterations, as the sealed
+/// broadcast payloads are in the real transport.
+fn inboxes(n: usize, interner: &IdInterner<Val>) -> Vec<Vec<(LinkId, FloodMsg<Val>)>> {
+    let values: Vec<Val> = (0..n as u64).map(Val).collect();
+    let full = IdSlotSet::from_values(interner, values.iter().copied());
+    (1..=STEPS)
+        .map(|step| {
+            (0..n)
+                .map(|i| {
+                    let link = LinkId::new(i + 1);
+                    let msg = match step {
+                        1 => FloodMsg::Init(values[i]),
+                        2 => FloodMsg::Echo(full.clone()),
+                        _ => FloodMsg::Ready(full.clone()),
+                    };
+                    (link, msg)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs one receiver through all four steps; returns its result for the
+/// cross-variant sanity check.
+trait Receiver {
+    fn run(&mut self, inboxes: &[Vec<(LinkId, FloodMsg<Val>)>]) -> FloodResult<Val>;
+}
+
+struct New(EchoReadyFlood<Val>);
+
+impl Receiver for New {
+    fn run(&mut self, inboxes: &[Vec<(LinkId, FloodMsg<Val>)>]) -> FloodResult<Val> {
+        for (i, inbox) in inboxes.iter().enumerate() {
+            let step = i as u32 + 1;
+            black_box(self.0.send(step));
+            self.0.deliver(step, inbox.iter().map(|(l, m)| (*l, m)));
+        }
+        self.0.result().expect("flood finished").clone()
+    }
+}
+
+struct Old(SetFlood<Val>);
+
+impl Receiver for Old {
+    fn run(&mut self, inboxes: &[Vec<(LinkId, FloodMsg<Val>)>]) -> FloodResult<Val> {
+        for (i, inbox) in inboxes.iter().enumerate() {
+            let step = i as u32 + 1;
+            black_box(self.0.send_values(step));
+            self.0.deliver(step, inbox.iter().map(|(l, m)| (*l, m)));
+        }
+        self.0.result().expect("flood finished").clone()
+    }
+}
+
+struct Row {
+    name: String,
+    n: usize,
+    iterations: usize,
+    mean_ns: f64,
+    allocs_per_round: f64,
+}
+
+impl Row {
+    fn round_ns(&self) -> f64 {
+        self.mean_ns / f64::from(STEPS)
+    }
+    fn json(&self) -> String {
+        format!(
+            "  {{\"group\": \"flood\", \"name\": \"{}\", \"n\": {}, \"steps\": {STEPS}, \
+             \"iterations\": {}, \"mean_ns\": {:.1}, \"round_ns\": {:.1}, \
+             \"allocs_per_round\": {:.1}}}",
+            self.name,
+            self.n,
+            self.iterations,
+            self.mean_ns,
+            self.round_ns(),
+            self.allocs_per_round,
+        )
+    }
+}
+
+fn measure<R: Receiver>(
+    name: String,
+    n: usize,
+    iterations: usize,
+    inboxes: &[Vec<(LinkId, FloodMsg<Val>)>],
+    mut fresh: impl FnMut() -> R,
+) -> Row {
+    // Warm-up run outside the bracket (first-touch growth, lazy pages).
+    let expected = fresh().run(inboxes);
+    assert_eq!(expected.timely.len(), n, "{name}: degenerate input");
+    let allocs_before = ALLOCS.load(Ordering::Relaxed);
+    let start = Instant::now();
+    for _ in 0..iterations {
+        let mut receiver = fresh();
+        let result = receiver.run(inboxes);
+        debug_assert_eq!(result.timely.len(), n);
+        black_box(result.accepted.len());
+    }
+    let mean_ns = start.elapsed().as_nanos() as f64 / iterations as f64;
+    let allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
+    let allocs_per_round = allocs as f64 / iterations as f64 / f64::from(STEPS);
+    let row = Row {
+        name,
+        n,
+        iterations,
+        mean_ns,
+        allocs_per_round,
+    };
+    eprintln!(
+        "flood {}: {:.0} ns/round, {:.0} allocs/round ({} iters)",
+        row.name,
+        row.round_ns(),
+        row.allocs_per_round,
+        row.iterations
+    );
+    row
+}
+
+fn iters(n: usize) -> usize {
+    match n {
+        0..=128 => 40,
+        129..=512 => 10,
+        _ => 4,
+    }
+}
+
+fn main() {
+    let mut out_path: Option<String> = None;
+    let mut check = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => out_path = it.next(),
+            "--check" => check = true,
+            _ => {
+                eprintln!("usage: flood [--out <path>] [--check]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut rows: Vec<Row> = Vec::new();
+    for n in [128usize, 512, 1024] {
+        let t = (n - 1) / 3;
+        let interner = IdInterner::new();
+        let inboxes = inboxes(n, &interner);
+        // Both variants consume the identical pre-built payloads and must
+        // agree on the outcome before either is timed.
+        let new_result = New(EchoReadyFlood::with_interner(
+            n,
+            t,
+            Some(Val(0)),
+            interner.clone(),
+        ))
+        .run(&inboxes);
+        let old_result = Old(SetFlood::new(n, t, Some(Val(0)))).run(&inboxes);
+        assert_eq!(new_result, old_result, "variants diverged at N={n}");
+
+        rows.push(measure(format!("old/N{n}"), n, iters(n), &inboxes, || {
+            Old(SetFlood::new(n, t, Some(Val(0))))
+        }));
+        rows.push(measure(format!("new/N{n}"), n, iters(n), &inboxes, || {
+            New(EchoReadyFlood::with_interner(
+                n,
+                t,
+                Some(Val(0)),
+                interner.clone(),
+            ))
+        }));
+    }
+
+    let mean = |name: &str| {
+        rows.iter()
+            .find(|r| r.name == name)
+            .map(|r| r.mean_ns)
+            .expect("row measured")
+    };
+    let speedup = mean("old/N1024") / mean("new/N1024");
+    eprintln!("flood: slot-bitset core is {speedup:.1}x the seed set path at N=1024");
+
+    let mut lines: Vec<String> = rows.iter().map(Row::json).collect();
+    lines.push(format!(
+        "  {{\"group\": \"flood\", \"name\": \"speedup/new-vs-old-N1024\", \
+         \"n\": 1024, \"speedup\": {speedup:.2}}}"
+    ));
+    let json = format!("[\n{}\n]\n", lines.join(",\n"));
+
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &json).expect("write benchmark output");
+            eprintln!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+
+    if check && speedup < 4.0 {
+        eprintln!(
+            "flood: gate failed: expected >=4x over the seed path at N=1024, got {speedup:.1}x"
+        );
+        std::process::exit(1);
+    }
+}

@@ -33,7 +33,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: service [--seed S] [--epochs E] [--shards K]\n\
+        "usage: service [--seed S] [--epochs E] [--shards K] [--backend sim|threaded|pooled|auto]\n\
          \x20       service --soak [--seed S] [--epochs E] [--shards K] [--repro-out <file>]\n\
          \x20                                 oracle + determinism gate across jobs {{1,4}}\n\
          \x20                                 and every backend (exit 1 on failure)\n\
@@ -87,6 +87,13 @@ fn parse_args(raw: &[String]) -> Args {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--backend" => match it.next().map(String::as_str) {
+                Some("auto") => BackendKind::set_process_auto(true),
+                Some(label) => BackendKind::set_process_default(
+                    BackendKind::parse(label).unwrap_or_else(|| usage()),
+                ),
+                None => usage(),
+            },
             "--soak" => args.soak = true,
             "--bench" => args.bench = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--perfetto" => args.perfetto = Some(it.next().cloned().unwrap_or_else(|| usage())),
@@ -403,11 +410,13 @@ fn replay(path: &str) -> i32 {
 
 /// The quickstart: one small seeded run, summarized and judged.
 fn demo(args: &Args) -> i32 {
+    // Epoch instances are N = 7 (`soak_spec`), so `--backend auto` resolves
+    // against that size.
     let spec = soak_spec(
         args.seed,
         args.epochs.clamp(1, 50),
         args.shards,
-        BackendKind::default(),
+        BackendKind::default_for(7),
         2,
     );
     match run_judged(&spec, "demo", args) {

@@ -42,7 +42,7 @@ fn adversary_by_label(label: &str) -> Option<AdversarySpec> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sweep --alg <label> [--t A..B] [--seeds K] [--adversary <label>] [--n-extra E] [--backend sim|threaded|pooled] [--jobs N]\n\
+        "usage: sweep --alg <label> [--t A..B] [--seeds K] [--adversary <label>] [--n-extra E] [--backend sim|threaded|pooled|auto] [--jobs N]\n\
          algorithms: {}\n\
          adversaries: {}",
         Algorithm::ALL.map(|a| a.label()).join(", "),
@@ -64,6 +64,7 @@ fn main() {
     let mut adversary: Option<AdversarySpec> = None;
     let mut n_extra = 0usize;
     let mut backend = BackendKind::default();
+    let mut backend_auto = false;
     let mut jobs = 1usize;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -88,12 +89,11 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
             }
-            "--backend" => {
-                backend = it
-                    .next()
-                    .and_then(|v| BackendKind::parse(v))
-                    .unwrap_or_else(|| usage())
-            }
+            "--backend" => match it.next().map(String::as_str) {
+                Some("auto") => backend_auto = true,
+                Some(label) => backend = BackendKind::parse(label).unwrap_or_else(|| usage()),
+                None => usage(),
+            },
             "--jobs" => {
                 jobs = it
                     .next()
@@ -129,7 +129,11 @@ fn main() {
                 faulty: t,
                 adversary: spec,
                 seed,
-                backend,
+                backend: if backend_auto {
+                    BackendKind::auto_for(n as u32)
+                } else {
+                    backend
+                },
             });
         }
     }

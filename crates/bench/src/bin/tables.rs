@@ -11,8 +11,9 @@
 //! ```
 //!
 //! `--backend` selects the execution substrate every experiment runs on
-//! (default `sim`); results are identical on either, only the execution
-//! strategy changes. `--jobs` generates the requested experiments on
+//! (default `sim`; `auto` picks per run size — sim below
+//! `BackendKind::AUTO_CUTOVER` processes, pooled at or above); results are
+//! identical on any backend, only the execution strategy changes. `--jobs` generates the requested experiments on
 //! executor workers — tables still print in request order, byte-identical
 //! to a serial run.
 
@@ -48,10 +49,13 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let csv = args.iter().any(|a| a == "--csv");
     if let Some(pos) = args.iter().position(|a| a == "--backend") {
-        match args.get(pos + 1).and_then(|v| BackendKind::parse(v)) {
-            Some(kind) => BackendKind::set_process_default(kind),
-            None => {
-                eprintln!("--backend takes one of: sim, threaded, pooled");
+        match args.get(pos + 1).map(String::as_str) {
+            Some("auto") => BackendKind::set_process_auto(true),
+            Some(label) if BackendKind::parse(label).is_some() => {
+                BackendKind::set_process_default(BackendKind::parse(label).expect("checked"));
+            }
+            _ => {
+                eprintln!("--backend takes one of: sim, threaded, pooled, auto");
                 std::process::exit(2);
             }
         }

@@ -47,20 +47,26 @@ pub enum BackendChoice {
     /// Every backend: the sim reference compared against threaded *and*
     /// pooled, run by run.
     All,
+    /// Size-dependent: the simulator below
+    /// [`BackendKind::AUTO_CUTOVER`] processes, the pooled backend at or
+    /// above it. Resolved per schedule (where `N` is known) via
+    /// [`BackendChoice::resolve_for`].
+    Auto,
 }
 
 impl BackendChoice {
     /// All choices.
-    pub const ALL: [BackendChoice; 5] = [
+    pub const ALL: [BackendChoice; 6] = [
         BackendChoice::Sim,
         BackendChoice::Threaded,
         BackendChoice::Pooled,
         BackendChoice::Both,
         BackendChoice::All,
+        BackendChoice::Auto,
     ];
 
     /// A short stable label (`"sim"`, `"threaded"`, `"pooled"`, `"both"`,
-    /// `"all"`).
+    /// `"all"`, `"auto"`).
     pub fn label(&self) -> &'static str {
         match self {
             BackendChoice::Sim => "sim",
@@ -68,6 +74,7 @@ impl BackendChoice {
             BackendChoice::Pooled => "pooled",
             BackendChoice::Both => "both",
             BackendChoice::All => "all",
+            BackendChoice::Auto => "auto",
         }
     }
 
@@ -79,10 +86,28 @@ impl BackendChoice {
             .find(|b| b.label() == label)
     }
 
+    /// Resolves [`BackendChoice::Auto`] against a concrete system size
+    /// (`BackendKind::auto_for`); every other choice passes through. The
+    /// execution entry points call this with the schedule's `N`, so `Auto`
+    /// never reaches [`BackendChoice::backends`] unresolved.
+    pub fn resolve_for(self, n: usize) -> BackendChoice {
+        match self {
+            BackendChoice::Auto => {
+                match BackendKind::auto_for(u32::try_from(n).unwrap_or(u32::MAX)) {
+                    BackendKind::Pooled => BackendChoice::Pooled,
+                    _ => BackendChoice::Sim,
+                }
+            }
+            other => other,
+        }
+    }
+
     /// The reference backend and the second backends to compare against it.
+    /// `Auto` falls back to the reference simulator here; callers that know
+    /// the system size resolve it first with [`BackendChoice::resolve_for`].
     pub fn backends(&self) -> (BackendKind, &'static [BackendKind]) {
         match self {
-            BackendChoice::Sim => (BackendKind::Sim, &[]),
+            BackendChoice::Sim | BackendChoice::Auto => (BackendKind::Sim, &[]),
             BackendChoice::Threaded => (BackendKind::Threaded, &[]),
             BackendChoice::Pooled => (BackendKind::Pooled, &[]),
             BackendChoice::Both => (BackendKind::Sim, &[BackendKind::Threaded]),
@@ -348,7 +373,7 @@ pub fn execute_schedule(
     schedule: &ChaosSchedule,
     backend: BackendChoice,
 ) -> Result<ExecutedRun, RunVerdict> {
-    let (reference_backend, other_backends) = backend.backends();
+    let (reference_backend, other_backends) = backend.resolve_for(schedule.n).backends();
     let reference = execute_contained(schedule, reference_backend)?;
     let mut others = Vec::with_capacity(other_backends.len());
     for &kind in other_backends {
@@ -364,7 +389,7 @@ pub fn judge_executed(
     run: &ExecutedRun,
     oracles: &[Box<dyn Oracle>],
 ) -> RunVerdict {
-    let (reference_backend, _) = backend.backends();
+    let (reference_backend, _) = backend.resolve_for(schedule.n).backends();
     let input = OracleInput {
         schedule,
         reference: &run.reference,
@@ -583,6 +608,24 @@ pub fn run_campaign_on(
 mod tests {
     use super::*;
     use crate::oracle::standard_suite;
+
+    #[test]
+    fn auto_choice_resolves_per_schedule_size() {
+        let cut = BackendKind::AUTO_CUTOVER as usize;
+        assert_eq!(BackendChoice::Auto.resolve_for(cut - 1), BackendChoice::Sim);
+        assert_eq!(BackendChoice::Auto.resolve_for(cut), BackendChoice::Pooled);
+        // Every non-auto choice passes through untouched.
+        for choice in BackendChoice::ALL {
+            if choice != BackendChoice::Auto {
+                assert_eq!(choice.resolve_for(cut), choice);
+                assert_eq!(choice.resolve_for(1), choice);
+            }
+        }
+        // Labels round-trip, `auto` included.
+        for choice in BackendChoice::ALL {
+            assert_eq!(BackendChoice::parse(choice.label()), Some(choice));
+        }
+    }
 
     #[test]
     fn in_budget_campaign_is_all_clean() {

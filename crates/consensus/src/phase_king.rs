@@ -1,6 +1,7 @@
 //! Phase-king consensus over a vector of binary instances.
 
 use opr_obs::{record_if, ProtocolEvent, SharedRecorder};
+use opr_rbcast::{for_each_slot, IdInterner, WORD_BITS};
 use opr_sim::{Actor, Inbox, Outbox, WireSize, COUNT_BITS, TAG_BITS};
 use opr_types::Round;
 use std::collections::{BTreeMap, BTreeSet};
@@ -48,8 +49,13 @@ pub struct VectorPhaseKing<V> {
     /// process could impersonate the king (see the module docs).
     king_links: Vec<opr_types::LinkId>,
     prefs: BTreeMap<V, bool>,
-    /// Majority-count per key from the last universal exchange.
-    counts: BTreeMap<V, usize>,
+    /// Key ⇄ dense-slot registry: keys repeat every round, so counting runs
+    /// over flat slot-indexed arrays instead of per-(key, sender) B-tree
+    /// probes. Local to this participant — slots never reach the wire.
+    slots: IdInterner<V>,
+    /// Majority-count per slot from the last universal exchange (`0` ⇒ the
+    /// key was not voted on that round).
+    counts: Vec<u32>,
     decided: Option<BTreeSet<V>>,
     recorder: Option<SharedRecorder>,
 }
@@ -83,7 +89,8 @@ impl<V: Ord + Clone + Debug> VectorPhaseKing<V> {
             my_index,
             king_links,
             prefs: initial_true.into_iter().map(|v| (v, true)).collect(),
-            counts: BTreeMap::new(),
+            slots: IdInterner::new(),
+            counts: Vec::new(),
             decided: None,
             recorder: None,
         }
@@ -127,31 +134,41 @@ impl<V: Ord + Clone + Debug> VectorPhaseKing<V> {
         }
         if Self::is_exchange_round(round) {
             // Universal exchange: adopt the majority per key; remember its
-            // support count for the king round's threshold test.
-            let mut trues: BTreeMap<V, usize> = BTreeMap::new();
-            let mut votes: BTreeMap<V, usize> = BTreeMap::new();
+            // support count for the king round's threshold test. Keys are
+            // interned to dense slots (stable across rounds), so the
+            // per-sender inner loop is one intern + two array bumps.
+            let mut yes: Vec<u32> = vec![0; self.slots.len()];
+            let mut voted: Vec<u64> = Vec::new();
             for (_, msg) in inbox {
                 if let ConsensusMsg::Pref(map) = msg {
                     for (v, &b) in map {
-                        *votes.entry(v.clone()).or_insert(0) += 1;
+                        let slot = self.slots.intern(v) as usize;
+                        if yes.len() <= slot {
+                            yes.resize(self.slots.len(), 0);
+                        }
+                        let word = slot / WORD_BITS;
+                        if voted.len() <= word {
+                            voted.resize(word + 1, 0);
+                        }
+                        voted[word] |= 1u64 << (slot % WORD_BITS);
                         if b {
-                            *trues.entry(v.clone()).or_insert(0) += 1;
+                            yes[slot] += 1;
                         }
                     }
                 }
             }
             self.counts.clear();
-            for (v, total) in votes {
-                let yes = trues.get(&v).copied().unwrap_or(0);
+            self.counts.resize(self.slots.len(), 0);
+            for_each_slot(&voted, |slot| {
                 // Keys we have never seen join with pref=false implicitly.
                 // Absent senders count as false votes: the majority is over
                 // all N processes, with silence read as false.
-                let no = self.n - yes;
-                let _ = total;
-                let (maj, cnt) = if yes >= no { (true, yes) } else { (false, no) };
-                self.prefs.insert(v.clone(), maj);
-                self.counts.insert(v, cnt);
-            }
+                let y = yes[slot] as usize;
+                let no = self.n - y;
+                let (maj, cnt) = if y >= no { (true, y) } else { (false, no) };
+                self.prefs.insert(self.slots.value_of(slot as u32), maj);
+                self.counts[slot] = cnt as u32;
+            });
         } else {
             // King round: adopt the king's bit wherever our own support was
             // below the safety threshold n/2 + t + 1. Only the message from
@@ -169,7 +186,12 @@ impl<V: Ord + Clone + Debug> VectorPhaseKing<V> {
             let keys: Vec<V> = self.prefs.keys().cloned().collect();
             let mut adopted = 0usize;
             for v in keys {
-                let supported = self.counts.get(&v).copied().unwrap_or(0) >= threshold;
+                let count = self
+                    .slots
+                    .lookup(&v)
+                    .and_then(|s| self.counts.get(s as usize).copied())
+                    .unwrap_or(0) as usize;
+                let supported = count >= threshold;
                 if !supported {
                     let king_bit = king_map.and_then(|m| m.get(&v).copied()).unwrap_or(false);
                     self.prefs.insert(v, king_bit);
@@ -202,7 +224,7 @@ impl<V: Ord + Clone + Debug> VectorPhaseKing<V> {
     }
 }
 
-impl<V: Ord + Clone + Debug + WireSize + Send> Actor for VectorPhaseKing<V> {
+impl<V: Ord + Clone + Debug + WireSize + Send + Sync> Actor for VectorPhaseKing<V> {
     type Msg = ConsensusMsg<V>;
     type Output = BTreeSet<V>;
 

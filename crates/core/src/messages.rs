@@ -1,9 +1,8 @@
 //! Message vocabularies of the paper's two protocols.
 
-use opr_rbcast::FloodMsg;
+use opr_rbcast::{FloodMsg, IdSlotSet};
 use opr_sim::{WireSize, COUNT_BITS, ID_BITS, RANK_BITS, TAG_BITS};
 use opr_types::{OriginalId, Rank};
-use std::collections::BTreeSet;
 
 /// Messages of Algorithm 1.
 #[derive(Clone, Debug, PartialEq)]
@@ -31,8 +30,10 @@ impl WireSize for Alg1Msg {
 pub enum TwoStepMsg {
     /// Step 1: announce one id.
     Id(OriginalId),
-    /// Step 2: echo every id received in step 1.
-    MultiEcho(BTreeSet<OriginalId>),
+    /// Step 2: echo every id received in step 1, as an interned-slot bitset
+    /// (value-rendered and value-sized, indistinguishable from the
+    /// `BTreeSet` encoding it replaced).
+    MultiEcho(IdSlotSet<OriginalId>),
 }
 
 impl WireSize for TwoStepMsg {
@@ -65,8 +66,15 @@ mod tests {
     #[test]
     fn two_step_multiecho_size_is_linear_in_ids() {
         // O(N log Nmax) bits (Section VI-B).
-        let small = TwoStepMsg::MultiEcho((0..2).map(OriginalId::new).collect());
-        let large = TwoStepMsg::MultiEcho((0..10).map(OriginalId::new).collect());
+        let interner = opr_rbcast::IdInterner::new();
+        let small = TwoStepMsg::MultiEcho(IdSlotSet::from_values(
+            &interner,
+            (0..2).map(OriginalId::new),
+        ));
+        let large = TwoStepMsg::MultiEcho(IdSlotSet::from_values(
+            &interner,
+            (0..10).map(OriginalId::new),
+        ));
         assert_eq!(large.wire_bits() - small.wire_bits(), 8 * ID_BITS);
     }
 

@@ -182,19 +182,38 @@ pub fn approximate_observed(
     t: usize,
     mut observe: impl FnMut(OriginalId, usize, Option<Rank>),
 ) -> (RankVector, BTreeSet<OriginalId>) {
+    // Bucket every vote's entries onto the accepted ids in one sorted merge
+    // per vote (both sides iterate in ascending id order), instead of one
+    // B-tree probe per (id, vote) pair.
+    let accepted_ids: Vec<OriginalId> = accepted.iter().copied().collect();
+    let mut buckets: Vec<Vec<Rank>> =
+        vec![Vec::with_capacity(valid_votes.len()); accepted_ids.len()];
+    for vote in valid_votes {
+        let mut idx = 0usize;
+        for (id, rank) in vote.iter() {
+            while idx < accepted_ids.len() && accepted_ids[idx] < id {
+                idx += 1;
+            }
+            if idx == accepted_ids.len() {
+                break;
+            }
+            if accepted_ids[idx] == id {
+                buckets[idx].push(rank);
+            }
+        }
+    }
     let mut new_ranks = RankVector::new();
     let mut new_accepted = BTreeSet::new();
-    for &id in accepted {
-        let mut votes: OrderedMultiset<Rank> =
-            valid_votes.iter().filter_map(|r| r.get(id)).collect();
-        if votes.len() < n - t {
-            observe(id, votes.len(), None);
+    for (id, bucket) in accepted_ids.into_iter().zip(buckets) {
+        let raw_votes = bucket.len();
+        if raw_votes < n - t {
+            observe(id, raw_votes, None);
             continue; // discard this id (Algorithm 3, line 08)
         }
-        let raw_votes = votes.len();
         let own = my_ranks
             .get(id)
             .expect("correct process must rank every accepted id");
+        let mut votes = OrderedMultiset::from_vec(bucket);
         votes.fill_to(n, own);
         let rank = reduce(&votes, t);
         observe(id, raw_votes, Some(rank));

@@ -4,7 +4,7 @@ use crate::messages::Alg1Msg;
 use crate::probe::{SharedProcessProbe, VotingSnapshot};
 use crate::ranks::{approximate_observed, RankVector};
 use opr_obs::{record_if, ProtocolEvent, SharedRecorder, ValidityViolation};
-use opr_rbcast::{EchoReadyFlood, FloodObserver};
+use opr_rbcast::{EchoReadyFlood, FloodObserver, IdInterner};
 use opr_sim::{Actor, Inbox, Outbox};
 use opr_types::{LinkId, NewName, OriginalId, Regime, Round, SystemConfig};
 use std::collections::BTreeSet;
@@ -16,6 +16,12 @@ struct RecorderFloodObserver<'a> {
 }
 
 impl FloodObserver<OriginalId> for RecorderFloodObserver<'_> {
+    /// Without a recorder every callback is a no-op, so the flood can skip
+    /// the slot→value decode that exists only to feed observers.
+    fn is_enabled(&self) -> bool {
+        self.recorder.is_some()
+    }
+
     fn id_seen(&mut self, step: u32, link: LinkId, value: &OriginalId) {
         let id = *value;
         record_if(self.recorder, || ProtocolEvent::IdSeen { step, link, id });
@@ -243,6 +249,16 @@ impl OrderPreservingRenaming {
     /// Attaches a probe sink recording per-step snapshots.
     pub fn attach_probe(&mut self, probe: SharedProcessProbe) {
         self.probe = Some(probe);
+    }
+
+    /// Rebases the id-selection flood onto a shared per-run [`IdInterner`],
+    /// so co-participants' `Echo`/`Ready` bitsets arrive pre-interned and
+    /// accumulate without decoding. Call before round 1 (the runner does,
+    /// right after construction); sharing is purely a fast path — unshared
+    /// processes interoperate bit-identically.
+    pub fn share_interner(&mut self, interner: IdInterner<OriginalId>) {
+        self.flood =
+            EchoReadyFlood::with_interner(self.cfg.n(), self.cfg.t(), Some(self.my_id), interner);
     }
 
     /// Attaches a telemetry recorder capturing every decision point (see

@@ -13,6 +13,7 @@ use crate::probe::{
 use crate::renaming::OrderPreservingRenaming;
 use crate::two_step::TwoStepRenaming;
 use opr_obs::{shared_recorder, ProcessLog, RunLog, SharedRecorder, SharedSpanLog};
+use opr_rbcast::IdInterner;
 use opr_sim::{Actor, Inbox, Outbox, RunMetrics, Topology, Trace, TraceMode, WireSize};
 use opr_transport::{BackendKind, FaultPlan, Job};
 use opr_types::{
@@ -48,6 +49,12 @@ pub struct AdversaryEnv<'a> {
     pub topology: &'a Topology,
     /// The run seed.
     pub seed: u64,
+    /// The run-wide id interner every correct process's bitset payloads are
+    /// relative to. Adversaries building [`opr_rbcast::IdSlotSet`] payloads
+    /// should build them against this so forged messages travel the
+    /// zero-decode fast path; sets built on a private interner stay correct
+    /// through the decode fallback.
+    pub interner: IdInterner<OriginalId>,
 }
 
 impl AdversaryEnv<'_> {
@@ -339,6 +346,9 @@ struct RunKnobs {
     trace_capacity: Option<usize>,
     trace_mode: TraceMode,
     spans: Option<SharedSpanLog>,
+    /// The run's shared id-slot registry, handed to every adversary's
+    /// [`AdversaryEnv`] so forged payloads encode against the same slots.
+    interner: IdInterner<OriginalId>,
 }
 
 fn generic_run<M, F, C, P>(
@@ -365,6 +375,7 @@ where
         trace_capacity,
         trace_mode,
         spans,
+        interner,
     } = knobs;
     validate(cfg, correct_ids, faulty_count, allow_fault_overrun)?;
     let n = cfg.n();
@@ -397,6 +408,7 @@ where
                 correct_assignments: &correct_positions,
                 topology: &topology,
                 seed,
+                interner: interner.clone(),
             };
             slot += 1;
             actors.push(make_adversary(&env).unwrap_or_else(|| Box::new(SilentActor::new())));
@@ -515,6 +527,7 @@ where
     let total_steps = 4 + voting;
     let probes = std::cell::RefCell::new(Vec::new());
     let recorders = std::cell::RefCell::new(Vec::new());
+    let interner = IdInterner::new();
     generic_run(
         cfg,
         correct_ids,
@@ -529,10 +542,12 @@ where
             trace_capacity: opts.trace_capacity,
             trace_mode: opts.trace_mode,
             spans: opts.spans.clone(),
+            interner: interner.clone(),
         },
         adversary,
         |id| {
             let mut actor = OrderPreservingRenaming::new_unchecked(cfg, regime, id, opts.tweaks);
+            actor.share_interner(interner.clone());
             let sink = shared_probe();
             actor.attach_probe(sink.clone());
             probes.borrow_mut().push(sink);
@@ -653,6 +668,7 @@ where
     cfg.require(Regime::TwoStep)?;
     let probes = std::cell::RefCell::new(Vec::new());
     let recorders = std::cell::RefCell::new(Vec::new());
+    let interner = IdInterner::new();
     generic_run(
         cfg,
         correct_ids,
@@ -667,11 +683,13 @@ where
             trace_capacity: opts.trace_capacity,
             trace_mode: opts.trace_mode,
             spans: opts.spans.clone(),
+            interner: interner.clone(),
         },
         adversary,
         |id| {
             let mut actor = TwoStepRenaming::with_clamp(cfg, id, opts.clamp_offsets)
                 .expect("regime checked above");
+            actor.share_interner(interner.clone());
             let sink = shared_two_step_probe();
             actor.attach_probe(sink.clone());
             probes.borrow_mut().push(sink);

@@ -3,6 +3,7 @@
 use crate::messages::TwoStepMsg;
 use crate::probe::SharedTwoStepProbe;
 use opr_obs::{record_if, ProtocolEvent, SharedRecorder};
+use opr_rbcast::{for_each_slot, IdInterner, IdSlotSet};
 use opr_sim::{Actor, Inbox, Outbox};
 use opr_types::{LinkId, NewName, OriginalId, Regime, Round, SystemConfig};
 use std::collections::{BTreeMap, BTreeSet};
@@ -27,6 +28,10 @@ pub struct TwoStepRenaming {
     /// `linkid` array; `None` is the paper's `⊥`).
     link_id: BTreeMap<LinkId, OriginalId>,
     timely: BTreeSet<OriginalId>,
+    /// `timely` as a slot bitset over [`TwoStepRenaming::interner`]: what
+    /// step 2 broadcasts, and the word-AND side of the `isValid` overlap
+    /// check.
+    timely_set: IdSlotSet<OriginalId>,
     decided: Option<NewName>,
     probe: Option<SharedTwoStepProbe>,
     recorder: Option<SharedRecorder>,
@@ -60,12 +65,14 @@ impl TwoStepRenaming {
         clamp_offsets: bool,
     ) -> Result<Self, opr_types::ConfigError> {
         cfg.require(Regime::TwoStep)?;
+        let interner = IdInterner::new();
         Ok(TwoStepRenaming {
             cfg,
             my_id,
             clamp_offsets,
             link_id: BTreeMap::new(),
             timely: BTreeSet::new(),
+            timely_set: IdSlotSet::new(&interner),
             decided: None,
             probe: None,
             recorder: None,
@@ -75,6 +82,19 @@ impl TwoStepRenaming {
     /// Attaches a probe sink recording the final name table.
     pub fn attach_probe(&mut self, probe: SharedTwoStepProbe) {
         self.probe = Some(probe);
+    }
+
+    /// Rebases onto a shared per-run [`IdInterner`], so co-participants'
+    /// `MultiEcho` bitsets arrive pre-interned and validate/count through
+    /// word operations. Call before round 1 (the runner does); unshared
+    /// processes interoperate bit-identically through the decode fallback.
+    pub fn share_interner(&mut self, interner: IdInterner<OriginalId>) {
+        self.timely_set = IdSlotSet::new(&interner);
+    }
+
+    /// The interner this process's echo bitsets are relative to.
+    pub fn interner(&self) -> &IdInterner<OriginalId> {
+        self.timely_set.interner()
     }
 
     /// Attaches a telemetry recorder capturing id announcements, echo
@@ -89,11 +109,20 @@ impl TwoStepRenaming {
         self.my_id
     }
 
-    /// The `isValid` check of Algorithm 4 for an incoming `MultiEcho`.
-    fn echo_is_valid(&self, link: LinkId, ids: &BTreeSet<OriginalId>) -> bool {
-        self.link_id.contains_key(&link)
-            && ids.len() <= self.cfg.n()
-            && self.timely.intersection(ids).count() >= self.cfg.quorum()
+    /// The `isValid` check of Algorithm 4 for an incoming `MultiEcho`: the
+    /// timely-overlap condition is a word-parallel AND + popcount against
+    /// this process's own timely bitset.
+    fn echo_is_valid(&self, link: LinkId, ids: &IdSlotSet<OriginalId>) -> bool {
+        if !self.link_id.contains_key(&link) || ids.len() > self.cfg.n() {
+            return false;
+        }
+        let words = ids.words_in(self.interner());
+        let common: usize = words
+            .iter()
+            .zip(self.timely_set.words())
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum();
+        common >= self.cfg.quorum()
     }
 }
 
@@ -104,7 +133,7 @@ impl Actor for TwoStepRenaming {
     fn send(&mut self, round: Round) -> Outbox<TwoStepMsg> {
         match round.number() {
             1 => Outbox::Broadcast(TwoStepMsg::Id(self.my_id)),
-            2 => Outbox::Broadcast(TwoStepMsg::MultiEcho(self.timely.clone())),
+            2 => Outbox::Broadcast(TwoStepMsg::MultiEcho(self.timely_set.clone())),
             _ => Outbox::Silent,
         }
     }
@@ -121,12 +150,14 @@ impl Actor for TwoStepRenaming {
                         });
                         self.link_id.insert(link, *id);
                         self.timely.insert(*id);
+                        self.timely_set.insert(id);
                     }
                 }
             }
             2 => {
-                let mut accepted: BTreeSet<OriginalId> = BTreeSet::new();
-                let mut counter: BTreeMap<OriginalId, usize> = BTreeMap::new();
+                // Valid echoes bump flat per-slot counters via word walks;
+                // ids only decode (and sort) once, for the name table.
+                let mut counts: Vec<u16> = Vec::new();
                 let mut rejected = 0u64;
                 for (link, msg) in inbox.messages() {
                     if let TwoStepMsg::MultiEcho(ids) = msg {
@@ -138,10 +169,11 @@ impl Actor for TwoStepRenaming {
                             valid,
                         });
                         if valid {
-                            for &id in ids {
-                                accepted.insert(id);
-                                *counter.entry(id).or_insert(0) += 1;
+                            let words = ids.words_in(self.interner());
+                            if counts.len() < words.len() * opr_rbcast::WORD_BITS {
+                                counts.resize(words.len() * opr_rbcast::WORD_BITS, 0);
                             }
+                            for_each_slot(&words, |slot| counts[slot] += 1);
                         } else {
                             rejected += 1;
                         }
@@ -149,11 +181,18 @@ impl Actor for TwoStepRenaming {
                 }
                 // Compute new names: cumulative clamped offsets over the
                 // sorted accepted set (Algorithm 4, lines 18–22).
+                let interner = self.interner();
+                let mut accepted: Vec<(OriginalId, usize)> = counts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c > 0)
+                    .map(|(slot, &c)| (interner.value_of(slot as u32), c as usize))
+                    .collect();
+                accepted.sort_by_key(|&(id, _)| id);
                 let clamp = self.cfg.quorum();
                 let mut accum: i64 = 0;
                 let mut newid: BTreeMap<OriginalId, NewName> = BTreeMap::new();
-                for &id in &accepted {
-                    let raw = counter[&id];
+                for &(id, raw) in &accepted {
                     let offset = if self.clamp_offsets {
                         raw.min(clamp) as i64
                     } else {
@@ -315,28 +354,36 @@ mod tests {
         for l in 1..=4usize {
             p.link_id.insert(LinkId::new(l), OriginalId::new(l as u64));
             p.timely.insert(OriginalId::new(l as u64));
+            p.timely_set.insert(&OriginalId::new(l as u64));
         }
-        let good: BTreeSet<OriginalId> = (1..=4).map(OriginalId::new).collect();
+        // Echoes arrive on a *foreign* interner, as from an unshared peer.
+        let theirs = IdInterner::new();
+        let set =
+            |raw: &[u64]| IdSlotSet::from_values(&theirs, raw.iter().map(|&x| OriginalId::new(x)));
+        let good = set(&[1, 2, 3, 4]);
         assert!(p.echo_is_valid(LinkId::new(1), &good));
         // Unknown link (announced nothing in step 1).
         let mut q = p.clone();
         q.link_id.remove(&LinkId::new(2));
         assert!(!q.echo_is_valid(LinkId::new(2), &good));
         // Oversized echo.
-        let oversized: BTreeSet<OriginalId> = (1..=5).map(OriginalId::new).collect();
+        let oversized = set(&[1, 2, 3, 4, 5]);
         assert!(!p.echo_is_valid(LinkId::new(1), &oversized));
         // Too little overlap with timely: needs ≥ N−t = 3 common ids.
-        let disjoint: BTreeSet<OriginalId> = (10..=13).map(OriginalId::new).collect();
+        let disjoint = set(&[10, 11, 12, 13]);
         assert!(!p.echo_is_valid(LinkId::new(1), &disjoint));
-        let two_common: BTreeSet<OriginalId> = [1u64, 2, 10, 11]
-            .iter()
-            .map(|&x| OriginalId::new(x))
-            .collect();
+        let two_common = set(&[1, 2, 10, 11]);
         assert!(!p.echo_is_valid(LinkId::new(1), &two_common));
-        let three_common: BTreeSet<OriginalId> = [1u64, 2, 3, 10]
-            .iter()
-            .map(|&x| OriginalId::new(x))
-            .collect();
+        let three_common = set(&[1, 2, 3, 10]);
         assert!(p.echo_is_valid(LinkId::new(1), &three_common));
+        // Same checks with a shared interner exercise the borrowed-word path.
+        let mut s = TwoStepRenaming::new(cfg, OriginalId::new(1)).unwrap();
+        s.share_interner(theirs.clone());
+        for l in 1..=4usize {
+            s.link_id.insert(LinkId::new(l), OriginalId::new(l as u64));
+            s.timely_set.insert(&OriginalId::new(l as u64));
+        }
+        assert!(s.echo_is_valid(LinkId::new(1), &good));
+        assert!(!s.echo_is_valid(LinkId::new(1), &two_common));
     }
 }

@@ -1,9 +1,10 @@
 //! The 4-step Echo/Ready flood (Algorithm 1, steps 1–4, generalized over
-//! the value type).
+//! the value type), counting word-parallel over interned id slots.
 
+use crate::slots::{for_each_slot, IdInterner, IdSlotSet, WORD_BITS};
 use opr_sim::{Actor, Inbox, Outbox, WireSize, COUNT_BITS, TAG_BITS};
 use opr_types::{LinkId, Round};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::fmt::Debug;
 
 /// Messages of the flood protocol.
@@ -12,24 +13,51 @@ use std::fmt::Debug;
 /// process to introducing at most one candidate per link in step 1, which
 /// the `t(N−t)` counting argument of Lemma A.1 relies on. `Echo` and `Ready`
 /// carry the batched sets (equivalent to the paper's one-message-per-value
-/// formulation, since thresholds count *distinct links* per value).
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// formulation, since thresholds count *distinct links* per value), encoded
+/// as interned-slot bitsets whose `Debug`, equality and wire accounting are
+/// value-based — indistinguishable from the `BTreeSet` encoding they
+/// replaced.
+#[derive(Clone)]
 pub enum FloodMsg<V> {
     /// Step 1: announce one value.
     Init(V),
     /// Step 2: echo every value received in step 1.
-    Echo(BTreeSet<V>),
+    Echo(IdSlotSet<V>),
     /// Steps 3 and 4: signal readiness for a set of values.
-    Ready(BTreeSet<V>),
+    Ready(IdSlotSet<V>),
 }
 
-impl<V: WireSize> WireSize for FloodMsg<V> {
+// Manual impls (a derive would demand only `V: Debug`/`V: PartialEq`, but
+// the slot sets decode through `V: Ord + Clone`); rendering is identical to
+// what the derives produced over `BTreeSet` payloads.
+impl<V: Ord + Clone + Debug> Debug for FloodMsg<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FloodMsg::Init(v) => f.debug_tuple("Init").field(v).finish(),
+            FloodMsg::Echo(set) => f.debug_tuple("Echo").field(set).finish(),
+            FloodMsg::Ready(set) => f.debug_tuple("Ready").field(set).finish(),
+        }
+    }
+}
+
+impl<V: Ord + Clone> PartialEq for FloodMsg<V> {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (FloodMsg::Init(a), FloodMsg::Init(b)) => a == b,
+            (FloodMsg::Echo(a), FloodMsg::Echo(b)) => a == b,
+            (FloodMsg::Ready(a), FloodMsg::Ready(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl<V: Ord + Clone> Eq for FloodMsg<V> {}
+
+impl<V: Ord + Clone + WireSize> WireSize for FloodMsg<V> {
     fn wire_bits(&self) -> u64 {
         match self {
             FloodMsg::Init(v) => TAG_BITS + v.wire_bits(),
-            FloodMsg::Echo(set) | FloodMsg::Ready(set) => {
-                TAG_BITS + COUNT_BITS + set.iter().map(WireSize::wire_bits).sum::<u64>()
-            }
+            FloodMsg::Echo(set) | FloodMsg::Ready(set) => TAG_BITS + COUNT_BITS + set.wire_bits(),
         }
     }
 }
@@ -62,6 +90,14 @@ impl<V> Default for FloodResult<V> {
 /// counts the decision compared. Default bodies are empty, so observers
 /// override only what they need and [`NoopFloodObserver`] costs nothing.
 pub trait FloodObserver<V> {
+    /// Whether this observer wants callbacks at all. The flood's hot path
+    /// decodes slots back to `Ord`-sorted values only to feed observers;
+    /// returning `false` (as [`NoopFloodObserver`] does, and recorder-backed
+    /// observers do when no recorder is attached) skips that work entirely.
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
     /// Step 1: a value was announced via `Init` on `link`.
     fn id_seen(&mut self, step: u32, link: LinkId, value: &V) {
         let _ = (step, link, value);
@@ -109,25 +145,41 @@ pub trait FloodObserver<V> {
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct NoopFloodObserver;
 
-impl<V> FloodObserver<V> for NoopFloodObserver {}
+impl<V> FloodObserver<V> for NoopFloodObserver {
+    fn is_enabled(&self) -> bool {
+        false
+    }
+}
 
 /// State machine for the 4-step flood, meant to be *embedded*: the owner
 /// forwards [`send`](EchoReadyFlood::send) and
 /// [`deliver`](EchoReadyFlood::deliver) for relative steps `1 ⋯ 4` and reads
 /// the [`FloodResult`] afterwards.
+///
+/// All per-value state is kept as slot-indexed words and flat counters over
+/// the instance's [`IdInterner`]: receiving a same-interner `Echo`/`Ready`
+/// costs O(slots/64) word operations plus one counter bump per *distinct*
+/// member, instead of per-value ordered-tree inserts. Values only get
+/// decoded (and `Ord`-sorted) at the edges: the [`FloodResult`] sets and
+/// enabled-observer callbacks.
 #[derive(Clone, Debug)]
 pub struct EchoReadyFlood<V> {
     n: usize,
     t: usize,
     initial: Option<V>,
-    /// Working set: after step 1 the values to echo; after step 2 the values
-    /// to send `Ready` for; after step 3 the values to relay-`Ready`.
-    working: BTreeSet<V>,
-    /// Values we have already sent `Ready` for (step 3), so step 4 only
+    interner: IdInterner<V>,
+    /// Working slots: after step 1 the values to echo; after step 2 the
+    /// values to send `Ready` for; after step 3 the values to relay-`Ready`.
+    working: Vec<u64>,
+    /// Slots we have already sent `Ready` for (step 3), so step 4 only
     /// relays new ones.
-    ready_sent: BTreeSet<V>,
-    /// Distinct links per value across `Ready` messages of steps 3 and 4.
-    ready_links: BTreeMap<V, BTreeSet<LinkId>>,
+    ready_sent: Vec<u64>,
+    /// Distinct links per slot across `Ready` messages of steps 3 and 4.
+    ready_counts: Vec<u16>,
+    /// Per-link slots already counted into `ready_counts` (indexed by
+    /// `LinkId::index`), deduplicating a link that `Ready`s the same value
+    /// in both step 3 and step 4.
+    ready_seen: Vec<Vec<u64>>,
     result: FloodResult<V>,
     finished: bool,
 }
@@ -135,18 +187,33 @@ pub struct EchoReadyFlood<V> {
 impl<V: Ord + Clone + Debug> EchoReadyFlood<V> {
     /// Creates a flood participant announcing `initial` (correct processes
     /// announce their own id; pass `None` to participate without
-    /// announcing).
+    /// announcing), with a private interner.
     pub fn new(n: usize, t: usize, initial: Option<V>) -> Self {
+        EchoReadyFlood::with_interner(n, t, initial, IdInterner::new())
+    }
+
+    /// [`EchoReadyFlood::new`] over a shared per-run interner, so messages
+    /// from co-participants arrive pre-interned and accumulate zero-decode.
+    /// Sharing is purely the fast path — messages built against any other
+    /// interner are decoded and re-interned on arrival.
+    pub fn with_interner(n: usize, t: usize, initial: Option<V>, interner: IdInterner<V>) -> Self {
         EchoReadyFlood {
             n,
             t,
             initial,
-            working: BTreeSet::new(),
-            ready_sent: BTreeSet::new(),
-            ready_links: BTreeMap::new(),
+            interner,
+            working: Vec::new(),
+            ready_sent: Vec::new(),
+            ready_counts: Vec::new(),
+            ready_seen: Vec::new(),
             result: FloodResult::default(),
             finished: false,
         }
+    }
+
+    /// The interner this instance's slots are relative to.
+    pub fn interner(&self) -> &IdInterner<V> {
+        &self.interner
     }
 
     /// Quorum threshold `N − t`.
@@ -167,13 +234,22 @@ impl<V: Ord + Clone + Debug> EchoReadyFlood<V> {
     pub fn send(&mut self, step: u32) -> Option<FloodMsg<V>> {
         match step {
             1 => self.initial.clone().map(FloodMsg::Init),
-            2 => Some(FloodMsg::Echo(std::mem::take(&mut self.working))),
+            2 => Some(FloodMsg::Echo(IdSlotSet::from_words(
+                &self.interner,
+                std::mem::take(&mut self.working),
+            ))),
             3 => {
-                let ready: BTreeSet<V> = std::mem::take(&mut self.working);
+                let ready = std::mem::take(&mut self.working);
                 self.ready_sent = ready.clone();
-                Some(FloodMsg::Ready(ready))
+                Some(FloodMsg::Ready(IdSlotSet::from_words(
+                    &self.interner,
+                    ready,
+                )))
             }
-            4 => Some(FloodMsg::Ready(std::mem::take(&mut self.working))),
+            4 => Some(FloodMsg::Ready(IdSlotSet::from_words(
+                &self.interner,
+                std::mem::take(&mut self.working),
+            ))),
             _ => panic!("flood has exactly 4 steps, got step {step}"),
         }
     }
@@ -198,7 +274,8 @@ impl<V: Ord + Clone + Debug> EchoReadyFlood<V> {
 
     /// [`deliver`](EchoReadyFlood::deliver), reporting every threshold
     /// decision to `observer`. The observer sees counts in the value's
-    /// `Ord` order, so emission order is deterministic.
+    /// `Ord` order, so emission order is deterministic regardless of slot
+    /// numbering.
     ///
     /// # Panics
     ///
@@ -215,78 +292,74 @@ impl<V: Ord + Clone + Debug> EchoReadyFlood<V> {
                 for (link, msg) in inbox {
                     if let FloodMsg::Init(v) = msg {
                         observer.id_seen(step, link, v);
-                        self.working.insert(v.clone());
+                        set_slot(&mut self.working, self.interner.intern(v) as usize);
                     }
                 }
             }
             2 => {
-                // Values echoed on ≥ N−t distinct links survive.
-                let mut echo_links: BTreeMap<&V, usize> = BTreeMap::new();
+                // Values echoed on ≥ N−t distinct links survive. One echo
+                // message per link, so no per-link dedup is needed: each
+                // message bumps each member slot once.
+                let mut echo_counts: Vec<u16> = Vec::new();
                 for (_, msg) in inbox {
                     if let FloodMsg::Echo(set) = msg {
-                        for v in set {
-                            *echo_links.entry(v).or_insert(0) += 1;
-                        }
+                        let words = set.words_in(&self.interner);
+                        grow_counts(&mut echo_counts, words.len());
+                        for_each_slot(&words, |slot| {
+                            echo_counts[slot] += 1;
+                        });
                     }
                 }
                 let quorum = self.quorum();
-                self.working = echo_links
-                    .into_iter()
-                    .filter(|(v, links)| {
-                        let kept = *links >= quorum;
-                        observer.echo_threshold(step, v, *links, quorum, kept);
-                        kept
-                    })
-                    .map(|(v, _)| v.clone())
-                    .collect();
+                self.working = words_where(&echo_counts, |c| c as usize >= quorum);
+                if observer.is_enabled() {
+                    for (v, count) in self.decoded_counts(&echo_counts) {
+                        observer.echo_threshold(step, &v, count, quorum, count >= quorum);
+                    }
+                }
             }
             3 => {
                 self.accumulate_ready(inbox);
                 // Timely: Ready on ≥ N−t links already in step 3.
                 let quorum = self.quorum();
-                self.result.timely = self
-                    .ready_links
-                    .iter()
-                    .filter(|(_, links)| links.len() >= quorum)
-                    .map(|(v, _)| v.clone())
-                    .collect();
+                let timely_words = words_where(&self.ready_counts, |c| c as usize >= quorum);
+                self.result.timely = self.decode_words(&timely_words);
                 // Relay in step 4: Ready on ≥ N−2t links, not yet sent by us.
                 let weak = self.weak_quorum();
-                self.working = self
-                    .ready_links
-                    .iter()
-                    .filter(|(v, links)| links.len() >= weak && !self.ready_sent.contains(*v))
-                    .map(|(v, _)| v.clone())
-                    .collect();
-                for (v, links) in &self.ready_links {
-                    observer.ready_threshold(
-                        step,
-                        v,
-                        links.len(),
-                        quorum,
-                        weak,
-                        self.result.timely.contains(v),
-                        self.working.contains(v),
-                    );
+                let mut working = words_where(&self.ready_counts, |c| c as usize >= weak);
+                for (i, word) in working.iter_mut().enumerate() {
+                    *word &= !self.ready_sent.get(i).copied().unwrap_or(0);
+                }
+                self.working = working;
+                if observer.is_enabled() {
+                    for (v, count) in self.decoded_counts(&self.ready_counts) {
+                        observer.ready_threshold(
+                            step,
+                            &v,
+                            count,
+                            quorum,
+                            weak,
+                            self.result.timely.contains(&v),
+                            count >= weak && !self.result_slot_in(&self.ready_sent, &v),
+                        );
+                    }
                 }
             }
             4 => {
                 self.accumulate_ready(inbox);
                 let quorum = self.quorum();
-                self.result.accepted = self
-                    .ready_links
-                    .iter()
-                    .filter(|(_, links)| links.len() >= quorum)
-                    .map(|(v, _)| v.clone())
-                    .collect();
-                for (v, links) in &self.ready_links {
-                    observer.accept_threshold(
-                        step,
-                        v,
-                        links.len(),
-                        quorum,
-                        self.result.accepted.contains(v),
-                    );
+                let accepted_words = words_where(&self.ready_counts, |c| c as usize >= quorum);
+                self.result.accepted = self.decode_words(&accepted_words);
+                if observer.is_enabled() {
+                    for (v, count) in self.decoded_counts(&self.ready_counts) {
+                        observer.accept_threshold(
+                            step,
+                            &v,
+                            count,
+                            quorum,
+                            self.result.accepted.contains(&v),
+                        );
+                    }
                 }
                 self.finished = true;
             }
@@ -294,6 +367,10 @@ impl<V: Ord + Clone + Debug> EchoReadyFlood<V> {
         }
     }
 
+    /// Folds `Ready` messages into the per-slot distinct-link counters:
+    /// `new = incoming & !seen[link]` masks out slots this link already
+    /// `Ready`ed (across steps 3 and 4), then a `trailing_zeros` walk over
+    /// `new` bumps each newly-covered slot once.
     fn accumulate_ready<'a, I>(&mut self, inbox: I)
     where
         V: 'a,
@@ -301,17 +378,92 @@ impl<V: Ord + Clone + Debug> EchoReadyFlood<V> {
     {
         for (link, msg) in inbox {
             if let FloodMsg::Ready(set) = msg {
-                for v in set {
-                    self.ready_links.entry(v.clone()).or_default().insert(link);
+                let words = set.words_in(&self.interner);
+                grow_counts(&mut self.ready_counts, words.len());
+                if self.ready_seen.len() <= link.index() {
+                    self.ready_seen.resize(link.index() + 1, Vec::new());
+                }
+                let seen = &mut self.ready_seen[link.index()];
+                if seen.len() < words.len() {
+                    seen.resize(words.len(), 0);
+                }
+                for (i, &word) in words.iter().enumerate() {
+                    let mut new = word & !seen[i];
+                    seen[i] |= new;
+                    while new != 0 {
+                        let slot = i * WORD_BITS + new.trailing_zeros() as usize;
+                        self.ready_counts[slot] += 1;
+                        new &= new - 1;
+                    }
                 }
             }
         }
+    }
+
+    /// Decodes a word bitset into the value-ordered set the results expose.
+    fn decode_words(&self, words: &[u64]) -> BTreeSet<V> {
+        IdSlotSet::from_words(&self.interner, words.to_vec())
+            .values_sorted()
+            .into_iter()
+            .collect()
+    }
+
+    /// The `(value, count)` pairs for every slot with a nonzero count, in
+    /// value `Ord` order — what observers iterate, decoupling their
+    /// deterministic emission order from nondeterministic slot numbering.
+    fn decoded_counts(&self, counts: &[u16]) -> Vec<(V, usize)> {
+        let mut pairs: Vec<(V, usize)> = counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(slot, &c)| (self.interner.value_of(slot as u32), c as usize))
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        pairs
+    }
+
+    /// Whether `v`'s slot bit is set in `words`.
+    fn result_slot_in(&self, words: &[u64], v: &V) -> bool {
+        self.interner.lookup(v).is_some_and(|slot| {
+            let slot = slot as usize;
+            words
+                .get(slot / WORD_BITS)
+                .is_some_and(|w| w & (1u64 << (slot % WORD_BITS)) != 0)
+        })
     }
 
     /// The result, once step 4 has been delivered.
     pub fn result(&self) -> Option<&FloodResult<V>> {
         self.finished.then_some(&self.result)
     }
+}
+
+/// Sets bit `slot`, growing the word vector as needed.
+fn set_slot(words: &mut Vec<u64>, slot: usize) {
+    let word = slot / WORD_BITS;
+    if word >= words.len() {
+        words.resize(word + 1, 0);
+    }
+    words[word] |= 1u64 << (slot % WORD_BITS);
+}
+
+/// Grows `counts` to cover every slot addressable by `words` bitset words.
+fn grow_counts(counts: &mut Vec<u16>, words: usize) {
+    let needed = words * WORD_BITS;
+    if counts.len() < needed {
+        counts.resize(needed, 0);
+    }
+}
+
+/// The linear quorum scan: the bitset of slots whose count satisfies `keep`.
+fn words_where(counts: &[u16], keep: impl Fn(u16) -> bool) -> Vec<u64> {
+    let mut words = vec![0u64; counts.len().div_ceil(WORD_BITS)];
+    for (slot, &count) in counts.iter().enumerate() {
+        if count > 0 && keep(count) {
+            words[slot / WORD_BITS] |= 1u64 << (slot % WORD_BITS);
+        }
+    }
+    words
 }
 
 /// Standalone [`Actor`] wrapper around [`EchoReadyFlood`]: runs the four
@@ -328,9 +480,17 @@ impl<V: Ord + Clone + Debug> FloodActor<V> {
             flood: EchoReadyFlood::new(n, t, initial),
         }
     }
+
+    /// Creates the actor over a shared per-run interner; see
+    /// [`EchoReadyFlood::with_interner`].
+    pub fn with_interner(n: usize, t: usize, initial: Option<V>, interner: IdInterner<V>) -> Self {
+        FloodActor {
+            flood: EchoReadyFlood::with_interner(n, t, initial, interner),
+        }
+    }
 }
 
-impl<V: Ord + Clone + Debug + WireSize + Send> Actor for FloodActor<V> {
+impl<V: Ord + Clone + Debug + WireSize + Send + Sync> Actor for FloodActor<V> {
     type Msg = FloodMsg<V>;
     type Output = FloodResult<V>;
 
@@ -534,7 +694,9 @@ mod tests {
     #[test]
     fn observer_sees_every_threshold_decision() {
         // Drive one flood participant by hand through all four steps in a
-        // 4-process system with t = 1 where everyone behaves.
+        // 4-process system with t = 1 where everyone behaves. Each
+        // participant gets a *private* interner, so delivery also exercises
+        // the foreign-interner rebase path.
         let n = 4usize;
         let vals = [Val(1), Val(2), Val(3), Val(4)];
         let mut floods: Vec<EchoReadyFlood<Val>> = (0..n)
@@ -581,10 +743,48 @@ mod tests {
 
     #[test]
     fn message_sizes_scale_with_set_size() {
-        let small = FloodMsg::Echo(BTreeSet::from([Val(1)]));
-        let large = FloodMsg::Echo((0..10).map(Val).collect::<BTreeSet<_>>());
+        let interner = IdInterner::new();
+        let small = FloodMsg::Echo(IdSlotSet::from_values(&interner, [Val(1)]));
+        let large = FloodMsg::Echo(IdSlotSet::from_values(&interner, (0..10).map(Val)));
         assert_eq!(large.wire_bits() - small.wire_bits(), 9 * ID_BITS);
         let init = FloodMsg::Init(Val(1));
         assert!(init.wire_bits() < small.wire_bits() + ID_BITS);
+    }
+
+    #[test]
+    fn shared_interner_run_matches_private_interners() {
+        // The same 4-process all-correct run, once with per-actor private
+        // interners (rebase path) and once over a shared registry (borrow
+        // path) — the protocol outcome cannot tell the difference.
+        let n = 4usize;
+        let vals = [Val(4), Val(2), Val(9), Val(1)];
+        let run = |interners: Vec<IdInterner<Val>>| {
+            let mut floods: Vec<EchoReadyFlood<Val>> = interners
+                .into_iter()
+                .enumerate()
+                .map(|(i, interner)| EchoReadyFlood::with_interner(n, 1, Some(vals[i]), interner))
+                .collect();
+            for step in 1..=4u32 {
+                let outgoing: Vec<FloodMsg<Val>> =
+                    floods.iter_mut().map(|f| f.send(step).unwrap()).collect();
+                let inbox: Vec<(LinkId, FloodMsg<Val>)> = outgoing
+                    .iter()
+                    .enumerate()
+                    .map(|(i, m)| (LinkId::new(i + 1), m.clone()))
+                    .collect();
+                for flood in floods.iter_mut() {
+                    flood.deliver(step, inbox.iter().map(|(l, m)| (*l, m)));
+                }
+            }
+            floods
+                .iter()
+                .map(|f| f.result().unwrap().clone())
+                .collect::<Vec<_>>()
+        };
+        let shared = IdInterner::new();
+        let shared_results = run((0..n).map(|_| shared.clone()).collect());
+        let private_results = run((0..n).map(|_| IdInterner::new()).collect());
+        assert_eq!(shared_results, private_results);
+        assert_eq!(shared_results[0].timely.len(), 4);
     }
 }

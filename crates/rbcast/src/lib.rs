@@ -23,7 +23,10 @@
 //! as a standalone [`Actor`](opr_sim::Actor) for tests and demos.
 
 pub mod flood;
+pub mod reference;
+pub mod slots;
 
 pub use flood::{
     EchoReadyFlood, FloodActor, FloodMsg, FloodObserver, FloodResult, NoopFloodObserver,
 };
+pub use slots::{for_each_slot, IdInterner, IdSlotSet, SlotWords, WORD_BITS};

@@ -1,0 +1,176 @@
+//! Differential properties: the word-parallel slot-bitset flood
+//! (`EchoReadyFlood`) against the seed set-based accumulation (`SetFlood`)
+//! on identical, adversarially-shaped inputs — same `FloodResult`, same
+//! observer decision sequence, same outgoing payloads, same wire accounting.
+
+use opr_rbcast::reference::SetFlood;
+use opr_rbcast::{EchoReadyFlood, FloodMsg, FloodObserver, IdInterner, IdSlotSet};
+use opr_sim::{WireSize, COUNT_BITS, ID_BITS, TAG_BITS};
+use opr_types::LinkId;
+use proptest::prelude::*;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Val(u32);
+
+impl WireSize for Val {
+    fn wire_bits(&self) -> u64 {
+        ID_BITS
+    }
+}
+
+/// Every observer callback, flattened to a comparable event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Event {
+    Seen(u32, LinkId, Val),
+    Echo(u32, Val, usize, usize, bool),
+    Ready(u32, Val, usize, usize, usize, bool, bool),
+    Accept(u32, Val, usize, usize, bool),
+}
+
+#[derive(Default)]
+struct Recorder(Vec<Event>);
+
+impl FloodObserver<Val> for Recorder {
+    fn id_seen(&mut self, step: u32, link: LinkId, value: &Val) {
+        self.0.push(Event::Seen(step, link, *value));
+    }
+    fn echo_threshold(&mut self, step: u32, v: &Val, echoes: usize, quorum: usize, kept: bool) {
+        self.0.push(Event::Echo(step, *v, echoes, quorum, kept));
+    }
+    fn ready_threshold(
+        &mut self,
+        step: u32,
+        v: &Val,
+        readies: usize,
+        quorum: usize,
+        weak: usize,
+        timely: bool,
+        relayed: bool,
+    ) {
+        self.0.push(Event::Ready(
+            step, *v, readies, quorum, weak, timely, relayed,
+        ));
+    }
+    fn accept_threshold(&mut self, step: u32, v: &Val, readies: usize, quorum: usize, acc: bool) {
+        self.0.push(Event::Accept(step, *v, readies, quorum, acc));
+    }
+}
+
+/// One adversarial message as generated data: which link sends it, what
+/// kind it claims to be, and the raw (possibly duplicated) value list.
+#[derive(Clone, Debug)]
+struct RawMsg {
+    link: usize,
+    kind: u8,
+    values: Vec<u32>,
+    /// Build the slot set against the receiver's interner (`true`, the
+    /// shared fast path) or a fresh foreign one (`false`, the rebase path —
+    /// values the receiver has never interned arrive this way).
+    shared: bool,
+}
+
+fn raw_msg(n: usize) -> impl Strategy<Value = RawMsg> {
+    (
+        0..n,
+        0u8..3,
+        proptest::collection::vec(0u32..12, 0..6),
+        0u8..2,
+    )
+        .prop_map(|(link, kind, values, shared)| RawMsg {
+            link,
+            kind,
+            values,
+            shared: shared == 1,
+        })
+}
+
+/// A full 4-step inbox schedule.
+fn schedule(n: usize) -> impl Strategy<Value = Vec<Vec<RawMsg>>> {
+    proptest::collection::vec(proptest::collection::vec(raw_msg(n), 0..12), 4..5)
+}
+
+fn materialize(raw: &RawMsg, receiver: &IdInterner<Val>) -> (LinkId, FloodMsg<Val>) {
+    let link = LinkId::new(raw.link + 1);
+    let vals: Vec<Val> = raw.values.iter().map(|&v| Val(v)).collect();
+    let foreign = IdInterner::new();
+    let interner = if raw.shared { receiver } else { &foreign };
+    let msg = match raw.kind {
+        0 => FloodMsg::Init(vals.first().copied().unwrap_or(Val(0))),
+        1 => FloodMsg::Echo(IdSlotSet::from_values(interner, vals)),
+        _ => FloodMsg::Ready(IdSlotSet::from_values(interner, vals)),
+    };
+    (link, msg)
+}
+
+proptest! {
+    /// The tentpole's semantic contract: for any adversarial Echo/Ready
+    /// payload schedule — wrong-step message kinds, duplicate values,
+    /// values the receiver has never interned, foreign-interner encodings —
+    /// the bitset flood and the seed set flood produce the same outgoing
+    /// value sets, the same observer event sequence, and the same final
+    /// `FloodResult`.
+    #[test]
+    fn bitset_flood_matches_set_flood(
+        (n, t) in (4usize..9).prop_flat_map(|n| (Just(n), 1usize..=(n - 1) / 3)),
+        initial in 0u32..13,
+        steps in schedule(8),
+    ) {
+        // 12 is outside the value domain: treat it as "no announcement".
+        let initial = (initial < 12).then_some(Val(initial));
+        let mut fast = EchoReadyFlood::new(n, t, initial);
+        let mut slow = SetFlood::new(n, t, initial);
+        let mut fast_obs = Recorder::default();
+        let mut slow_obs = Recorder::default();
+        for (i, raws) in steps.iter().enumerate() {
+            let step = i as u32 + 1;
+            // Outgoing payloads must carry the same value sets.
+            let sent = fast.send(step);
+            let sent_values: Vec<Val> = match &sent {
+                Some(FloodMsg::Init(v)) => vec![*v],
+                Some(FloodMsg::Echo(s)) | Some(FloodMsg::Ready(s)) => s.values_sorted(),
+                None => Vec::new(),
+            };
+            prop_assert_eq!(sent_values, slow.send_values(step));
+            let inbox: Vec<(LinkId, FloodMsg<Val>)> = raws
+                .iter()
+                .map(|raw| materialize(raw, fast.interner()))
+                .collect();
+            fast.deliver_observed(step, inbox.iter().map(|(l, m)| (*l, m)), &mut fast_obs);
+            slow.deliver_observed(step, inbox.iter().map(|(l, m)| (*l, m)), &mut slow_obs);
+            prop_assert_eq!(&fast_obs.0, &slow_obs.0, "diverged at step {}", step);
+        }
+        prop_assert_eq!(fast.result(), slow.result());
+        prop_assert!(fast.result().is_some());
+    }
+
+    /// Wire-accounting invariant: a bitset `FloodMsg` reports exactly the
+    /// bits of the seed per-id encoding, `TAG + COUNT + Σ id.wire_bits()`,
+    /// for any id set — slot numbering and word layout never leak into
+    /// metrics.
+    #[test]
+    fn bitset_wire_bits_equal_seed_per_id_encoding(
+        ids in proptest::collection::btree_set(0u32..2000, 0..80),
+        ready in 0u8..2,
+        shared_offset in 0u32..50,
+    ) {
+        let ready = ready == 1;
+        // Interners with different slot histories must report identical
+        // sizes for the same value set.
+        let fresh = IdInterner::new();
+        let warmed = IdInterner::new();
+        for pre in 0..shared_offset {
+            warmed.intern(&Val(pre * 37));
+        }
+        let expected: u64 =
+            TAG_BITS + COUNT_BITS + ids.iter().map(|_| ID_BITS).sum::<u64>();
+        for interner in [&fresh, &warmed] {
+            let set = IdSlotSet::from_values(interner, ids.iter().map(|&v| Val(v)));
+            let msg = if ready {
+                FloodMsg::Ready(set)
+            } else {
+                FloodMsg::Echo(set)
+            };
+            prop_assert_eq!(msg.wire_bits(), expected);
+        }
+    }
+}

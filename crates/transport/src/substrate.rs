@@ -163,6 +163,10 @@ pub enum BackendKind {
 /// The process-wide default backend; see [`BackendKind::set_process_default`].
 static PROCESS_DEFAULT: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(0);
 
+/// Whether the process default is in *auto* mode; see
+/// [`BackendKind::set_process_auto`].
+static PROCESS_AUTO: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
 impl Default for BackendKind {
     /// The process default: [`BackendKind::Sim`] unless a binary overrode it
     /// via [`BackendKind::set_process_default`] (e.g. a `--backend` flag).
@@ -175,6 +179,24 @@ impl BackendKind {
     /// Every backend, reference first.
     pub const ALL: [BackendKind; 3] =
         [BackendKind::Sim, BackendKind::Threaded, BackendKind::Pooled];
+
+    /// System sizes strictly below this run faster on the single-threaded
+    /// simulator than on the worker pool (task dispatch + slab setup dominate
+    /// at small N); at and above it the pool's parallel round-steps win.
+    /// Measured on the `pool` bench group; see BENCH_pool.json.
+    pub const AUTO_CUTOVER: u32 = 256;
+
+    /// Picks the backend for a run of `n` processes: [`BackendKind::Sim`]
+    /// below [`BackendKind::AUTO_CUTOVER`], [`BackendKind::Pooled`] at or
+    /// above it. Backends are observationally equivalent, so this is purely
+    /// a wall-clock heuristic.
+    pub fn auto_for(n: u32) -> BackendKind {
+        if n < BackendKind::AUTO_CUTOVER {
+            BackendKind::Sim
+        } else {
+            BackendKind::Pooled
+        }
+    }
 
     /// The stable atomic discriminant used by the process-default cell. The
     /// exhaustive match is the point: adding a variant without assigning it
@@ -204,6 +226,26 @@ impl BackendKind {
     /// execute, never what they produce.
     pub fn set_process_default(kind: BackendKind) {
         PROCESS_DEFAULT.store(kind.tag(), std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Puts the process default in *auto* mode (`--backend auto`): entry
+    /// points that know their system size and consult
+    /// [`BackendKind::default_for`] get [`BackendKind::auto_for`]'s pick
+    /// instead of the fixed process default.
+    pub fn set_process_auto(on: bool) {
+        PROCESS_AUTO.store(on, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// The process-default backend for a run of `n` processes:
+    /// [`BackendKind::auto_for`] when auto mode is on
+    /// ([`BackendKind::set_process_auto`]), the fixed
+    /// [`BackendKind::default`] otherwise.
+    pub fn default_for(n: usize) -> BackendKind {
+        if PROCESS_AUTO.load(std::sync::atomic::Ordering::Relaxed) {
+            BackendKind::auto_for(u32::try_from(n).unwrap_or(u32::MAX))
+        } else {
+            BackendKind::default()
+        }
     }
 
     /// Stable label (accepted by [`BackendKind::parse`]).
@@ -260,6 +302,23 @@ mod tests {
             assert_eq!(BackendKind::from_tag(kind.tag()), kind);
         }
         assert_eq!(BackendKind::from_tag(200), BackendKind::Sim);
+    }
+
+    /// Pins the auto-selection cutover: changing `AUTO_CUTOVER` (or the
+    /// mapping around it) should be a deliberate, test-visible decision.
+    #[test]
+    fn auto_cutover_picks_sim_small_pooled_large() {
+        assert_eq!(BackendKind::auto_for(0), BackendKind::Sim);
+        assert_eq!(BackendKind::auto_for(64), BackendKind::Sim);
+        assert_eq!(
+            BackendKind::auto_for(BackendKind::AUTO_CUTOVER - 1),
+            BackendKind::Sim
+        );
+        assert_eq!(
+            BackendKind::auto_for(BackendKind::AUTO_CUTOVER),
+            BackendKind::Pooled
+        );
+        assert_eq!(BackendKind::auto_for(1024), BackendKind::Pooled);
     }
 
     /// One test covers both the initial default and the override round-trip:

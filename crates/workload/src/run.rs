@@ -131,7 +131,7 @@ impl Algorithm {
         seed: u64,
     ) -> Result<RunStats, RenamingError> {
         self.run_on(
-            BackendKind::default(),
+            BackendKind::default_for(cfg.n()),
             cfg,
             correct_ids,
             faulty,
@@ -624,7 +624,7 @@ impl RenamingRun {
             faulty: 0,
             seed: 0,
             extra_voting_steps: 0,
-            backend: BackendKind::default(),
+            backend: BackendKind::default_for(cfg.n()),
             faults: FaultPlan::default(),
             allow_fault_overrun: false,
             payload_cap: None,

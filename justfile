@@ -56,6 +56,13 @@ bench-fanout:
 bench-pool:
     cargo run --release -p opr-bench --bin pool -- --out crates/bench/BENCH_pool.json --check
 
+# Flood-core comparison: interned slot-bitset Echo/Ready accumulation vs the
+# seed BTree set path on identical inputs at N in {128, 512, 1024} (writes
+# crates/bench/BENCH_flood.json, ns/round + allocs/round). `--check` gates
+# on the bitset core being >=4x the seed path at N=1024.
+bench-flood:
+    cargo run --release -p opr-bench --bin flood -- --out crates/bench/BENCH_flood.json --check
+
 # Large-N soak: full Alg1 at N=1024, t=300 on the pooled backend under a
 # wall-clock ceiling, bit-identical to the simulator, plus the N=512
 # sim-vs-pooled cross-check over adversaries and worker counts.
