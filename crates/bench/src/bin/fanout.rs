@@ -230,6 +230,31 @@ fn measure_obs(rows: &mut Vec<String>) {
         "  {{\"group\": \"obs\", \"name\": \"recorder-on/n16\", \"n\": 16, \
          \"allocs_per_run\": {on}, \"events\": {events}, \"overhead_allocs\": {overhead}}}"
     ));
+    measure_span_recording(rows);
+}
+
+/// Span recording through the `&'static str` API into a pre-sized log is
+/// allocation-free: `Span` is `Copy` and no `String` is ever built. The
+/// assertion here is the regression gate for that claim.
+fn measure_span_recording(rows: &mut Vec<String>) {
+    const SPANS: usize = 4096;
+    let mut log = opr_obs::SpanLog::with_capacity(SPANS);
+    let start = std::time::Instant::now();
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for i in 0..SPANS {
+        log.record_indexed("bench span", i as u64, start);
+    }
+    let span_allocs = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        span_allocs, 0,
+        "recording {SPANS} spans into a pre-sized log must not allocate"
+    );
+    assert_eq!(log.spans().len(), SPANS);
+    eprintln!("fanout obs/spans: {SPANS} spans recorded, {span_allocs} allocs");
+    rows.push(format!(
+        "  {{\"group\": \"obs\", \"name\": \"span-record/{SPANS}\", \"n\": {SPANS}, \
+         \"allocs\": {span_allocs}}}"
+    ));
 }
 
 fn main() {

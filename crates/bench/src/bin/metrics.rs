@@ -1,0 +1,252 @@
+//! Metrics overhead bench + gate: proves the hot path is allocation-free
+//! and measures handle-write and snapshot costs as the registry grows.
+//!
+//! ```text
+//! # Gate + write the committed benchmark file:
+//! cargo run --release -p opr-bench --bin metrics -- --out crates/bench/BENCH_metrics.json
+//! ```
+//!
+//! Three claims are gated (exit 1 on failure), matching the crate's cost
+//! model:
+//!
+//! 1. **Handle writes never allocate.** `Counter::add` and
+//!    `Histogram::record` through pre-created handles are relaxed
+//!    `fetch_add`s; a hot loop of either must leave the allocation counter
+//!    untouched.
+//! 2. **The registry-off path is alloc-identical.** A protocol run with
+//!    `Option<MetricsRegistry> = None` everywhere must allocate *exactly*
+//!    as many times as an identical second run — the instrumentation adds
+//!    no per-run allocation jitter when disabled.
+//! 3. **Snapshot cost is setup-plane only.** `snapshot()` allocates (it
+//!    builds `BTreeMap`s) but is measured and reported, never taken on the
+//!    hot path.
+//!
+//! The JSON rows report per-op ns and snapshot ns at N ∈ {64, 256, 1024}
+//! registered metrics (half counters, half histograms).
+//!
+//! Exit status: 0 on pass, 1 on gate failure, 2 on usage errors.
+
+use opr_adversary::AdversarySpec;
+use opr_metrics::MetricsRegistry;
+use opr_types::{Regime, SystemConfig};
+use opr_workload::RenamingRun;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+fn usage() -> ! {
+    eprintln!("usage: metrics [--out <file>] [--ops N]");
+    std::process::exit(2);
+}
+
+/// Writes per handle per hot-loop iteration; high enough that loop setup
+/// noise vanishes, low enough to stay fast in CI.
+const DEFAULT_OPS: u64 = 1_000_000;
+
+/// Registry sizes the snapshot/per-op costs are reported at.
+const SIZES: [usize; 3] = [64, 256, 1024];
+
+struct Row {
+    name: String,
+    metrics: usize,
+    ns_per_op: f64,
+    allocs: u64,
+}
+
+/// Populate a registry with `n` metrics (half counters, half histograms)
+/// and touch each once so snapshots carry real data.
+fn populated(n: usize) -> MetricsRegistry {
+    let registry = MetricsRegistry::new();
+    for k in 0..n / 2 {
+        registry
+            .counter(&format!("bench_counter_{k}_total"))
+            .add(k as u64);
+        registry
+            .histogram(&format!("bench_hist_{k}_ns"))
+            .record(1 << (k % 20));
+    }
+    registry
+}
+
+/// Gate 1: hot-loop writes through pre-created handles allocate nothing.
+fn bench_handle_writes(n: usize, ops: u64, rows: &mut Vec<Row>) -> bool {
+    let registry = populated(n);
+    let counter = registry.counter("bench_counter_0_total");
+    let hist = registry.histogram("bench_hist_0_ns");
+    let mut ok = true;
+
+    let before = allocs();
+    let start = Instant::now();
+    for i in 0..ops {
+        counter.add(i & 1);
+    }
+    let counter_ns = start.elapsed().as_nanos() as f64 / ops as f64;
+    let counter_allocs = allocs() - before;
+
+    let before = allocs();
+    let start = Instant::now();
+    for i in 0..ops {
+        hist.record(i);
+    }
+    let hist_ns = start.elapsed().as_nanos() as f64 / ops as f64;
+    let hist_allocs = allocs() - before;
+
+    for (label, ns, extra) in [
+        ("counter_add", counter_ns, counter_allocs),
+        ("histogram_record", hist_ns, hist_allocs),
+    ] {
+        if extra != 0 {
+            eprintln!("metrics: GATE FAIL: {label} allocated {extra} times in {ops} ops");
+            ok = false;
+        }
+        eprintln!("metrics: {label}/n{n}: {ns:.1} ns/op, {extra} allocs");
+        rows.push(Row {
+            name: format!("{label}/n{n}"),
+            metrics: n,
+            ns_per_op: ns,
+            allocs: extra,
+        });
+    }
+    ok
+}
+
+/// Snapshot cost at `n` registered metrics (allowed to allocate; reported).
+fn bench_snapshot(n: usize, rows: &mut Vec<Row>) {
+    let registry = populated(n);
+    // Warm once so lazy setup does not land in the measured pass.
+    let _ = registry.snapshot();
+    let reps = 100u32;
+    let before = allocs();
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(registry.snapshot());
+    }
+    let ns = start.elapsed().as_nanos() as f64 / f64::from(reps);
+    let snap_allocs = (allocs() - before) / u64::from(reps);
+    eprintln!("metrics: snapshot/n{n}: {ns:.0} ns, {snap_allocs} allocs");
+    rows.push(Row {
+        name: format!("snapshot/n{n}"),
+        metrics: n,
+        ns_per_op: ns,
+        allocs: snap_allocs,
+    });
+}
+
+/// One small protocol run with no registry attached anywhere.
+fn run_without_metrics() -> u64 {
+    let before = allocs();
+    let ids: Vec<opr_types::OriginalId> = (1..=5)
+        .map(|i| opr_types::OriginalId::new(i * 10))
+        .collect();
+    let run = RenamingRun::builder(
+        SystemConfig::new(7, 2).expect("legal config"),
+        Regime::LogTime,
+    )
+    .correct_ids(ids)
+    .adversary(AdversarySpec::Silent, 2)
+    .seed(0xbeef)
+    .run()
+    .expect("seed run is clean");
+    std::hint::black_box(run.stats.rounds);
+    allocs() - before
+}
+
+/// Gate 2: with the registry off, two identical runs allocate identically —
+/// the instrumentation's disabled path is deterministic and free.
+fn gate_registry_off(rows: &mut Vec<Row>) -> bool {
+    // Warm-up absorbs one-time lazies (thread-local shard ids, etc.).
+    let _ = run_without_metrics();
+    let a = run_without_metrics();
+    let b = run_without_metrics();
+    eprintln!("metrics: registry-off run allocs: {a} vs {b}");
+    rows.push(Row {
+        name: "registry_off_run".to_string(),
+        metrics: 0,
+        ns_per_op: 0.0,
+        allocs: a,
+    });
+    if a != b {
+        eprintln!("metrics: GATE FAIL: registry-off runs allocated {a} vs {b}");
+        return false;
+    }
+    true
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut out: Option<String> = None;
+    let mut ops = DEFAULT_OPS;
+    let mut it = raw.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => out = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--ops" => {
+                ops = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            _ => usage(),
+        }
+    }
+
+    let mut rows = Vec::new();
+    let mut ok = gate_registry_off(&mut rows);
+    for n in SIZES {
+        ok &= bench_handle_writes(n, ops, &mut rows);
+        bench_snapshot(n, &mut rows);
+    }
+
+    if let Some(path) = out {
+        let body: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "  {{\"group\": \"metrics\", \"name\": \"{}\", \"metrics\": {}, \
+                     \"ns_per_op\": {:.1}, \"allocs\": {}}}",
+                    r.name, r.metrics, r.ns_per_op, r.allocs
+                )
+            })
+            .collect();
+        let text = format!("[\n{}\n]\n", body.join(",\n"));
+        match std::fs::write(&path, text) {
+            Ok(()) => eprintln!("metrics: wrote {path}"),
+            Err(e) => {
+                eprintln!("metrics: could not write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if ok {
+        eprintln!("metrics: all gates passed");
+        std::process::exit(0);
+    }
+    std::process::exit(1);
+}

@@ -19,17 +19,61 @@
 //!
 //! # Replay a service repro captured by a failing soak or chaos smoke:
 //! cargo run --release -p opr-bench --bin service -- --repro service-repro.json
+//!
+//! # Prometheus exposition of the run's metrics (wall + deterministic):
+//! cargo run --release -p opr-bench --bin service -- --metrics out.prom
+//!
+//! # Live ANSI dashboard on stderr every few epochs:
+//! cargo run --release -p opr-bench --bin service -- --watch
 //! ```
+//!
+//! Every judged run carries a flight recorder: the last `--flight K`
+//! (default 32) epoch summaries are dumped to stderr on any oracle
+//! violation or failed run, so the run-up to a failure is visible without
+//! re-running under instrumentation.
 //!
 //! Exit status: 0 on pass, 1 on gate failure, 2 on usage errors.
 
 use opr_adversary::AdversarySpec;
+use opr_metrics::{render_prometheus, shared_flight_recorder, MetricsRegistry};
 use opr_obs::{render_trace_json, shared_span_log, RunLog};
-use opr_service::{judge_ledger, ServiceConfig, ServiceReport, ServiceRepro, ServiceSpec};
+use opr_service::{
+    judge_ledger, ServiceConfig, ServiceObs, ServiceReport, ServiceRepro, ServiceSpec,
+};
 use opr_transport::BackendKind;
 use opr_types::{Regime, SystemConfig};
 use opr_workload::ServiceWorkload;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Counting shim around [`System`] so bench rows can report allocation
+/// counts alongside wall time (same pattern as the `fanout` bin).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Dashboard refresh period for `--watch`, in epochs.
+const WATCH_EVERY: u64 = 5;
 
 fn usage() -> ! {
     eprintln!(
@@ -39,7 +83,10 @@ fn usage() -> ! {
          \x20                                 and every backend (exit 1 on failure)\n\
          \x20       service --bench <file>    names-assigned/sec matrix (shards x jobs x backend)\n\
          \x20       service --perfetto <file> export service-level spans as a Perfetto trace\n\
-         \x20       service --repro <file>    replay a captured service failure"
+         \x20       service --repro <file>    replay a captured service failure\n\
+         \x20       service --metrics <file>  write a Prometheus exposition of the run's metrics\n\
+         \x20       service --watch           print the ANSI metrics dashboard every few epochs\n\
+         \x20       service --flight <K>      flight-recorder ring size (default 32)"
     );
     std::process::exit(2);
 }
@@ -53,6 +100,9 @@ struct Args {
     perfetto: Option<String>,
     repro: Option<String>,
     repro_out: String,
+    metrics: Option<String>,
+    watch: bool,
+    flight: usize,
 }
 
 fn parse_args(raw: &[String]) -> Args {
@@ -65,6 +115,9 @@ fn parse_args(raw: &[String]) -> Args {
         perfetto: None,
         repro: None,
         repro_out: "service-repro.json".to_string(),
+        metrics: None,
+        watch: false,
+        flight: 32,
     };
     let mut it = raw.iter();
     while let Some(flag) = it.next() {
@@ -99,6 +152,14 @@ fn parse_args(raw: &[String]) -> Args {
             "--perfetto" => args.perfetto = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--repro" => args.repro = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--repro-out" => args.repro_out = it.next().cloned().unwrap_or_else(|| usage()),
+            "--metrics" => args.metrics = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--watch" => args.watch = true,
+            "--flight" => {
+                args.flight = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             _ => usage(),
         }
     }
@@ -195,13 +256,31 @@ fn write_repro(spec: &ServiceSpec, args: &Args) {
     }
 }
 
-/// Runs one spec and judges its ledger; on violations, prints them and
-/// writes a repro. Returns the report on success.
-fn run_judged(spec: &ServiceSpec, label: &str, args: &Args) -> Result<ServiceReport, ()> {
-    let report = match spec.run() {
+/// Runs one spec and judges its ledger; on violations, prints them, dumps
+/// the flight recorder and writes a repro. Returns the report on success.
+/// When `registry` is given the engine runs fully instrumented (and
+/// `--watch` prints the dashboard as epochs pass).
+fn run_judged(
+    spec: &ServiceSpec,
+    label: &str,
+    args: &Args,
+    registry: Option<&MetricsRegistry>,
+) -> Result<ServiceReport, ()> {
+    let flight = shared_flight_recorder(args.flight);
+    let obs = ServiceObs {
+        spans: None,
+        metrics: registry.cloned(),
+        flight: Some(flight.clone()),
+        watch_every: (args.watch && registry.is_some()).then_some(WATCH_EVERY),
+    };
+    let report = match spec.run_observed(&obs) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("service: {label}: run failed: {e}");
+            eprint!(
+                "{}",
+                flight.lock().expect("flight poisoned").render("run failed")
+            );
             write_repro(spec, args);
             return Err(());
         }
@@ -215,10 +294,44 @@ fn run_judged(spec: &ServiceSpec, label: &str, args: &Args) -> Result<ServiceRep
             "service: {label}: {} oracle violation(s); writing repro",
             violations.len()
         );
+        eprint!(
+            "{}",
+            flight
+                .lock()
+                .expect("flight poisoned")
+                .render("oracle violation")
+        );
         write_repro(spec, args);
         return Err(());
     }
     Ok(report)
+}
+
+/// Builds the registry when `--metrics` or `--watch` asked for one.
+fn metrics_registry(args: &Args) -> Option<MetricsRegistry> {
+    (args.metrics.is_some() || args.watch).then(MetricsRegistry::new)
+}
+
+/// Overlays the deterministic plane of `report` under the live registry's
+/// snapshot (no double counting of names the engine tracked live) and
+/// writes the merged Prometheus exposition to `--metrics <path>` if given.
+fn write_metrics(args: &Args, registry: &MetricsRegistry, report: &ServiceReport) -> i32 {
+    let Some(path) = &args.metrics else {
+        return 0;
+    };
+    let mut snap = registry.snapshot();
+    snap.merge_missing(&report.metrics_snapshot());
+    let text = render_prometheus(&snap);
+    match std::fs::write(path, &text) {
+        Ok(()) => {
+            eprintln!("service: wrote {path}");
+            0
+        }
+        Err(e) => {
+            eprintln!("service: could not write {path}: {e}");
+            1
+        }
+    }
 }
 
 /// The soak gate: the reference run (sim, serial) must be oracle-clean and
@@ -232,10 +345,16 @@ fn soak(args: &Args) -> i32 {
         args.epochs, args.shards, args.seed
     );
     let start = Instant::now();
-    let Ok(reference) = run_judged(&reference_spec, "sim/jobs1", args) else {
+    let registry = metrics_registry(args);
+    let Ok(reference) = run_judged(&reference_spec, "sim/jobs1", args, registry.as_ref()) else {
         return 1;
     };
     summarize("sim/jobs1", &reference_spec, &reference);
+    if let Some(registry) = &registry {
+        if write_metrics(args, registry, &reference) != 0 {
+            return 1;
+        }
+    }
     if reference.recycled == 0 {
         eprintln!("service: soak: no name was ever recycled — the gate is vacuous");
         write_repro(&reference_spec, args);
@@ -250,7 +369,7 @@ fn soak(args: &Args) -> i32 {
     ] {
         let spec = soak_spec(args.seed, args.epochs, args.shards, backend, jobs);
         let label = format!("{}/jobs{jobs}", backend.label());
-        let Ok(report) = run_judged(&spec, &label, args) else {
+        let Ok(report) = run_judged(&spec, &label, args, None) else {
             return 1;
         };
         if report != reference {
@@ -275,16 +394,19 @@ fn bench(args: &Args, path: &str) -> i32 {
         for shards in [1usize, 4, 8] {
             for jobs in [1usize, 4] {
                 let spec = bench_spec(args.seed, shards, backend, jobs);
+                let allocs_before = ALLOCS.load(Ordering::Relaxed);
                 let start = Instant::now();
-                let report = match run_judged(&spec, "bench", args) {
+                let report = match run_judged(&spec, "bench", args, None) {
                     Ok(report) => report,
                     Err(()) => return 1,
                 };
                 let elapsed = start.elapsed().as_secs_f64();
+                let allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
                 let names_per_sec = report.names_per_sec(elapsed);
+                let allocs_per_grant = allocs as f64 / report.grants.max(1) as f64;
                 eprintln!(
                     "service: bench {}/shards{shards}/jobs{jobs}: {} grants in {elapsed:.2}s \
-                     ({names_per_sec:.0} names/sec)",
+                     ({names_per_sec:.0} names/sec, {allocs_per_grant:.0} allocs/grant)",
                     backend.label(),
                     report.grants,
                 );
@@ -292,7 +414,8 @@ fn bench(args: &Args, path: &str) -> i32 {
                     "  {{\"group\": \"service\", \"name\": \"{}/shards{shards}/jobs{jobs}\", \
                      \"backend\": \"{}\", \"shards\": {shards}, \"jobs\": {jobs}, \"cpus\": {cpus}, \
                      \"epochs\": {}, \"grants\": {}, \"recycled\": {}, \
-                     \"names_per_sec\": {names_per_sec:.1}}}",
+                     \"names_per_sec\": {names_per_sec:.1}, \"allocs\": {allocs}, \
+                     \"allocs_per_grant\": {allocs_per_grant:.1}}}",
                     backend.label(),
                     backend.label(),
                     report.epochs,
@@ -419,10 +542,16 @@ fn demo(args: &Args) -> i32 {
         BackendKind::default_for(7),
         2,
     );
-    match run_judged(&spec, "demo", args) {
+    let registry = metrics_registry(args);
+    match run_judged(&spec, "demo", args, registry.as_ref()) {
         Ok(report) => {
             summarize("demo", &spec, &report);
             eprintln!("service: oracle-clean");
+            if let Some(registry) = &registry {
+                if write_metrics(args, registry, &report) != 0 {
+                    return 1;
+                }
+            }
             0
         }
         Err(()) => 1,

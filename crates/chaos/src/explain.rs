@@ -95,7 +95,33 @@ pub fn render_waterfall(repro: &Repro, run: &DiagnosedRun) -> String {
         }
         Some(log) => render_processes(&mut out, log),
     }
+    render_metrics_block(&mut out, run, &margins);
     out
+}
+
+/// The deterministic metrics summary appended after the waterfall: the
+/// run's counter/gauge fold plus the oracle margins, in stable order.
+/// Purely derived from deterministic artefacts, so golden-safe.
+fn render_metrics_block(out: &mut String, run: &DiagnosedRun, margins: &[(&'static str, i64)]) {
+    let snapshot = run.metrics_snapshot();
+    out.push_str("\nmetrics:\n");
+    for (name, value) in &snapshot.counters {
+        let _ = writeln!(out, "  {name:<44} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let _ = writeln!(out, "  {name:<44} {value}");
+    }
+    for (name, hist) in &snapshot.histograms {
+        let _ = writeln!(out, "  {:<44} {}", format!("{name}_count"), hist.count);
+        let _ = writeln!(out, "  {:<44} {}", format!("{name}_sum"), hist.sum);
+    }
+    for (name, margin) in margins {
+        let _ = writeln!(
+            out,
+            "  {:<44} {margin}",
+            format!("oracle_margin{{name=\"{name}\"}}")
+        );
+    }
 }
 
 fn render_processes(out: &mut String, log: &RunLog) {

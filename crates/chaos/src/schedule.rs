@@ -2,6 +2,7 @@
 
 use opr_adversary::AdversarySpec;
 use opr_core::fault_placement;
+use opr_metrics::MetricsRegistry;
 use opr_obs::SharedSpanLog;
 use opr_transport::{BackendKind, FaultEvent, FaultPlan};
 use opr_types::{OriginalId, Regime, RenamingError, SystemConfig};
@@ -187,12 +188,46 @@ impl ChaosSchedule {
         self.run_with(backend, None, true, spans)
     }
 
+    /// [`ChaosSchedule::run_observed`] with a live [`MetricsRegistry`]
+    /// attached end-to-end: the substrate records wall-clock round
+    /// histograms while the run executes, and the deterministic
+    /// [`DiagnosedRun::metrics_snapshot`] fold is mirrored into the registry
+    /// afterwards (`MetricsRegistry::fold`). The returned diagnosis is
+    /// bit-identical to an uninstrumented run.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ChaosSchedule::run_on`].
+    pub fn run_instrumented(
+        &self,
+        backend: BackendKind,
+        spans: Option<SharedSpanLog>,
+        metrics: Option<MetricsRegistry>,
+    ) -> Result<DiagnosedRun, RenamingError> {
+        let run = self.run_with_metrics(backend, None, true, spans, metrics.clone())?;
+        if let Some(registry) = &metrics {
+            registry.fold(&run.metrics_snapshot());
+        }
+        Ok(run)
+    }
+
     fn run_with(
         &self,
         backend: BackendKind,
         trace_capacity: Option<usize>,
         record_events: bool,
         spans: Option<SharedSpanLog>,
+    ) -> Result<DiagnosedRun, RenamingError> {
+        self.run_with_metrics(backend, trace_capacity, record_events, spans, None)
+    }
+
+    fn run_with_metrics(
+        &self,
+        backend: BackendKind,
+        trace_capacity: Option<usize>,
+        record_events: bool,
+        spans: Option<SharedSpanLog>,
+        metrics: Option<MetricsRegistry>,
     ) -> Result<DiagnosedRun, RenamingError> {
         let cfg = self.cfg()?;
         let mut run = RenamingRun::builder(cfg, self.regime)
@@ -213,6 +248,9 @@ impl ChaosSchedule {
         }
         if let Some(log) = spans {
             run = run.spans(log);
+        }
+        if let Some(registry) = metrics {
+            run = run.metrics(registry);
         }
         run.run_diagnosed()
     }

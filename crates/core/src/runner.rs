@@ -12,6 +12,7 @@ use crate::probe::{
 };
 use crate::renaming::OrderPreservingRenaming;
 use crate::two_step::TwoStepRenaming;
+use opr_metrics::MetricsRegistry;
 use opr_obs::{shared_recorder, ProcessLog, RunLog, SharedRecorder, SharedSpanLog};
 use opr_rbcast::IdInterner;
 use opr_sim::{Actor, Inbox, Outbox, RunMetrics, Topology, Trace, TraceMode, WireSize};
@@ -120,6 +121,9 @@ pub struct Alg1Options {
     /// When attached, the substrate records per-round wall-clock spans here
     /// (observability only — never part of the deterministic stream).
     pub spans: Option<SharedSpanLog>,
+    /// When attached, the substrate records per-round wall-clock timing
+    /// histograms here (same plane as `spans` — never deterministic).
+    pub metrics: Option<MetricsRegistry>,
 }
 
 /// Options for [`run_two_step_with`].
@@ -151,6 +155,9 @@ pub struct TwoStepOptions {
     /// When attached, the substrate records per-round wall-clock spans here
     /// (observability only — never part of the deterministic stream).
     pub spans: Option<SharedSpanLog>,
+    /// When attached, the substrate records per-round wall-clock timing
+    /// histograms here (same plane as `spans` — never deterministic).
+    pub metrics: Option<MetricsRegistry>,
 }
 
 impl Default for TwoStepOptions {
@@ -166,6 +173,7 @@ impl Default for TwoStepOptions {
             trace_mode: TraceMode::KeepFirst,
             record_events: false,
             spans: None,
+            metrics: None,
         }
     }
 }
@@ -346,6 +354,7 @@ struct RunKnobs {
     trace_capacity: Option<usize>,
     trace_mode: TraceMode,
     spans: Option<SharedSpanLog>,
+    metrics: Option<MetricsRegistry>,
     /// The run's shared id-slot registry, handed to every adversary's
     /// [`AdversaryEnv`] so forged payloads encode against the same slots.
     interner: IdInterner<OriginalId>,
@@ -375,6 +384,7 @@ where
         trace_capacity,
         trace_mode,
         spans,
+        metrics,
         interner,
     } = knobs;
     validate(cfg, correct_ids, faulty_count, allow_fault_overrun)?;
@@ -428,6 +438,9 @@ where
     }
     if let Some(log) = spans {
         job = job.spans(log);
+    }
+    if let Some(registry) = metrics {
+        job = job.metrics(registry);
     }
     let report = backend.execute(job);
     let outcome = RenamingOutcome::new(
@@ -542,6 +555,7 @@ where
             trace_capacity: opts.trace_capacity,
             trace_mode: opts.trace_mode,
             spans: opts.spans.clone(),
+            metrics: opts.metrics.clone(),
             interner: interner.clone(),
         },
         adversary,
@@ -683,6 +697,7 @@ where
             trace_capacity: opts.trace_capacity,
             trace_mode: opts.trace_mode,
             spans: opts.spans.clone(),
+            metrics: opts.metrics.clone(),
             interner: interner.clone(),
         },
         adversary,

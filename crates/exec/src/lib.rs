@@ -18,12 +18,24 @@
 //! are contained per task ([`TaskResult`]), never poisoning the pool or
 //! hanging the batch, and dropping the pool joins every worker.
 
+use opr_metrics::{Counter, Histogram, MetricsRegistry};
 use opr_obs::SharedSpanLog;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Wall-clock pool metrics, resolved once at attach time so the per-task
+/// path touches only pre-created handles (relaxed atomics, no locks).
+#[derive(Clone)]
+struct PoolMetrics {
+    tasks: Counter,
+    queue_wait_ns: Histogram,
+    task_ns: Histogram,
+    stage_ns: Histogram,
+}
 
 /// A task's panic payload, rendered — the one way a batched run can fail
 /// that its own return type does not describe.
@@ -68,6 +80,9 @@ pub struct RunPool {
     /// timings are observability only — they never affect results or their
     /// order, so the determinism-equivalence contract is untouched.
     spans: Option<SharedSpanLog>,
+    /// When attached, each task records queue-wait and execution-time
+    /// histograms and each batch a stage histogram — wall-clock plane only.
+    metrics: Option<PoolMetrics>,
     stage: AtomicUsize,
 }
 
@@ -80,6 +95,7 @@ impl RunPool {
                 queue: None,
                 workers: Vec::new(),
                 spans: None,
+                metrics: None,
                 stage: AtomicUsize::new(0),
             };
         }
@@ -98,15 +114,30 @@ impl RunPool {
             queue: Some(tx),
             workers,
             spans: None,
+            metrics: None,
             stage: AtomicUsize::new(0),
         }
     }
 
     /// Attaches a wall-clock span log; every subsequent batch records one
-    /// `pool stage K (N tasks, J jobs)` span covering submission to the last
-    /// result.
+    /// `pool stage K (N)` span covering submission to the last result.
     pub fn with_spans(mut self, spans: SharedSpanLog) -> Self {
         self.spans = Some(spans);
+        self
+    }
+
+    /// Attaches a metrics registry; every subsequent task records queue-wait
+    /// and execution-time histograms (`opr_pool_queue_wait_ns`,
+    /// `opr_pool_task_ns`) plus a task counter, and every batch a stage
+    /// duration histogram. These are wall-clock metrics: they never enter
+    /// goldens or cross-backend equality.
+    pub fn with_metrics(mut self, registry: &MetricsRegistry) -> Self {
+        self.metrics = Some(PoolMetrics {
+            tasks: registry.counter("opr_pool_tasks_total"),
+            queue_wait_ns: registry.histogram("opr_pool_queue_wait_ns"),
+            task_ns: registry.histogram("opr_pool_task_ns"),
+            stage_ns: registry.histogram("opr_pool_stage_ns"),
+        });
         self
     }
 
@@ -129,18 +160,41 @@ impl RunPool {
         F: FnOnce() -> T + Send + 'static,
         T: Send + 'static,
     {
-        let stage_start = self.spans.as_ref().map(|log| {
-            let stage = self.stage.fetch_add(1, Ordering::Relaxed);
-            let name = format!(
-                "pool stage {stage} ({} tasks, {} jobs)",
-                tasks.len(),
-                self.jobs()
-            );
-            (log, name, std::time::Instant::now())
+        let observing = self.spans.is_some() || self.metrics.is_some();
+        let stage_start = observing.then(|| {
+            let stage = self.stage.fetch_add(1, Ordering::Relaxed) as u64;
+            (stage, tasks.len() as u64, Instant::now())
         });
-        let results = self.run_batch_inner(tasks);
-        if let Some((log, name, start)) = stage_start {
-            log.lock().unwrap().record_since(name, start);
+        let results = if let Some(pm) = &self.metrics {
+            let wrapped: Vec<Box<dyn FnOnce() -> T + Send>> = tasks
+                .into_iter()
+                .map(|task| {
+                    let pm = pm.clone();
+                    let submitted = Instant::now();
+                    Box::new(move || {
+                        pm.queue_wait_ns
+                            .record(submitted.elapsed().as_nanos() as u64);
+                        let ran = Instant::now();
+                        let out = task();
+                        pm.task_ns.record(ran.elapsed().as_nanos() as u64);
+                        pm.tasks.inc();
+                        out
+                    }) as Box<dyn FnOnce() -> T + Send>
+                })
+                .collect();
+            self.run_batch_inner(wrapped)
+        } else {
+            self.run_batch_inner(tasks)
+        };
+        if let Some((stage, count, start)) = stage_start {
+            if let Some(pm) = &self.metrics {
+                pm.stage_ns.record(start.elapsed().as_nanos() as u64);
+            }
+            if let Some(log) = &self.spans {
+                log.lock()
+                    .unwrap()
+                    .record_detailed("pool stage", stage, count, start);
+            }
         }
         results
     }
@@ -325,8 +379,24 @@ mod tests {
         let _ = values(pool.run_batch(vec![|| 1u64]));
         let log = spans.lock().unwrap();
         assert_eq!(log.spans().len(), 2);
-        assert_eq!(log.spans()[0].name, "pool stage 0 (4 tasks, 2 jobs)");
-        assert_eq!(log.spans()[1].name, "pool stage 1 (1 tasks, 2 jobs)");
+        assert_eq!(log.spans()[0].label(), "pool stage 0 (4)");
+        assert_eq!(log.spans()[1].label(), "pool stage 1 (1)");
+    }
+
+    #[test]
+    fn attached_metrics_count_tasks_and_waits() {
+        let registry = MetricsRegistry::new();
+        let pool = RunPool::new(2).with_metrics(&registry);
+        let _ = values(pool.run_batch((0..6u64).map(|i| move || i).collect::<Vec<_>>()));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("opr_pool_tasks_total"), 6);
+        assert_eq!(snap.histogram("opr_pool_queue_wait_ns").unwrap().count, 6);
+        assert_eq!(snap.histogram("opr_pool_task_ns").unwrap().count, 6);
+        assert_eq!(snap.histogram("opr_pool_stage_ns").unwrap().count, 1);
+        // Serial pools record the same shape.
+        let serial = RunPool::serial().with_metrics(&registry);
+        let _ = values(serial.run_batch(vec![|| 1u64]));
+        assert_eq!(registry.snapshot().counter("opr_pool_tasks_total"), 7);
     }
 
     #[test]

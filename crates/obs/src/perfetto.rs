@@ -209,7 +209,7 @@ pub fn render_trace_json(log: &RunLog, spans: Option<&[Span]>) -> String {
                 "{sep}{{\"ph\":\"X\",\"pid\":2,\"tid\":1,\"ts\":{},\"dur\":{},\"name\":\"{}\",\"cat\":\"wall\",\"args\":{{}}}}",
                 span.start_micros,
                 span.duration_micros,
-                escape(&span.name)
+                escape(&span.label())
             );
             sep = ",";
         }
@@ -243,7 +243,9 @@ mod tests {
             }],
         };
         let spans = vec![Span {
-            name: "round 1".into(),
+            name: "round",
+            index: Some(1),
+            detail: None,
             start_micros: 10,
             duration_micros: 250,
         }];

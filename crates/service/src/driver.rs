@@ -11,6 +11,9 @@
 use crate::config::{ServiceConfig, ServiceError};
 use crate::engine::{AdmissionStats, EpochStats, LedgerEvent, ServiceEngine, ServiceOp};
 use opr_exec::RunPool;
+use opr_metrics::{
+    labeled, render_dashboard, MetricsRegistry, MetricsSnapshot, SharedFlightRecorder,
+};
 use opr_obs::SharedSpanLog;
 use opr_workload::{ClientId, ServiceWorkload};
 use std::collections::BTreeMap;
@@ -48,6 +51,34 @@ pub struct ServiceReport {
     pub epoch_stats: Vec<EpochStats>,
 }
 
+/// Wall-plane attachments for a service run: spans, a live metrics
+/// registry, a flight recorder and an optional periodic dashboard. All
+/// optional; `ServiceObs::default()` observes nothing and changes nothing.
+#[derive(Clone, Default)]
+pub struct ServiceObs {
+    /// Wall-clock span log (engine + pool spans).
+    pub spans: Option<SharedSpanLog>,
+    /// Live metrics registry threaded through the engine, the pool, and
+    /// every protocol instance's backend.
+    pub metrics: Option<MetricsRegistry>,
+    /// Flight recorder receiving one epoch summary per epoch.
+    pub flight: Option<SharedFlightRecorder>,
+    /// When `Some(n)` with an attached registry, print the ANSI dashboard
+    /// to stderr every `n` epochs (a poor man's `--watch`).
+    pub watch_every: Option<u64>,
+}
+
+impl ServiceObs {
+    /// Observation bundle with only a span log attached (the pre-metrics
+    /// entry point's behaviour).
+    pub fn with_spans(spans: SharedSpanLog) -> Self {
+        ServiceObs {
+            spans: Some(spans),
+            ..ServiceObs::default()
+        }
+    }
+}
+
 impl ServiceSpec {
     /// Runs the full schedule.
     ///
@@ -56,7 +87,7 @@ impl ServiceSpec {
     /// Returns [`ServiceError`] on invalid configuration or a failed
     /// protocol instance.
     pub fn run(&self) -> Result<ServiceReport, ServiceError> {
-        self.run_with_spans(None)
+        self.run_observed(&ServiceObs::default())
     }
 
     /// [`ServiceSpec::run`] with an optional wall-clock span log attached to
@@ -71,11 +102,36 @@ impl ServiceSpec {
         &self,
         spans: Option<SharedSpanLog>,
     ) -> Result<ServiceReport, ServiceError> {
+        let obs = ServiceObs {
+            spans,
+            ..ServiceObs::default()
+        };
+        self.run_observed(&obs)
+    }
+
+    /// [`ServiceSpec::run`] with the full wall-plane observation bundle:
+    /// spans, live metrics (engine gauges/histograms, pool queue-wait,
+    /// per-round backend histograms), flight recorder, and an optional
+    /// every-N-epochs dashboard on stderr. The returned report is
+    /// bit-identical to an unobserved run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError`] on invalid configuration or a failed
+    /// protocol instance.
+    pub fn run_observed(&self, obs: &ServiceObs) -> Result<ServiceReport, ServiceError> {
         let mut pool = RunPool::new(self.jobs);
         let mut engine = ServiceEngine::new(self.service)?;
-        if let Some(log) = spans {
+        if let Some(log) = &obs.spans {
             pool = pool.with_spans(log.clone());
-            engine = engine.with_spans(log);
+            engine = engine.with_spans(log.clone());
+        }
+        if let Some(registry) = &obs.metrics {
+            pool = pool.with_metrics(registry);
+            engine = engine.with_metrics(registry);
+        }
+        if let Some(flight) = &obs.flight {
+            engine = engine.with_flight(flight.clone());
         }
 
         // Releases are materialized from observed grants: a client granted
@@ -97,6 +153,18 @@ impl ServiceSpec {
                 });
             }
             engine.run_epoch(&pool)?;
+            if let (Some(every), Some(registry)) = (obs.watch_every, &obs.metrics) {
+                if every > 0 && (epoch + 1) % every == 0 {
+                    eprintln!(
+                        "{}",
+                        render_dashboard(
+                            &format!("service epoch {epoch}"),
+                            &registry.snapshot(),
+                            true,
+                        )
+                    );
+                }
+            }
             for event in &engine.ledger()[ledger_seen..] {
                 if let LedgerEvent::Grant(grant) = event {
                     let due = epoch + self.workload.hold_epochs(grant.client);
@@ -147,5 +215,49 @@ impl ServiceReport {
             return 0.0;
         }
         self.grants as f64 / elapsed_secs
+    }
+
+    /// Folds the report into the deterministic metrics plane: a pure
+    /// function of the (deterministic) report, so it is bit-identical
+    /// across backends and `jobs` counts and safe to pin in goldens.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        snap.add_counter("opr_service_epochs_total", self.epochs);
+        snap.add_counter("opr_service_grants_total", self.grants);
+        snap.add_counter("opr_service_releases_total", self.releases);
+        snap.add_counter("opr_service_recycled_total", self.recycled);
+        snap.add_counter(
+            labeled("opr_service_admission_total", &[("verdict", "accepted")]),
+            self.admission.accepted_acquires + self.admission.accepted_releases,
+        );
+        snap.add_counter(
+            labeled("opr_service_admission_total", &[("verdict", "rejected")]),
+            self.admission.rejected_queue_full
+                + self.admission.rejected_duplicate
+                + self.admission.rejected_unknown_release,
+        );
+        snap.add_counter(
+            "opr_service_cancelled_pending_total",
+            self.admission.cancelled_pending,
+        );
+        let mut by_shard: BTreeMap<usize, u64> = BTreeMap::new();
+        for event in &self.ledger {
+            if let LedgerEvent::Grant(grant) = event {
+                *by_shard.entry(grant.shard).or_default() += 1;
+            }
+        }
+        for (shard, count) in by_shard {
+            snap.add_counter(
+                labeled("opr_service_grants_total", &[("shard", &shard.to_string())]),
+                count,
+            );
+        }
+        for stats in &self.epoch_stats {
+            snap.record("opr_service_epoch_grants", stats.grants);
+            snap.add_counter("opr_service_protocol_runs_total", stats.protocol_runs);
+            snap.add_counter("opr_service_deferred_total", stats.deferred);
+            snap.add_counter("opr_service_skipped_shards_total", stats.skipped_shards);
+        }
+        snap
     }
 }

@@ -12,6 +12,9 @@
 
 use crate::config::{epoch_seed, ServiceConfig, ServiceError};
 use opr_exec::RunPool;
+use opr_metrics::{
+    labeled, Counter, EpochSummary, Gauge, Histogram, MetricsRegistry, SharedFlightRecorder,
+};
 use opr_obs::SharedSpanLog;
 use opr_types::{NewName, OriginalId, RenamingError, RenamingOutcome};
 use opr_workload::{ClientId, RenamingRun};
@@ -121,6 +124,9 @@ pub struct EpochStats {
     /// collisions on the same original id, or (defensively) an instance
     /// that left a request undecided.
     pub deferred: u64,
+    /// Grants of a name that had already been granted (and released) in an
+    /// earlier epoch — the cross-epoch recycling the free pool exists for.
+    pub recycled: u64,
 }
 
 /// A shard: a disjoint name range with its own free pool, backlog of
@@ -134,6 +140,9 @@ struct Shard {
     backlog_clients: BTreeSet<ClientId>,
     /// Live grants: client → (original, service name).
     live: BTreeMap<ClientId, (OriginalId, u64)>,
+    /// Every name granted at least once — a grant whose insert here fails is
+    /// a cross-epoch recycle.
+    granted_ever: BTreeSet<u64>,
 }
 
 impl Shard {
@@ -143,6 +152,65 @@ impl Shard {
             backlog: VecDeque::new(),
             backlog_clients: BTreeSet::new(),
             live: BTreeMap::new(),
+            granted_ever: BTreeSet::new(),
+        }
+    }
+}
+
+/// Pre-created metric handles for the engine's hot paths (wall plane; the
+/// deterministic plane is `ServiceReport::metrics_snapshot`).
+struct EngineMetrics {
+    /// The registry itself, passed down into protocol instances so backend
+    /// round histograms land in the same store.
+    registry: MetricsRegistry,
+    queue_depth: Gauge,
+    backlog: Gauge,
+    live: Gauge,
+    free_names: Vec<Gauge>,
+    shard_grants: Vec<Counter>,
+    grants: Counter,
+    releases: Counter,
+    recycled: Counter,
+    deferred: Counter,
+    epochs: Counter,
+    protocol_runs: Counter,
+    epoch_latency_us: Histogram,
+    epoch_grants: Histogram,
+    protocol_ns: Histogram,
+}
+
+impl EngineMetrics {
+    fn new(registry: &MetricsRegistry, shards: usize) -> Self {
+        EngineMetrics {
+            registry: registry.clone(),
+            queue_depth: registry.gauge("opr_service_queue_depth"),
+            backlog: registry.gauge("opr_service_backlog"),
+            live: registry.gauge("opr_service_live_names"),
+            free_names: (0..shards)
+                .map(|k| {
+                    registry.gauge(&labeled(
+                        "opr_service_free_names",
+                        &[("shard", &k.to_string())],
+                    ))
+                })
+                .collect(),
+            shard_grants: (0..shards)
+                .map(|k| {
+                    registry.counter(&labeled(
+                        "opr_service_grants_total",
+                        &[("shard", &k.to_string())],
+                    ))
+                })
+                .collect(),
+            grants: registry.counter("opr_service_grants_total"),
+            releases: registry.counter("opr_service_releases_total"),
+            recycled: registry.counter("opr_service_recycled_total"),
+            deferred: registry.counter("opr_service_deferred_total"),
+            epochs: registry.counter("opr_service_epochs_total"),
+            protocol_runs: registry.counter("opr_service_protocol_runs_total"),
+            epoch_latency_us: registry.histogram("opr_service_epoch_latency_us"),
+            epoch_grants: registry.histogram("opr_service_epoch_grants"),
+            protocol_ns: registry.histogram("opr_service_protocol_ns"),
         }
     }
 }
@@ -160,6 +228,8 @@ pub struct ServiceEngine {
     epoch_stats: Vec<EpochStats>,
     epoch: u64,
     spans: Option<SharedSpanLog>,
+    metrics: Option<EngineMetrics>,
+    flight: Option<SharedFlightRecorder>,
 }
 
 impl ServiceEngine {
@@ -181,6 +251,8 @@ impl ServiceEngine {
             epoch_stats: Vec::new(),
             epoch: 0,
             spans: None,
+            metrics: None,
+            flight: None,
         })
     }
 
@@ -189,6 +261,23 @@ impl ServiceEngine {
     /// only, never part of the deterministic result).
     pub fn with_spans(mut self, spans: SharedSpanLog) -> Self {
         self.spans = Some(spans);
+        self
+    }
+
+    /// Attaches a live metrics registry (wall plane): queue-depth/backlog
+    /// gauges, per-epoch latency and grant histograms, per-shard grant
+    /// counters and free-pool occupancy, cross-epoch recycle counts, and
+    /// per-round backend histograms from the protocol instances themselves.
+    /// Without this call the engine touches no atomics at all.
+    pub fn with_metrics(mut self, registry: &MetricsRegistry) -> Self {
+        self.metrics = Some(EngineMetrics::new(registry, self.cfg.shards));
+        self
+    }
+
+    /// Attaches a flight recorder; the engine pushes one [`EpochSummary`]
+    /// per epoch so a later oracle violation or panic can dump the run-up.
+    pub fn with_flight(mut self, flight: SharedFlightRecorder) -> Self {
+        self.flight = Some(flight);
         self
     }
 
@@ -205,6 +294,9 @@ impl ServiceEngine {
             ServiceOp::Release { .. } => self.admission.accepted_releases += 1,
         }
         self.queue.push_back(op);
+        if let Some(m) = &self.metrics {
+            m.queue_depth.set(self.queue.len() as i64);
+        }
         true
     }
 
@@ -227,10 +319,12 @@ impl ServiceEngine {
             epoch,
             ..EpochStats::default()
         };
+        let epoch_start = (self.metrics.is_some() || self.flight.is_some()).then(Instant::now);
+        let queue_depth_at_start = self.queue.len();
 
         let admission_start = Instant::now();
         self.drain_queue(epoch, &mut stats);
-        self.record_span(format!("epoch {epoch} admission"), admission_start);
+        self.record_span("epoch admission", epoch, admission_start);
 
         let (batches, outcomes) = self.run_shard_instances(pool, epoch, &mut stats)?;
 
@@ -242,11 +336,62 @@ impl ServiceEngine {
         {
             self.publish_grants(epoch, shard_index, batch, &outcome?, &mut stats);
         }
-        self.record_span(format!("epoch {epoch} grants"), grant_start);
+        self.record_span("epoch grants", epoch, grant_start);
 
+        self.observe_epoch(&stats, epoch_start, queue_depth_at_start);
         self.epoch_stats.push(stats);
         self.epoch += 1;
         Ok(stats)
+    }
+
+    /// Publishes the epoch's wall-plane observables: gauge refresh, counter
+    /// and histogram updates, and the flight-recorder summary. A no-op when
+    /// neither a registry nor a recorder is attached.
+    fn observe_epoch(
+        &mut self,
+        stats: &EpochStats,
+        epoch_start: Option<Instant>,
+        queue_depth_at_start: usize,
+    ) {
+        if self.metrics.is_none() && self.flight.is_none() {
+            return;
+        }
+        let latency_micros = epoch_start.map_or(0, |s| s.elapsed().as_micros() as u64);
+        if let Some(m) = &self.metrics {
+            m.epochs.inc();
+            m.grants.add(stats.grants);
+            m.releases.add(stats.releases);
+            m.recycled.add(stats.recycled);
+            m.deferred.add(stats.deferred);
+            m.protocol_runs.add(stats.protocol_runs);
+            m.epoch_grants.record(stats.grants);
+            m.epoch_latency_us.record(latency_micros);
+            m.queue_depth.set(self.queue.len() as i64);
+            m.backlog.set(self.backlog_len() as i64);
+            m.live.set(self.live_count() as i64);
+            for (k, gauge) in m.free_names.iter().enumerate() {
+                gauge.set(self.shards[k].free.len() as i64);
+            }
+        }
+        if let Some(flight) = &self.flight {
+            let free_names: usize = self.shards.iter().map(|s| s.free.len()).sum();
+            flight
+                .lock()
+                .expect("flight recorder poisoned")
+                .push(EpochSummary {
+                    epoch: stats.epoch,
+                    grants: stats.grants,
+                    releases: stats.releases,
+                    deferred: stats.deferred,
+                    recycled: stats.recycled,
+                    queue_depth: queue_depth_at_start as u64,
+                    backlog: self.backlog_len() as u64,
+                    free_names: free_names as u64,
+                    live_names: self.live_count() as u64,
+                    protocol_runs: stats.protocol_runs,
+                    latency_micros,
+                });
+        }
     }
 
     /// Applies every queued operation to its shard's state.
@@ -317,12 +462,19 @@ impl ServiceEngine {
                 let shard_index = *shard_index;
                 let originals: Vec<OriginalId> = batch.iter().map(|&(_, o)| o).collect();
                 let spans = self.spans.clone();
+                let registry = self.metrics.as_ref().map(|m| m.registry.clone());
+                let protocol_ns = self.metrics.as_ref().map(|m| m.protocol_ns.clone());
                 move || {
                     let start = Instant::now();
-                    let result = run_instance(&cfg, epoch, shard_index, &originals);
+                    let result = run_instance(&cfg, epoch, shard_index, &originals, registry);
+                    if let Some(hist) = protocol_ns {
+                        hist.record(start.elapsed().as_nanos() as u64);
+                    }
                     if let Some(log) = spans {
-                        log.lock().expect("span log poisoned").record_since(
-                            format!("epoch {epoch} shard {shard_index} protocol"),
+                        log.lock().expect("span log poisoned").record_detailed(
+                            "epoch protocol",
+                            epoch,
+                            shard_index as u64,
                             start,
                         );
                     }
@@ -420,9 +572,13 @@ impl ServiceEngine {
         }
         decided.sort_by_key(|&(_, _, name)| name);
         let names: Vec<u64> = shard.free.iter().take(decided.len()).copied().collect();
+        let mut granted_here = 0u64;
         for ((client, original, protocol_name), name) in decided.into_iter().zip(names) {
             shard.free.remove(&name);
             shard.live.insert(client, (original, name));
+            if !shard.granted_ever.insert(name) {
+                stats.recycled += 1;
+            }
             self.ledger.push(LedgerEvent::Grant(Grant {
                 epoch,
                 shard: shard_index,
@@ -432,14 +588,18 @@ impl ServiceEngine {
                 name,
             }));
             stats.grants += 1;
+            granted_here += 1;
+        }
+        if let Some(m) = &self.metrics {
+            m.shard_grants[shard_index].add(granted_here);
         }
     }
 
-    fn record_span(&self, name: String, start: Instant) {
+    fn record_span(&self, name: &'static str, index: u64, start: Instant) {
         if let Some(log) = &self.spans {
             log.lock()
                 .expect("span log poisoned")
-                .record_since(name, start);
+                .record_indexed(name, index, start);
         }
     }
 
@@ -492,6 +652,7 @@ fn run_instance(
     epoch: u64,
     shard: usize,
     originals: &[OriginalId],
+    metrics: Option<MetricsRegistry>,
 ) -> Result<RenamingOutcome, RenamingError> {
     let max_real = originals.iter().map(|o| o.raw()).max().unwrap_or(0);
     let fillers = cfg.epoch_capacity() - originals.len();
@@ -500,11 +661,14 @@ fn run_instance(
         .copied()
         .chain((1..=fillers as u64).map(|i| OriginalId::new(max_real + i)))
         .collect();
-    let run = RenamingRun::builder(cfg.epoch_cfg, cfg.regime)
+    let mut run = RenamingRun::builder(cfg.epoch_cfg, cfg.regime)
         .correct_ids(ids)
         .adversary(cfg.adversary, cfg.byzantine)
         .seed(epoch_seed(cfg.seed, epoch, shard))
-        .backend(cfg.backend)
-        .run()?;
+        .backend(cfg.backend);
+    if let Some(registry) = metrics {
+        run = run.metrics(registry);
+    }
+    let run = run.run()?;
     Ok(run.outcome)
 }

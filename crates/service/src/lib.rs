@@ -42,7 +42,7 @@ pub mod oracle;
 pub mod repro;
 
 pub use config::{epoch_seed, ServiceConfig, ServiceError};
-pub use driver::{ServiceReport, ServiceSpec};
+pub use driver::{ServiceObs, ServiceReport, ServiceSpec};
 pub use engine::{AdmissionStats, EpochStats, Grant, LedgerEvent, ServiceEngine, ServiceOp};
 pub use oracle::{
     judge_ledger, ledger_margin, service_suite, CrossEpochUniqueness, EpochOrder, EpochUniqueness,
@@ -231,17 +231,52 @@ mod tests {
             .unwrap()
             .spans()
             .iter()
-            .map(|s| s.name.clone())
+            .map(|s| s.label())
             .collect();
         assert!(
-            names.contains(&"epoch 0 admission".to_string()),
+            names.contains(&"epoch admission 0".to_string()),
             "{names:?}"
         );
         assert!(
-            names.contains(&"epoch 0 shard 0 protocol".to_string()),
+            names.contains(&"epoch protocol 0 (0)".to_string()),
             "{names:?}"
         );
-        assert!(names.contains(&"epoch 0 grants".to_string()), "{names:?}");
+        assert!(names.contains(&"epoch grants 0".to_string()), "{names:?}");
+    }
+
+    #[test]
+    fn metrics_and_flight_observe_epochs_without_changing_results() {
+        use opr_metrics::{shared_flight_recorder, MetricsRegistry};
+        let registry = MetricsRegistry::new();
+        let flight = shared_flight_recorder(8);
+        let mut engine = ServiceEngine::new(small_cfg())
+            .unwrap()
+            .with_metrics(&registry)
+            .with_flight(flight.clone());
+        engine.submit(acquire(1, 100));
+        engine.submit(acquire(2, 200));
+        engine.run_epoch(&RunPool::serial()).unwrap();
+        // Release + re-acquire: the recycle shows up in stats and metrics.
+        engine.submit(release(1));
+        engine.submit(acquire(3, 150));
+        let stats = engine.run_epoch(&RunPool::serial()).unwrap();
+        assert_eq!(stats.recycled, 1);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("opr_service_grants_total"), 3);
+        assert_eq!(snap.counter("opr_service_recycled_total"), 1);
+        assert_eq!(snap.counter("opr_service_epochs_total"), 2);
+        assert_eq!(snap.gauge("opr_service_live_names"), Some(2));
+        let hist = snap.histogram("opr_service_epoch_latency_us").unwrap();
+        assert_eq!(hist.count, 2);
+        assert!(
+            snap.histogram("opr_round_ns{backend=\"sim\"}").is_some(),
+            "backend round histogram should flow through instances: {:?}",
+            snap.histograms.keys().collect::<Vec<_>>()
+        );
+        let summaries = flight.lock().unwrap().summaries();
+        assert_eq!(summaries.len(), 2);
+        assert_eq!(summaries[1].recycled, 1);
+        assert_eq!(summaries[1].live_names, 2);
     }
 
     #[test]

@@ -143,10 +143,17 @@ where
             trace_mode,
             payload_cap,
             spans,
+            metrics: registry,
         } = job;
         let n = actors.len();
         assert!(n >= 1, "pooled backend needs at least one process");
 
+        let round_hist = registry.as_ref().map(|m| {
+            m.histogram(&opr_metrics::labeled(
+                "opr_round_ns",
+                &[("backend", "pooled")],
+            ))
+        });
         let pool = RunPool::new(self.effective_workers());
         let topology = Arc::new(topology);
         let faults = Arc::new(faults);
@@ -178,7 +185,8 @@ where
             if all_decided || executed >= max_rounds {
                 break;
             }
-            let span_start = spans.as_ref().map(|_| std::time::Instant::now());
+            let span_start =
+                (spans.is_some() || round_hist.is_some()).then(std::time::Instant::now);
 
             // Phase A: send. One task per process; the fence is run_batch
             // returning with every row populated.
@@ -285,10 +293,15 @@ where
 
             executed = round.number();
             metrics.push_round(round_metrics);
-            if let (Some(log), Some(start)) = (&spans, span_start) {
-                log.lock()
-                    .unwrap()
-                    .record_since(format!("round {}", round.number()), start);
+            if let Some(start) = span_start {
+                if let Some(hist) = &round_hist {
+                    hist.record(start.elapsed().as_nanos() as u64);
+                }
+                if let Some(log) = &spans {
+                    log.lock()
+                        .unwrap()
+                        .record_indexed("round", u64::from(round.number()), start);
+                }
             }
             round = round.next();
         }

@@ -25,6 +25,7 @@ where
             trace_mode,
             payload_cap,
             spans,
+            metrics,
         } = job;
         let mut net = Network::with_faults(actors, correct, topology);
         if let Some(capacity) = trace_capacity {
@@ -36,27 +37,34 @@ where
                 faults.delivers(round, sender, link)
             }));
         }
-        let report = match &spans {
-            None => net.run(max_rounds),
-            Some(log) => {
-                // Network::run is cumulative, so raising the budget by one
-                // round at a time yields a per-round span without touching
-                // the engine's semantics.
-                let mut report = net.run(0);
-                for budget in 1..=max_rounds {
-                    let start = std::time::Instant::now();
-                    report = net.run(budget);
-                    if report.rounds_executed == budget {
+        let round_hist = metrics
+            .as_ref()
+            .map(|m| m.histogram(&opr_metrics::labeled("opr_round_ns", &[("backend", "sim")])));
+        let report = if spans.is_none() && round_hist.is_none() {
+            net.run(max_rounds)
+        } else {
+            // Network::run is cumulative, so raising the budget by one
+            // round at a time yields per-round timings without touching
+            // the engine's semantics.
+            let mut report = net.run(0);
+            for budget in 1..=max_rounds {
+                let start = std::time::Instant::now();
+                report = net.run(budget);
+                if report.rounds_executed == budget {
+                    if let Some(hist) = &round_hist {
+                        hist.record(start.elapsed().as_nanos() as u64);
+                    }
+                    if let Some(log) = &spans {
                         log.lock()
                             .unwrap()
-                            .record_since(format!("round {budget}"), start);
-                    }
-                    if report.completed {
-                        break;
+                            .record_indexed("round", u64::from(budget), start);
                     }
                 }
-                report
+                if report.completed {
+                    break;
+                }
             }
+            report
         };
         net.normalize_trace();
         ExecutionReport {

@@ -2,6 +2,7 @@
 
 use crate::faults::FaultPlan;
 use crate::{PooledBackend, SimBackend, ThreadedBackend};
+use opr_metrics::MetricsRegistry;
 use opr_obs::SharedSpanLog;
 use opr_sim::{Actor, RunMetrics, Topology, Trace, TraceMode, WireSize};
 use opr_types::MalformedSend;
@@ -34,6 +35,10 @@ pub struct Job<M, O> {
     /// Wall timings are *not* part of the deterministic contract — they
     /// never appear in [`ExecutionReport`] equality checks.
     pub spans: Option<SharedSpanLog>,
+    /// When attached, backends record per-round wall-clock timing
+    /// histograms (`opr_round_ns{backend=...}`) and a round counter here.
+    /// Like spans, these never enter [`ExecutionReport`] equality.
+    pub metrics: Option<MetricsRegistry>,
 }
 
 impl<M, O> Job<M, O> {
@@ -79,6 +84,7 @@ impl<M, O> Job<M, O> {
             trace_mode: TraceMode::KeepFirst,
             payload_cap: None,
             spans: None,
+            metrics: None,
         }
     }
 
@@ -103,6 +109,13 @@ impl<M, O> Job<M, O> {
     /// Attaches a wall-clock span log; backends record one span per round.
     pub fn spans(mut self, spans: SharedSpanLog) -> Self {
         self.spans = Some(spans);
+        self
+    }
+
+    /// Attaches a metrics registry; backends record per-round wall-clock
+    /// histograms into it (wall plane only — never golden-pinned).
+    pub fn metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.metrics = Some(metrics);
         self
     }
 

@@ -88,6 +88,7 @@ where
             trace_mode,
             payload_cap,
             spans,
+            metrics,
         } = job;
         let n = actors.len();
         assert!(n >= 1, "threaded backend needs at least one process");
@@ -122,9 +123,20 @@ where
             let faults = Arc::clone(&faults);
             let txs = txs.clone();
             let trace_enabled = trace_capacity.is_some();
-            // The barrier leader (thread 0) owns round timing; wall spans are
-            // best-effort observability, not part of the deterministic report.
+            // The barrier leader (thread 0) owns round timing; wall spans and
+            // round histograms are best-effort observability, not part of the
+            // deterministic report.
             let spans = if me == 0 { spans.clone() } else { None };
+            let round_hist = if me == 0 {
+                metrics.as_ref().map(|m| {
+                    m.histogram(&opr_metrics::labeled(
+                        "opr_round_ns",
+                        &[("backend", "threaded")],
+                    ))
+                })
+            } else {
+                None
+            };
             let handle = std::thread::Builder::new()
                 .name(format!("opr-proc-{me}"))
                 .spawn(move || {
@@ -139,6 +151,7 @@ where
                         trace_enabled,
                         payload_cap,
                         spans,
+                        round_hist,
                     )
                 })
                 .expect("spawn process thread");
@@ -232,6 +245,7 @@ fn process_thread<M, O>(
     trace_enabled: bool,
     payload_cap: Option<u64>,
     spans: Option<SharedSpanLog>,
+    round_hist: Option<opr_metrics::Histogram>,
 ) -> ThreadReport<O>
 where
     M: Clone + Debug + WireSize,
@@ -267,7 +281,7 @@ where
         if shared.stop.load(Ordering::SeqCst) {
             break;
         }
-        let span_start = spans.as_ref().map(|_| std::time::Instant::now());
+        let span_start = (spans.is_some() || round_hist.is_some()).then(std::time::Instant::now);
 
         // Phase 2: send.
         let mut round_metrics = RoundMetrics::default();
@@ -393,10 +407,15 @@ where
         }
         if me == 0 {
             shared.executed.store(round.number(), Ordering::SeqCst);
-            if let (Some(log), Some(start)) = (&spans, span_start) {
-                log.lock()
-                    .unwrap()
-                    .record_since(format!("round {}", round.number()), start);
+            if let Some(start) = span_start {
+                if let Some(hist) = &round_hist {
+                    hist.record(start.elapsed().as_nanos() as u64);
+                }
+                if let Some(log) = &spans {
+                    log.lock()
+                        .unwrap()
+                        .record_indexed("round", u64::from(round.number()), start);
+                }
             }
         }
         round = round.next();

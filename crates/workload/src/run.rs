@@ -7,7 +7,8 @@ use opr_core::runner::{
     TwoStepOptions,
 };
 use opr_core::{Alg1Probe, TwoStepProbe};
-use opr_obs::{RunLog, SharedSpanLog};
+use opr_metrics::{labeled, MetricsRegistry, MetricsSnapshot};
+use opr_obs::{ProtocolEvent, RunLog, SharedSpanLog};
 use opr_sim::{Actor, Inbox, Outbox, RunMetrics, Topology, Trace, TraceMode, WireSize};
 use opr_transport::{BackendKind, FaultPlan, Job};
 use opr_types::{
@@ -556,6 +557,7 @@ pub struct RenamingRun {
     trace_mode: TraceMode,
     record_events: bool,
     spans: Option<SharedSpanLog>,
+    metrics: Option<MetricsRegistry>,
 }
 
 /// The structured result of [`RenamingRun::run_diagnosed`]: what happened,
@@ -598,6 +600,69 @@ impl DiagnosedRun {
     pub fn effective_faults(&self) -> usize {
         self.faulty_mask.iter().filter(|&&f| f).count() + self.excluded.len()
     }
+
+    /// Fold the run into a deterministic [`MetricsSnapshot`]: message and
+    /// wire-bit counters, per-round message-count histogram, fault gauges,
+    /// and — when [`RenamingRun::record_events`] was requested — quorum
+    /// crossings, vote verdicts and decisions from the event streams.
+    ///
+    /// Everything here is a pure function of the run's deterministic
+    /// artefacts, so the snapshot is bit-identical across Sim/Threaded/
+    /// Pooled backends and any job count (the equivalence suites pin this).
+    /// Wall-clock timings never appear in it.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        snap.add_counter("opr_rounds_total", u64::from(self.rounds));
+        snap.add_counter(
+            labeled("opr_messages_total", &[("class", "correct")]),
+            self.metrics.messages_correct(),
+        );
+        snap.add_counter(
+            labeled("opr_messages_total", &[("class", "faulty")]),
+            self.metrics.messages_faulty(),
+        );
+        snap.add_counter("opr_wire_bits_total", self.metrics.bits_correct());
+        snap.add_counter("opr_malformed_sends_total", self.malformed.len() as u64);
+        snap.set_gauge(
+            "opr_max_message_bits",
+            self.metrics.max_message_bits() as i64,
+        );
+        snap.set_gauge("opr_effective_faults", self.effective_faults() as i64);
+        snap.set_gauge("opr_excluded_processes", self.excluded.len() as i64);
+        for round in self.metrics.per_round() {
+            snap.record(
+                "opr_round_messages",
+                round.messages_correct + round.messages_faulty,
+            );
+        }
+        if let Some(log) = &self.events {
+            let quorum = |snap: &mut MetricsSnapshot, kind: &str| {
+                snap.add_counter(labeled("opr_quorum_crossings_total", &[("kind", kind)]), 1);
+            };
+            for process in &log.processes {
+                for event in &process.events {
+                    match event {
+                        ProtocolEvent::EchoThreshold { kept: true, .. } => {
+                            quorum(&mut snap, "echo")
+                        }
+                        ProtocolEvent::ReadyThreshold { timely: true, .. } => {
+                            quorum(&mut snap, "ready")
+                        }
+                        ProtocolEvent::AcceptThreshold { accepted: true, .. } => {
+                            quorum(&mut snap, "accept")
+                        }
+                        ProtocolEvent::VoteAccepted { .. } => snap
+                            .add_counter(labeled("opr_votes_total", &[("verdict", "accepted")]), 1),
+                        ProtocolEvent::VoteRejected { .. } => snap
+                            .add_counter(labeled("opr_votes_total", &[("verdict", "rejected")]), 1),
+                        ProtocolEvent::Decided { .. } => snap.add_counter("opr_decisions_total", 1),
+                        _ => {}
+                    }
+                }
+            }
+        }
+        snap
+    }
 }
 
 /// The result of a [`RenamingRun`].
@@ -632,6 +697,7 @@ impl RenamingRun {
             trace_mode: TraceMode::KeepFirst,
             record_events: false,
             spans: None,
+            metrics: None,
         }
     }
 
@@ -724,6 +790,14 @@ impl RenamingRun {
         self
     }
 
+    /// Attaches a live metrics registry; the substrate records per-round
+    /// wall-clock histograms into it. Wall plane only — for the
+    /// deterministic aggregates, use [`DiagnosedRun::metrics_snapshot`].
+    pub fn metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
     /// Executes the run.
     ///
     /// # Errors
@@ -752,6 +826,7 @@ impl RenamingRun {
                         allow_fault_overrun: self.allow_fault_overrun,
                         payload_cap: self.payload_cap,
                         trace_capacity: None,
+                        metrics: self.metrics.clone(),
                         ..Alg1Options::default()
                     },
                 )?;
@@ -789,6 +864,7 @@ impl RenamingRun {
                         faults: self.faults.clone(),
                         allow_fault_overrun: self.allow_fault_overrun,
                         payload_cap: self.payload_cap,
+                        metrics: self.metrics.clone(),
                         ..TwoStepOptions::default()
                     },
                 )?;
@@ -864,6 +940,7 @@ impl RenamingRun {
                         trace_mode: self.trace_mode,
                         record_events: self.record_events,
                         spans: self.spans.clone(),
+                        metrics: self.metrics.clone(),
                     },
                 )?;
                 let cm = o.correct_malformed();
@@ -895,6 +972,7 @@ impl RenamingRun {
                         trace_mode: self.trace_mode,
                         record_events: self.record_events,
                         spans: self.spans.clone(),
+                        metrics: self.metrics.clone(),
                         ..TwoStepOptions::default()
                     },
                 )?;

@@ -114,6 +114,18 @@ bench-search:
 bench-service:
     cargo run --release -p opr-bench --bin service -- --bench crates/bench/BENCH_service.json
 
+# Metrics demo: a short instrumented service run writing a Prometheus
+# exposition (wall plane overlaid on the deterministic fold) and printing
+# the ANSI dashboard.
+metrics OUT="metrics.prom":
+    cargo run --release -p opr-bench --bin service -- --epochs 20 --metrics {{OUT}} --watch
+
+# Metrics overhead gate: hot-path writes must be allocation-free and the
+# registry-off path alloc-identical; writes crates/bench/BENCH_metrics.json
+# (per-op ns + snapshot cost at N in {64, 256, 1024} metrics).
+bench-metrics:
+    cargo run --release -p opr-bench --bin metrics -- --out crates/bench/BENCH_metrics.json
+
 # Regenerate every experiment table (add `--backend threaded` to switch substrate).
 tables *ARGS:
     cargo run --release -p opr-bench --bin tables -- {{ARGS}}

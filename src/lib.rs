@@ -29,12 +29,17 @@
 //!   recorder threaded through the protocol layers, JSONL and Perfetto
 //!   (Chrome trace-event) exporters, and a wall-clock span layer kept
 //!   strictly separate from the deterministic stream.
+//! * [`metrics`] — always-on aggregates: a sharded [`MetricsRegistry`] of
+//!   counters/gauges/log-bucketed histograms, deterministic
+//!   `MetricsSnapshot` folds from run artefacts, Prometheus text exposition,
+//!   an ANSI dashboard, and a flight-recorder ring for post-mortem dumps.
 //! * [`service`] — renaming-as-a-service: a multi-tenant epoch engine with
 //!   a bounded admission queue, sharded namespaces, per-epoch protocol
 //!   instances dispatched over the [`RunPool`], name recycling with a
 //!   cross-epoch uniqueness ledger, and its own oracle/repro layer.
 //!
 //! [`RunPool`]: exec::RunPool
+//! [`MetricsRegistry`]: metrics::MetricsRegistry
 //!
 //! # Quickstart
 //!
@@ -65,6 +70,7 @@ pub use opr_chaos as chaos;
 pub use opr_consensus as consensus;
 pub use opr_core as core;
 pub use opr_exec as exec;
+pub use opr_metrics as metrics;
 pub use opr_obs as obs;
 pub use opr_rbcast as rbcast;
 pub use opr_service as service;
@@ -77,6 +83,7 @@ pub use opr_workload as workload;
 pub mod prelude {
     pub use opr_adversary::AdversarySpec;
     pub use opr_exec::RunPool;
+    pub use opr_metrics::{MetricsRegistry, MetricsSnapshot};
     pub use opr_obs::{ProtocolEvent, RunLog};
     pub use opr_service::{ServiceConfig, ServiceReport, ServiceSpec};
     pub use opr_transport::{BackendKind, FaultPlan};

@@ -206,6 +206,30 @@ proptest! {
             tag
         );
     }
+
+    /// The deterministic `MetricsSnapshot` fold — counters, gauges and the
+    /// per-round message histogram, including the event-derived quorum and
+    /// vote counters — is bit-identical across all three backends.
+    #[test]
+    fn deterministic_metrics_snapshots_agree_across_backends(
+        seed in 0u64..100_000,
+        budget in proptest::sample::select(opr::chaos::BudgetRegime::ALL.to_vec()),
+    ) {
+        let schedule = opr::chaos::generate_schedule(seed, budget);
+        let tag = schedule.describe();
+        let reference = schedule
+            .run_observed(BackendKind::Sim, None)
+            .expect("chaos schedules are legal by construction")
+            .metrics_snapshot();
+        prop_assert!(!reference.is_empty(), "snapshot never empty: {}", tag);
+        for backend in [BackendKind::Threaded, BackendKind::Pooled] {
+            let other = schedule
+                .run_observed(backend, None)
+                .expect("chaos schedules are legal by construction")
+                .metrics_snapshot();
+            prop_assert_eq!(&reference, &other, "snapshot on {}: {}", backend, tag);
+        }
+    }
 }
 
 /// Every adversary in both suites, deterministically (not sampled): the

@@ -171,4 +171,51 @@ proptest! {
             tag
         );
     }
+
+    /// The deterministic service-level `MetricsSnapshot` is a pure function
+    /// of the spec: `jobs = 1` and `jobs = 4` fold to bit-identical
+    /// snapshots, with or without the wall-plane observation attached.
+    #[test]
+    fn service_metrics_snapshots_are_jobs_invariant(
+        seed in 0u64..100_000,
+        shards in 1usize..4,
+    ) {
+        use opr::adversary::AdversarySpec;
+        use opr::metrics::{shared_flight_recorder, MetricsRegistry};
+        use opr::service::{ServiceConfig, ServiceObs, ServiceSpec};
+        use opr::types::{Regime, SystemConfig};
+        use opr::workload::ServiceWorkload;
+        let spec = |jobs: usize| ServiceSpec {
+            service: ServiceConfig {
+                shards,
+                epoch_cfg: SystemConfig::new(7, 2).expect("legal config"),
+                regime: Regime::LogTime,
+                byzantine: 2,
+                adversary: AdversarySpec::Silent,
+                backend: BackendKind::Sim,
+                queue_capacity: 32,
+                shard_span: 16,
+                seed,
+            },
+            workload: ServiceWorkload {
+                clients: 64,
+                epochs: 6,
+                arrivals_per_epoch: 3 * shards,
+                max_hold: 2,
+                seed: seed ^ 0xabcd,
+            },
+            jobs,
+        };
+        let serial = spec(1).run().expect("clean spec").metrics_snapshot();
+        let obs = ServiceObs {
+            metrics: Some(MetricsRegistry::new()),
+            flight: Some(shared_flight_recorder(4)),
+            ..ServiceObs::default()
+        };
+        let parallel = spec(PARALLEL_JOBS)
+            .run_observed(&obs)
+            .expect("clean spec")
+            .metrics_snapshot();
+        prop_assert_eq!(serial, parallel, "seed {} shards {}", seed, shards);
+    }
 }
